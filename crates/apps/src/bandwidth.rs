@@ -1,0 +1,246 @@
+//! The bulk-transfer microbenchmarks of Figure 4 and the §6.1 round-trip
+//! fit.
+//!
+//! * **Bandwidth sweep** — windowed stream of `n`-byte messages for
+//!   n = 128 … 8192; delivered MB/s per size, plus N½ (the size achieving
+//!   half of peak).
+//! * **RTT sweep** — ping-pong per size; least-squares fit
+//!   `RTT(n) = slope·n + intercept` (the paper: 0.1112·n + 61.02 µs,
+//!   R² = 0.99).
+
+use crate::logp::EchoServer;
+use vnet_core::prelude::*;
+use vnet_sim::stats::linear_fit;
+use vnet_sim::SimTime;
+
+/// One point of the bandwidth sweep.
+#[derive(Clone, Debug)]
+pub struct BwPoint {
+    /// Message payload size in bytes.
+    pub bytes: u32,
+    /// Delivered payload bandwidth, MB/s.
+    pub mb_s: f64,
+    /// Median round-trip time for this size, µs.
+    pub rtt_us: f64,
+}
+
+/// Full Figure-4 result.
+#[derive(Clone, Debug)]
+pub struct BandwidthResult {
+    /// Sweep points, ascending size.
+    pub points: Vec<BwPoint>,
+    /// Half-power message size N½ (bytes), linearly interpolated.
+    pub n_half: f64,
+    /// RTT fit `(slope µs/byte, intercept µs, r²)` over n ≥ 128.
+    pub rtt_fit: (f64, f64, f64),
+}
+
+/// Streaming sender: keeps `window` requests outstanding until `count`
+/// complete, then records the elapsed time.
+pub struct StreamSender {
+    ep: EpId,
+    bytes: u32,
+    count: u32,
+    window: u32,
+    sent: u32,
+    done: u32,
+    started: Option<SimTime>,
+    /// Set when the stream completes: elapsed µs.
+    pub elapsed_us: Option<f64>,
+}
+
+impl StreamSender {
+    /// Stream `count` messages of `bytes` with the given window.
+    pub fn new(ep: EpId, bytes: u32, count: u32, window: u32) -> Self {
+        StreamSender {
+            ep,
+            bytes,
+            count,
+            window,
+            sent: 0,
+            done: 0,
+            started: None,
+            elapsed_us: None,
+        }
+    }
+}
+
+impl ThreadBody for StreamSender {
+    fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+        if self.started.is_none() {
+            self.started = Some(sys.now());
+        }
+        while self.sent < self.count && self.sent - self.done < self.window {
+            match sys.request(self.ep, 1, 0, [0; 4], self.bytes) {
+                Ok(_) => self.sent += 1,
+                Err(SendError::NoCredit) | Err(SendError::QueueFull) => break,
+                Err(SendError::WouldBlock) => return Step::WaitResident(self.ep),
+                Err(e) => panic!("stream send failed: {e:?}"),
+            }
+        }
+        while sys.poll(self.ep, QueueSel::Reply).is_some() {
+            self.done += 1;
+        }
+        if self.done >= self.count {
+            self.elapsed_us = Some((sys.now() - self.started.unwrap()).as_micros_f64());
+            return Step::Exit;
+        }
+        Step::Yield
+    }
+}
+
+/// Ping-pong sender measuring RTT for one size.
+pub struct PingPonger {
+    ep: EpId,
+    bytes: u32,
+    rounds: u32,
+    iter: u32,
+    sent_at: SimTime,
+    /// Median RTT after completion, µs.
+    pub rtts: vnet_sim::stats::Sampler,
+}
+
+impl PingPonger {
+    /// `rounds` round trips of `bytes`-byte requests (replies are small,
+    /// so the one-way data path is exercised once per round).
+    pub fn new(ep: EpId, bytes: u32, rounds: u32) -> Self {
+        PingPonger {
+            ep,
+            bytes,
+            rounds,
+            iter: 0,
+            sent_at: SimTime::ZERO,
+            rtts: vnet_sim::stats::Sampler::default(),
+        }
+    }
+}
+
+impl ThreadBody for PingPonger {
+    fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+        if sys.outstanding(self.ep) == 0 {
+            if self.iter >= self.rounds {
+                return Step::Exit;
+            }
+            sys.request(self.ep, 1, 0, [0; 4], self.bytes).expect("pingpong send");
+            self.sent_at = sys.now();
+            self.iter += 1;
+            return Step::Yield;
+        }
+        if sys.poll(self.ep, QueueSel::Reply).is_some() {
+            self.rtts.record((sys.now() - self.sent_at).as_micros_f64());
+        }
+        Step::Yield
+    }
+}
+
+/// Echo that replies with the same payload size (for symmetric RTT, like
+/// the paper's n-byte round trips).
+pub struct EchoSameSize {
+    /// Endpoint to serve.
+    pub ep: EpId,
+}
+
+impl ThreadBody for EchoSameSize {
+    fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+        while let Some(m) = sys.poll(self.ep, QueueSel::Request) {
+            let _ = sys.reply(self.ep, &m, 0, [0; 4], m.msg.payload_bytes);
+        }
+        Step::Yield
+    }
+}
+
+fn one_size(cfg: &ClusterConfig, bytes: u32, count: u32) -> (f64, f64) {
+    // Bandwidth leg.
+    let mut c = Cluster::new(cfg.clone());
+    let a = c.create_endpoint(HostId(0));
+    let b = c.create_endpoint(HostId(1));
+    c.build_virtual_network(&[a, b]);
+    c.make_resident(a);
+    c.make_resident(b);
+    c.spawn_thread(HostId(1), Box::new(EchoServer { ep: b.ep, served: 0 }));
+    let t = c.spawn_thread(HostId(0), Box::new(StreamSender::new(a.ep, bytes, count, 8)));
+    c.run_for(SimDuration::from_secs(30));
+    let s: &StreamSender = c.body(HostId(0), t).expect("sender");
+    let elapsed_us = s.elapsed_us.expect("stream completes");
+    let mb_s = (bytes as f64 * count as f64) / elapsed_us;
+
+    // RTT leg: symmetric n-byte round trips.
+    let mut c = Cluster::new(cfg.clone());
+    let a = c.create_endpoint(HostId(0));
+    let b = c.create_endpoint(HostId(1));
+    c.build_virtual_network(&[a, b]);
+    c.make_resident(a);
+    c.make_resident(b);
+    c.spawn_thread(HostId(1), Box::new(EchoSameSize { ep: b.ep }));
+    let t = c.spawn_thread(HostId(0), Box::new(PingPonger::new(a.ep, bytes, 50)));
+    c.run_for(SimDuration::from_secs(10));
+    let p: &PingPonger = c.body(HostId(0), t).expect("pingponger");
+    let mut rtts = p.rtts.clone();
+    (mb_s, rtts.median())
+}
+
+/// Run the Figure-4 sweep over the standard sizes.
+pub fn run_bandwidth(cfg: &ClusterConfig) -> BandwidthResult {
+    let sizes = [128u32, 256, 512, 1024, 2048, 4096, 8192];
+    let mut points = Vec::new();
+    for &bytes in &sizes {
+        // Fewer messages for big sizes keeps runtime flat.
+        let count = (2_000_000 / bytes.max(256)).clamp(60, 2_000);
+        let (mb_s, rtt_us) = one_size(cfg, bytes, count);
+        points.push(BwPoint { bytes, mb_s, rtt_us });
+    }
+    let peak = points.iter().map(|p| p.mb_s).fold(0.0, f64::max);
+    let half = peak / 2.0;
+    // Interpolate N1/2 on the rising edge.
+    let mut n_half = points[0].bytes as f64;
+    for w in points.windows(2) {
+        if w[0].mb_s < half && w[1].mb_s >= half {
+            let f = (half - w[0].mb_s) / (w[1].mb_s - w[0].mb_s);
+            n_half = w[0].bytes as f64 + f * (w[1].bytes - w[0].bytes) as f64;
+            break;
+        }
+    }
+    let pts: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.bytes as f64, p.rtt_us)).collect();
+    let rtt_fit = linear_fit(&pts);
+    BandwidthResult { points, n_half, rtt_fit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_core::ClusterConfig;
+
+    #[test]
+    fn eight_k_bandwidth_near_sbus_limit() {
+        let (mb_s, rtt) = one_size(&ClusterConfig::now(2), 8192, 100);
+        // Paper: 43.9 MB/s delivered, 46.8 MB/s hardware ceiling.
+        assert!((40.0..46.8).contains(&mb_s), "8KB bandwidth {mb_s:.1} MB/s");
+        assert!(rtt > 300.0, "8KB round trip is sub-millisecond but far from small: {rtt}");
+    }
+
+    #[test]
+    fn gam_delivers_less_at_8k() {
+        let (vn, _) = one_size(&ClusterConfig::now(2), 8192, 100);
+        let (gam, _) = one_size(&ClusterConfig::gam(2), 8192, 100);
+        // Paper: 43.9 vs 38 MB/s — the first-generation interface did not
+        // pipeline the store-and-forward staging.
+        assert!(gam < vn, "GAM {gam:.1} must trail VN {vn:.1}");
+        assert!((30.0..42.0).contains(&gam), "GAM 8KB bandwidth {gam:.1}");
+    }
+
+    #[test]
+    fn sweep_shape_and_fit() {
+        let r = run_bandwidth(&ClusterConfig::now(2));
+        // Monotone non-decreasing bandwidth with size.
+        for w in r.points.windows(2) {
+            assert!(w[1].mb_s >= w[0].mb_s * 0.95, "bandwidth dips: {:?}", r.points);
+        }
+        // N1/2 in the few-hundred-bytes region (paper: 540 B).
+        assert!((200.0..1100.0).contains(&r.n_half), "N1/2 = {}", r.n_half);
+        let (slope, intercept, r2) = r.rtt_fit;
+        assert!(r2 > 0.98, "fit r2 = {r2}");
+        assert!((0.05..0.16).contains(&slope), "slope = {slope} us/B");
+        assert!((20.0..80.0).contains(&intercept), "intercept = {intercept} us");
+    }
+}

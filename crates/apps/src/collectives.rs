@@ -1,0 +1,225 @@
+//! Collective-communication schedule builders for [`crate::bsp`] programs.
+//!
+//! Each builder appends the supersteps one rank contributes to a standard
+//! collective. Builders are *pure*: calling the same builder for every
+//! rank of a job yields globally consistent schedules (every send has a
+//! matching expected receive in the same step) — a property the tests
+//! check exhaustively and the NPB/Linpack skeletons rely on.
+
+use crate::bsp::{patterns, SuperStep};
+use vnet_sim::SimDuration;
+
+/// Split a logical transfer of `bytes` to `dst` into MTU-sized messages,
+/// appending to `out`; returns the message count.
+pub fn chunked(dst: usize, bytes: u64, mtu: u64, out: &mut Vec<(usize, u32)>) -> u32 {
+    if bytes == 0 {
+        return 0;
+    }
+    let n = bytes.div_ceil(mtu);
+    for i in 0..n {
+        let sz = if i == n - 1 { bytes - (n - 1) * mtu } else { mtu };
+        out.push((dst, sz as u32));
+    }
+    n as u32
+}
+
+/// Append the recursive-doubling allreduce rounds (8-byte contributions):
+/// `⌈log2 p⌉` supersteps of pairwise exchange.
+pub fn allreduce(sched: &mut Vec<SuperStep>, rank: usize, p: usize) {
+    for round in 0..patterns::log2_ceil(p) {
+        let mut sends = Vec::new();
+        let mut recv = 0;
+        if let Some(partner) = patterns::doubling_partner(rank, p, round) {
+            sends.push((partner, 8u32));
+            recv = 1;
+        }
+        sched.push(SuperStep { compute: SimDuration::ZERO, sends, recv_count: recv });
+    }
+}
+
+/// Append a binomial-tree broadcast of `bytes` from `root`:
+/// `⌈log2 p⌉` supersteps; in round `r`, ranks holding the data relay it to
+/// their partner `2^r` away (relative to the root).
+pub fn broadcast(
+    sched: &mut Vec<SuperStep>,
+    rank: usize,
+    p: usize,
+    root: usize,
+    bytes: u64,
+    mtu: u64,
+) {
+    let rounds = patterns::log2_ceil(p);
+    let rel = (rank + p - root) % p;
+    for round in 0..rounds {
+        let half = 1usize << round;
+        let mut sends = Vec::new();
+        let mut recv = 0;
+        if rel < half && rel + half < p {
+            let dst = (root + rel + half) % p;
+            chunked(dst, bytes, mtu, &mut sends);
+        } else if rel >= half && rel < 2 * half {
+            recv = bytes.div_ceil(mtu).max(1) as u32 * u32::from(bytes > 0);
+            if bytes == 0 {
+                recv = 0;
+            }
+        }
+        sched.push(SuperStep { compute: SimDuration::ZERO, sends, recv_count: recv });
+    }
+}
+
+/// Append one all-to-all personalized exchange: every rank sends
+/// `per_pair` bytes to every other rank in a single superstep.
+pub fn alltoall(sched: &mut Vec<SuperStep>, rank: usize, p: usize, per_pair: u64, mtu: u64) {
+    let mut sends = Vec::new();
+    let mut recv = 0;
+    for d in 0..p {
+        if d != rank {
+            recv += chunked(d, per_pair, mtu, &mut sends);
+        }
+    }
+    sched.push(SuperStep { compute: SimDuration::ZERO, sends, recv_count: recv });
+}
+
+/// Append a dissemination barrier: `⌈log2 p⌉` rounds; in round `r`, rank
+/// sends to `(rank + 2^r) mod p` and hears from `(rank - 2^r) mod p`.
+pub fn barrier(sched: &mut Vec<SuperStep>, rank: usize, p: usize) {
+    if p < 2 {
+        return;
+    }
+    for round in 0..patterns::log2_ceil(p) {
+        let step = 1usize << round;
+        let to = (rank + step) % p;
+        sched.push(SuperStep {
+            compute: SimDuration::ZERO,
+            sends: vec![(to, 8)],
+            recv_count: 1,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every collective must balance sends and expected receives per step.
+    fn check_balanced(build: impl Fn(usize, usize) -> Vec<SuperStep>, p: usize, what: &str) {
+        let scheds: Vec<_> = (0..p).map(|r| build(r, p)).collect();
+        let steps = scheds.iter().map(|s| s.len()).max().unwrap_or(0);
+        assert!(scheds.iter().all(|s| s.len() == steps), "{what} P={p}: ragged schedules");
+        for s in 0..steps {
+            let sends: u32 = scheds.iter().map(|sc| sc[s].sends.len() as u32).sum();
+            let recvs: u32 = scheds.iter().map(|sc| sc[s].recv_count).sum();
+            assert_eq!(sends, recvs, "{what} P={p} step {s}");
+            // Per-destination balance: what is sent to r equals what r expects
+            // cannot be checked per-step in general (a rank's recv_count is
+            // aggregate), but destinations must at least be valid.
+            for sc in &scheds {
+                for &(d, b) in &sc[s].sends {
+                    assert!(d < p, "{what}: bad destination");
+                    assert!(b > 0, "{what}: zero-byte message");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_balanced_all_sizes() {
+        for p in 1..=17 {
+            check_balanced(
+                |r, p| {
+                    let mut s = vec![];
+                    allreduce(&mut s, r, p);
+                    s
+                },
+                p,
+                "allreduce",
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_balanced_all_roots() {
+        for p in 1..=9 {
+            for root in 0..p {
+                check_balanced(
+                    |r, p| {
+                        let mut s = vec![];
+                        broadcast(&mut s, r, p, root, 20_000, 8192);
+                        s
+                    },
+                    p,
+                    "broadcast",
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        // Track data possession through the rounds.
+        for p in 2..=13 {
+            for root in 0..p {
+                let scheds: Vec<Vec<SuperStep>> = (0..p)
+                    .map(|r| {
+                        let mut s = vec![];
+                        broadcast(&mut s, r, p, root, 8192, 8192);
+                        s
+                    })
+                    .collect();
+                let mut has = vec![false; p];
+                has[root] = true;
+                let steps = scheds[0].len();
+                for s in 0..steps {
+                    let mut now_has = has.clone();
+                    for (r, sc) in scheds.iter().enumerate() {
+                        for &(d, _) in &sc[s].sends {
+                            assert!(has[r], "rank {r} relays data it does not have (P={p})");
+                            now_has[d] = true;
+                        }
+                    }
+                    has = now_has;
+                }
+                assert!(has.iter().all(|&h| h), "broadcast incomplete P={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_balanced() {
+        for p in 2..=9 {
+            check_balanced(
+                |r, p| {
+                    let mut s = vec![];
+                    alltoall(&mut s, r, p, 10_000, 8192);
+                    s
+                },
+                p,
+                "alltoall",
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_balanced() {
+        for p in 2..=17 {
+            check_balanced(
+                |r, p| {
+                    let mut s = vec![];
+                    barrier(&mut s, r, p);
+                    s
+                },
+                p,
+                "barrier",
+            );
+        }
+    }
+
+    #[test]
+    fn chunking() {
+        let mut v = vec![];
+        assert_eq!(chunked(1, 0, 8192, &mut v), 0);
+        assert_eq!(chunked(1, 8192, 8192, &mut v), 1);
+        assert_eq!(chunked(1, 8193, 8192, &mut v), 2);
+        assert_eq!(v.iter().map(|&(_, b)| b as u64).sum::<u64>(), 8192 + 8193);
+    }
+}

@@ -1,0 +1,208 @@
+//! Blocked-LU Linpack skeleton (§6.2).
+//!
+//! The paper's cluster "sustained 10.14 GF on the massively-parallel
+//! Linpack benchmark, making it the first cluster on the Top-500 list".
+//! This module reproduces the *communication structure* of HPL's
+//! right-looking blocked LU on a 2-D block-cyclic q×q process grid
+//! (q = √p): per panel, the owning process column factors it
+//! cooperatively, each column member row-broadcasts its panel slice to
+//! its process row, the pivot process row column-broadcasts the U block,
+//! and every process updates its share of the trailing matrix with
+//! DGEMM-rate compute. The 2-D distribution is what makes the
+//! communication volume independent of p — the reason ScaLAPACK scales.
+//!
+//! Delivered GFLOPS depend on the problem size `n`; the harness reports
+//! the measured value for the simulated `n` and the DGEMM-bound
+//! asymptote for comparison with the paper's entry.
+
+use crate::bsp::{launch_job, BspApp, BspRunner, SuperStep};
+use crate::collectives;
+use vnet_core::prelude::*;
+use vnet_core::{Cluster, ClusterConfig};
+
+/// Linpack run parameters.
+#[derive(Clone, Debug)]
+pub struct LinpackConfig {
+    /// Matrix dimension.
+    pub n: u64,
+    /// Panel (block) width.
+    pub nb: u64,
+    /// Processes.
+    pub p: usize,
+    /// Per-node DGEMM rate, MFLOPS (UltraSPARC-1: ~250 of a 333 peak).
+    pub dgemm_mflops: f64,
+    /// Per-node panel-factorization rate, MFLOPS (latency-bound, lower).
+    pub panel_mflops: f64,
+}
+
+impl LinpackConfig {
+    /// A cluster-scale configuration sized to keep the simulation light
+    /// while preserving the panel/broadcast/update structure.
+    pub fn cluster(p: usize) -> Self {
+        LinpackConfig { n: 8192, nb: 256, p, dgemm_mflops: 250.0, panel_mflops: 90.0 }
+    }
+}
+
+/// One rank's schedule for the blocked LU.
+pub struct LinpackApp {
+    schedule: Vec<SuperStep>,
+}
+
+impl LinpackApp {
+    /// Build the schedule for `rank`.
+    pub fn new(cfg: &LinpackConfig, rank: usize) -> Self {
+        LinpackApp { schedule: build_schedule(cfg, rank) }
+    }
+}
+
+impl BspApp for LinpackApp {
+    fn step(&mut self, _rank: usize, _n: usize, step: u64) -> Option<SuperStep> {
+        self.schedule.get(step as usize).cloned()
+    }
+}
+
+
+
+fn build_schedule(cfg: &LinpackConfig, rank: usize) -> Vec<SuperStep> {
+    let p = cfg.p;
+    let q = (p as f64).sqrt() as usize;
+    assert_eq!(q * q, p, "the 2-D grid needs a perfect-square process count");
+    let (my_row, my_col) = (rank / q, rank % q);
+    let panels = cfg.n / cfg.nb;
+    let mut sched = Vec::new();
+    let grid = |r: usize, c: usize| r * q + c;
+    for k in 0..panels {
+        let owner_col = (k as usize) % q;
+        let pivot_row = (k as usize) % q;
+        let rows = cfg.n - k * cfg.nb; // trailing dimension
+        // 1. Cooperative panel factorization within the owning process
+        //    column: each member factors its rows/q share.
+        let pf_flops = rows as f64 / q as f64 * (cfg.nb * cfg.nb) as f64;
+        sched.push(SuperStep {
+            compute: if my_col == owner_col {
+                SimDuration::from_micros_f64(pf_flops / cfg.panel_mflops)
+            } else {
+                SimDuration::ZERO
+            },
+            sends: vec![],
+            recv_count: 0,
+        });
+        // 2. Row broadcast of L panel slices: each (i, owner_col) sends its
+        //    (rows/q x nb) slice to the rest of its process row.
+        let slice_bytes = (rows / q as u64).max(1) * cfg.nb * 8;
+        let slice_msgs = slice_bytes.div_ceil(8192) as u32;
+        {
+            let mut sends = Vec::new();
+            let mut recv = 0;
+            if my_col == owner_col {
+                for c in 0..q {
+                    if c != owner_col {
+                        collectives::chunked(grid(my_row, c), slice_bytes, 8192, &mut sends);
+                    }
+                }
+            } else {
+                recv = slice_msgs;
+            }
+            sched.push(SuperStep { compute: SimDuration::ZERO, sends, recv_count: recv });
+        }
+        // 3. Column broadcast of U block slices: each (pivot_row, j) sends
+        //    its (nb x cols/q) slice down its process column.
+        {
+            let mut sends = Vec::new();
+            let mut recv = 0;
+            if my_row == pivot_row {
+                for r in 0..q {
+                    if r != pivot_row {
+                        collectives::chunked(grid(r, my_col), slice_bytes, 8192, &mut sends);
+                    }
+                }
+            } else {
+                recv = slice_msgs;
+            }
+            sched.push(SuperStep { compute: SimDuration::ZERO, sends, recv_count: recv });
+        }
+        // 4. Trailing update: 2 * nb * rows^2 flops spread over the grid.
+        let upd_flops = 2.0 * cfg.nb as f64 * (rows as f64) * (rows as f64) / p as f64;
+        sched.push(SuperStep {
+            compute: SimDuration::from_micros_f64(upd_flops / cfg.dgemm_mflops),
+            sends: vec![],
+            recv_count: 0,
+        });
+    }
+    sched
+}
+
+/// Result of a Linpack run.
+#[derive(Clone, Debug)]
+pub struct LinpackResult {
+    /// Measured wall time, seconds.
+    pub seconds: f64,
+    /// Delivered GFLOPS = (2/3 n³ + 2n²) / time.
+    pub gflops: f64,
+    /// DGEMM-bound asymptote for this node count, GFLOPS.
+    pub peak_gflops: f64,
+    /// Parallel efficiency vs the asymptote.
+    pub efficiency: f64,
+}
+
+/// Run the Linpack skeleton over the simulated cluster.
+pub fn run_linpack(cfg: &LinpackConfig, seed: u64) -> LinpackResult {
+    let mut c = Cluster::new(ClusterConfig::now(cfg.p as u32).with_seed(seed));
+    let hosts: Vec<HostId> = (0..cfg.p as u32).map(HostId).collect();
+    let ranks = launch_job(&mut c, &hosts, |r| LinpackApp::new(cfg, r));
+    c.run_for(SimDuration::from_secs(100_000));
+    let mut finish = SimTime::ZERO;
+    for &(h, t, _) in &ranks {
+        let st = &c.body::<BspRunner<LinpackApp>>(h, t).expect("runner").stats;
+        finish = finish.max(st.finished.expect("linpack rank finished"));
+    }
+    let seconds = finish.as_secs_f64();
+    let n = cfg.n as f64;
+    let flops = 2.0 / 3.0 * n * n * n + 2.0 * n * n;
+    let gflops = flops / seconds / 1e9;
+    let peak = cfg.p as f64 * cfg.dgemm_mflops / 1e3;
+    LinpackResult { seconds, gflops, peak_gflops: peak, efficiency: gflops / peak }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_schedule_is_consistent() {
+        for p in [4usize, 9, 16] {
+            let cfg =
+                LinpackConfig { n: 2048, nb: 256, p, dgemm_mflops: 250.0, panel_mflops: 90.0 };
+            let scheds: Vec<_> = (0..cfg.p).map(|r| build_schedule(&cfg, r)).collect();
+            let steps = scheds[0].len();
+            assert!(scheds.iter().all(|s| s.len() == steps));
+            for s in 0..steps {
+                let sends: u32 = scheds.iter().map(|sc| sc[s].sends.len() as u32).sum();
+                let recvs: u32 = scheds.iter().map(|sc| sc[s].recv_count).sum();
+                assert_eq!(sends, recvs, "P={p} step {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-square")]
+    fn non_square_grid_rejected() {
+        let cfg = LinpackConfig { n: 1024, nb: 256, p: 6, dgemm_mflops: 250.0, panel_mflops: 90.0 };
+        let _ = build_schedule(&cfg, 0);
+    }
+
+    #[test]
+    fn four_node_linpack_efficiency() {
+        let r = run_linpack(&LinpackConfig { n: 4096, nb: 256, p: 4, ..LinpackConfig::cluster(4) }, 1);
+        assert!(r.gflops > 0.3, "gflops {}", r.gflops);
+        assert!(r.efficiency > 0.4 && r.efficiency <= 1.0, "eff {}", r.efficiency);
+    }
+
+    #[test]
+    fn more_nodes_more_gflops() {
+        let r4 = run_linpack(&LinpackConfig { n: 4096, nb: 256, p: 4, ..LinpackConfig::cluster(4) }, 1);
+        let r16 =
+            run_linpack(&LinpackConfig { n: 4096, nb: 256, p: 16, ..LinpackConfig::cluster(16) }, 1);
+        assert!(r16.gflops > r4.gflops * 1.8, "{} vs {}", r16.gflops, r4.gflops);
+    }
+}

@@ -1,0 +1,127 @@
+//! Resource-scaling comparison with the Virtual Interface Architecture
+//! (§7: "A parallel program on n nodes requires n² total VI's for complete
+//! connectivity, rather than a single endpoint. Resource provisioning is
+//! also done on a connection basis rather than pooling resources across a
+//! set.").
+//!
+//! The model follows the VIA 1.0 specification's conservative memory
+//! management: every VI is a connection with its own send/receive work
+//! queues whose descriptors and buffers must be *registered and pinned*
+//! before communicating, and the NI caches VI state in on-board memory
+//! with no paging story. Virtual networks pool all of that per endpoint
+//! and page endpoint frames on demand.
+
+/// Per-connection constants, from the VIA reference model and the paper's
+/// NOW hardware.
+#[derive(Clone, Debug)]
+pub struct ViaModel {
+    /// Descriptors per work queue (send and receive each).
+    pub queue_depth: u32,
+    /// Bytes per descriptor (VIA: 64-byte aligned descriptors).
+    pub descriptor_bytes: u32,
+    /// Pre-posted receive buffer bytes per descriptor (small-message class).
+    pub buffer_bytes: u32,
+    /// NI on-board state per VI (queue pointers, sequence state, doorbell).
+    pub ni_state_bytes: u32,
+    /// NI on-board memory available for connection state.
+    pub ni_memory_bytes: u64,
+}
+
+impl Default for ViaModel {
+    fn default() -> Self {
+        ViaModel {
+            queue_depth: 32,
+            descriptor_bytes: 64,
+            buffer_bytes: 256,
+            ni_state_bytes: 512,
+            ni_memory_bytes: 1 << 20, // the LANai's 1 MB
+        }
+    }
+}
+
+/// Resource demand of one fully-connected parallel job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceDemand {
+    /// Communication objects across the whole job (VIs or endpoints).
+    pub objects_total: u64,
+    /// Communication objects per process.
+    pub objects_per_process: u64,
+    /// Pinned host memory per process, bytes.
+    pub pinned_per_process: u64,
+    /// NI memory demanded per node, bytes.
+    pub ni_memory_per_node: u64,
+    /// Whether the demand fits the NI without overcommit handling.
+    pub fits_ni: bool,
+}
+
+impl ViaModel {
+    /// Demand for an `n`-process job with full connectivity under VIA
+    /// (one connection per peer pair endpoint).
+    pub fn via_demand(&self, n: u64) -> ResourceDemand {
+        let per_proc = n.saturating_sub(1);
+        let per_vi_pinned = 2 * self.queue_depth as u64 * self.descriptor_bytes as u64
+            + self.queue_depth as u64 * self.buffer_bytes as u64;
+        let ni = per_proc * self.ni_state_bytes as u64;
+        ResourceDemand {
+            objects_total: n * per_proc,
+            objects_per_process: per_proc,
+            pinned_per_process: per_proc * per_vi_pinned,
+            ni_memory_per_node: ni,
+            fits_ni: ni <= self.ni_memory_bytes,
+        }
+    }
+
+    /// Demand under virtual networks: one endpoint per process, resources
+    /// pooled; the NI needs one 8 KB frame *when the endpoint is resident*
+    /// and pages on demand otherwise.
+    pub fn vn_demand(&self, n: u64, frame_bytes: u64) -> ResourceDemand {
+        ResourceDemand {
+            objects_total: n,
+            objects_per_process: 1,
+            pinned_per_process: frame_bytes, // the endpoint page itself
+            ni_memory_per_node: frame_bytes, // one frame while resident
+            fits_ni: true,                   // paging handles any overcommit
+        }
+    }
+
+    /// Largest fully-connected job whose per-node VI state still fits the
+    /// NI memory without overcommit.
+    pub fn via_max_job(&self) -> u64 {
+        self.ni_memory_bytes / self.ni_state_bytes as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn via_scales_quadratically_vn_linearly() {
+        let m = ViaModel::default();
+        let v10 = m.via_demand(10);
+        let v100 = m.via_demand(100);
+        assert_eq!(v10.objects_total, 90);
+        assert_eq!(v100.objects_total, 9_900, "n^2 scaling");
+        let e100 = m.vn_demand(100, 8192);
+        assert_eq!(e100.objects_total, 100, "linear scaling");
+        assert_eq!(e100.objects_per_process, 1);
+    }
+
+    #[test]
+    fn via_pinning_grows_with_job() {
+        let m = ViaModel::default();
+        let d = m.via_demand(100);
+        // 99 VIs x (2*32*64 + 32*256) = 99 x 12288 bytes.
+        assert_eq!(d.pinned_per_process, 99 * 12_288);
+        assert!(d.pinned_per_process > m.vn_demand(100, 8192).pinned_per_process * 100);
+    }
+
+    #[test]
+    fn via_hits_the_ni_wall() {
+        let m = ViaModel::default();
+        assert!(m.via_demand(100).fits_ni);
+        let wall = m.via_max_job();
+        assert!(!m.via_demand(wall * 2).fits_ni, "beyond the wall must not fit");
+        assert!(m.vn_demand(wall * 2, 8192).fits_ni, "VN pages instead of failing");
+    }
+}

@@ -1,0 +1,66 @@
+//! Ablation — the §8 transport extensions the paper leaves as future work:
+//! adaptive retransmission scheduling from reflected-timestamp RTT
+//! estimates, and coalesced ("piggybacked") acknowledgments.
+//!
+//! "Additional processing power … would also enable more sophisticated
+//! algorithms, e.g., round-trip times estimation for scheduling
+//! retransmissions, or piggybacking acknowledgments to reduce network
+//! occupancy."
+//!
+//! Measured on the bulk incast that stresses both: N clients streaming
+//! 8 KB requests at one server (the receiver's single SBUS engine makes
+//! congested ack latency far exceed a fixed timeout).
+
+use vnet_apps::clientserver::{run_client_server, CsConfig, CsMode};
+use vnet_bench::{default_par, f1, par_run, quick_mode, Table};
+use vnet_sim::SimDuration;
+
+#[derive(Clone, Copy)]
+struct Variant {
+    name: &'static str,
+    adaptive_rto: bool,
+    ack_coalesce: bool,
+}
+
+fn run(v: Variant, clients: u32, bytes: u32, measure: SimDuration) -> (f64, u64, u64) {
+    let mut cs =
+        if bytes == 0 { CsConfig::small(clients, CsMode::Mt, 96) } else { CsConfig::bulk(clients, CsMode::Mt, 96) };
+    cs.measure = measure;
+    cs.adaptive_rto = v.adaptive_rto;
+    cs.ack_coalesce = v.ack_coalesce;
+    let r = run_client_server(&cs);
+    (
+        if bytes == 0 { r.aggregate } else { r.aggregate_mb_s },
+        r.retransmits,
+        r.wire_frames,
+    )
+}
+
+fn main() {
+    let quick = quick_mode();
+    let clients = 8;
+    let measure = if quick { SimDuration::from_secs(1) } else { SimDuration::from_secs(3) };
+    let variants = [
+        Variant { name: "baseline (paper firmware)", adaptive_rto: false, ack_coalesce: false },
+        Variant { name: "+adaptive RTO", adaptive_rto: true, ack_coalesce: false },
+        Variant { name: "+ack coalescing", adaptive_rto: false, ack_coalesce: true },
+        Variant { name: "+both", adaptive_rto: true, ack_coalesce: true },
+    ];
+
+    for (bytes, label, unit) in [(8192u32, "8KB bulk incast", "MB/s"), (0u32, "small messages", "msgs/s")] {
+        #[allow(clippy::type_complexity)]
+        let jobs: Vec<vnet_bench::Job<(&'static str, (f64, u64, u64))>> = variants
+            .iter()
+            .map(|&v| Box::new(move || (v.name, run(v, clients, bytes, measure))) as _)
+            .collect();
+        let results = par_run(jobs, default_par());
+        let mut t = Table::new(
+            &format!("Ablation (section 8 extensions): {label}, {clients} clients"),
+            &["firmware", &format!("aggregate ({unit})"), "retransmissions", "wire frames"],
+        );
+        for (name, (agg, retx, frames)) in &results {
+            t.row(vec![(*name).into(), f1(*agg), retx.to_string(), frames.to_string()]);
+        }
+        t.emit(&format!("abl_transport_{}", if bytes == 0 { "small" } else { "bulk" }));
+    }
+}

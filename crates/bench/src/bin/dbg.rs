@@ -1,0 +1,24 @@
+use vnet_apps::bsp::{launch_job, BspRunner};
+use vnet_apps::npb::{Kernel, NpbApp};
+use vnet_core::prelude::*;
+use vnet_core::{Cluster, ClusterConfig};
+fn main() {
+    let p = 16usize;
+    let mut c = Cluster::new(ClusterConfig::now(p as u32).with_seed(58));
+    let hosts: Vec<HostId> = (0..p as u32).map(HostId).collect();
+    let ranks = launch_job(&mut c, &hosts, |r| NpbApp::new(Kernel::Ft, r, p));
+    c.run_for(SimDuration::from_secs(60));
+    for (i, &(h, t, ep)) in ranks.iter().enumerate() {
+        let r = c.body::<BspRunner<NpbApp>>(h, t).unwrap();
+        let st = &r.stats;
+        let (step, sp, stot, got) = r.progress();
+        let out = c.world().user[i].get(&ep.ep).map(|u| u.outstanding_total());
+        println!(
+            "r{i}: steps={} sent={} fin={:?} prog=({step},{sp}/{stot},recv{got}) pend_rep={} outst={:?} runnable={} err={:?}",
+            st.steps, st.msgs_sent, st.finished.map(|f| f.as_secs_f64()), r.pending_reply_count(), out,
+            c.sched(h).has_runnable(), r.last_send_err
+        );
+    }
+    println!("h0 nic: {}", c.nic(HostId(0)).diagnostic_summary(c.now()));
+    println!("h1 nic: {}", c.nic(HostId(1)).diagnostic_summary(c.now()));
+}

@@ -1,0 +1,56 @@
+//! Figure 3 — LogP performance characterization.
+//!
+//! Reproduces the bar chart of §6.1: o_s, o_r, L, and g for virtual-network
+//! Active Messages (AM) vs the first-generation single-endpoint interface
+//! (GAM), plus the derived ratios the text quotes: round-trip +23%, gap
+//! ×2.21, total per-packet overhead unchanged.
+
+use vnet_apps::logp::run_logp;
+use vnet_bench::{f2, Table};
+use vnet_core::ClusterConfig;
+
+fn main() {
+    let vn = run_logp(ClusterConfig::now(2));
+    let gam = run_logp(ClusterConfig::gam(2));
+
+    let mut t = Table::new(
+        "Figure 3: LogP parameters, 16-byte messages (microseconds)",
+        &["system", "Os", "Or", "L", "g", "RTT"],
+    );
+    t.row(vec![
+        "AM (virtual networks)".into(),
+        f2(vn.os_us),
+        f2(vn.or_us),
+        f2(vn.l_us),
+        f2(vn.g_us),
+        f2(vn.rtt_us),
+    ]);
+    t.row(vec![
+        "GAM (single endpoint)".into(),
+        f2(gam.os_us),
+        f2(gam.or_us),
+        f2(gam.l_us),
+        f2(gam.g_us),
+        f2(gam.rtt_us),
+    ]);
+    t.emit("fig3_logp");
+
+    let mut r = Table::new(
+        "Figure 3 (derived): virtualization impact (paper: RTT +23%, gap x2.21, overhead equal)",
+        &["metric", "AM", "GAM", "ratio"],
+    );
+    r.row(vec![
+        "round trip (us)".into(),
+        f2(vn.rtt_us),
+        f2(gam.rtt_us),
+        f2(vn.rtt_us / gam.rtt_us),
+    ]);
+    r.row(vec!["gap (us)".into(), f2(vn.g_us), f2(gam.g_us), f2(vn.g_us / gam.g_us)]);
+    r.row(vec![
+        "Os + Or (us)".into(),
+        f2(vn.os_us + vn.or_us),
+        f2(gam.os_us + gam.or_us),
+        f2((vn.os_us + vn.or_us) / (gam.os_us + gam.or_us)),
+    ]);
+    r.emit("fig3_ratios");
+}

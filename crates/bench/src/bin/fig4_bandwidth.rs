@@ -1,0 +1,46 @@
+//! Figure 4 — transfer bandwidths, 128 B – 8 KB messages.
+//!
+//! Reproduces the delivered-bandwidth curves for virtual-network Active
+//! Messages and the GAM baseline, the SBUS DMA hardware ceilings shown in
+//! the figure, the N½ half-power point (paper: 540 B), and the §6.1
+//! round-trip fit RTT(n) = 0.1112·n + 61.02 µs (R² = 0.99).
+
+use vnet_apps::bandwidth::run_bandwidth;
+use vnet_bench::{f1, f2, par_run, Table};
+use vnet_core::ClusterConfig;
+
+fn main() {
+    let jobs: Vec<vnet_bench::Job<_>> = vec![
+        Box::new(|| run_bandwidth(&ClusterConfig::now(2))),
+        Box::new(|| run_bandwidth(&ClusterConfig::gam(2))),
+    ];
+    let mut out = par_run(jobs, 2).into_iter();
+    let vn = out.next().unwrap();
+    let gam = out.next().unwrap();
+
+    let mut t = Table::new(
+        "Figure 4: delivered bandwidth vs message size (MB/s; SBUS write DMA limit = 46.8)",
+        &["bytes", "AM MB/s", "GAM MB/s", "sbus write dma", "sbus read dma"],
+    );
+    for (p, q) in vn.points.iter().zip(&gam.points) {
+        assert_eq!(p.bytes, q.bytes);
+        t.row(vec![
+            p.bytes.to_string(),
+            f1(p.mb_s),
+            f1(q.mb_s),
+            "46.8".into(),
+            "62.0".into(),
+        ]);
+    }
+    t.emit("fig4_bandwidth");
+
+    let mut s = Table::new(
+        "Figure 4 (derived): half-power point and RTT fit (paper: N1/2=540B; RTT=0.1112n+61.02, R2=0.99)",
+        &["system", "N1/2 (bytes)", "slope (us/B)", "intercept (us)", "R2"],
+    );
+    let (m, b, r2) = vn.rtt_fit;
+    s.row(vec!["AM".into(), f1(vn.n_half), format!("{m:.4}"), f2(b), format!("{r2:.4}")]);
+    let (m, b, r2) = gam.rtt_fit;
+    s.row(vec!["GAM".into(), f1(gam.n_half), format!("{m:.4}"), f2(b), format!("{r2:.4}")]);
+    s.emit("fig4_fit");
+}

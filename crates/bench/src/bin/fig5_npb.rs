@@ -1,0 +1,94 @@
+//! Figure 5 — NAS Parallel Benchmark (Class A) speedups through 36
+//! processors on the simulated NOW, with analytic IBM SP-2 and SGI Origin
+//! 2000 comparison curves.
+//!
+//! Paper: "All but two of the benchmarks demonstrate linear speed-ups
+//! through 32 processors … The all-to-all communication within the FT and
+//! IS benchmarks was limited by the bisection bandwidth."
+
+use vnet_apps::npb::{speedup_series, Kernel, MachineModel};
+use vnet_bench::{default_par, f2, par_run, quick_mode, Table};
+
+fn main() {
+    let quick = quick_mode();
+    let procs: Vec<usize> =
+        if quick { vec![2, 4, 8] } else { vec![2, 4, 8, 16, 25, 32, 36] };
+    let kernels: Vec<Kernel> =
+        if quick { vec![Kernel::Mg, Kernel::Ft, Kernel::Ep] } else { Kernel::ALL.to_vec() };
+
+    // NOW curves over the full simulated stack, one job per kernel.
+    #[allow(clippy::type_complexity)]
+    let now_jobs: Vec<vnet_bench::Job<(Kernel, Vec<(usize, f64)>)>> = kernels
+        .iter()
+        .map(|&k| {
+            let procs = procs.clone();
+            Box::new(move || (k, speedup_series(k, &procs, None, 42))) as _
+        })
+        .collect();
+    let now_series = par_run(now_jobs, default_par());
+
+    let sp2 = MachineModel::sp2();
+    let origin = MachineModel::origin2000();
+
+    for (k, series) in &now_series {
+        let mut t = Table::new(
+            &format!("Figure 5 ({}): speedup vs processors (Class A, constant problem size)", k.name()),
+            &["procs", "NOW (simulated)", "SP-2 (model)", "Origin 2000 (model)", "ideal"],
+        );
+        let sp2_s = speedup_series(*k, &procs, Some(&sp2), 0);
+        let ori_s = speedup_series(*k, &procs, Some(&origin), 0);
+        for (i, &(p, s_now)) in series.iter().enumerate() {
+            t.row(vec![
+                p.to_string(),
+                f2(s_now),
+                f2(sp2_s[i].1),
+                f2(ori_s[i].1),
+                p.to_string(),
+            ]);
+        }
+        t.emit(&format!("fig5_{}", k.name().to_lowercase()));
+    }
+
+    // Execution-time comparison (paper: "the execution times of all
+    // benchmarks on our cluster are at most a factor of two larger" than
+    // the Origin 2000, whose CPUs are ~2x faster).
+    let mut times = Table::new(
+        &format!("Figure 5 (derived): execution time ratio NOW / Origin 2000 at P={}", procs.last().unwrap()),
+        &["kernel", "NOW (s, simulated)", "Origin (s, model)", "ratio"],
+    );
+    let top_p = *procs.last().unwrap();
+    for (k, series) in &now_series {
+        // Recover absolute times from the speedup series: T(p) = T1 / S(p).
+        let t1_now = vnet_apps::npb::run_now(*k, 1, 42);
+        let t_now = t1_now / series.last().unwrap().1 / 1e6;
+        let t_origin = vnet_apps::npb::run_analytic(*k, top_p, &origin) / 1e6;
+        times.row(vec![
+            k.name().into(),
+            f2(t_now),
+            f2(t_origin),
+            f2(t_now / t_origin),
+        ]);
+    }
+    times.emit("fig5_times");
+
+    // Summary: who is linear at the top proc count.
+    let top = *procs.last().unwrap();
+    let mut s = Table::new(
+        &format!("Figure 5 summary: parallel efficiency at P={top}"),
+        &["kernel", "NOW eff", "SP-2 eff", "Origin eff", "bisection-bound?"],
+    );
+    for (k, series) in &now_series {
+        let e_now = series.last().unwrap().1 / top as f64;
+        let e_sp2 = speedup_series(*k, &[top], Some(&sp2), 0)[0].1 / top as f64;
+        let e_ori = speedup_series(*k, &[top], Some(&origin), 0)[0].1 / top as f64;
+        let bisection = matches!(k, Kernel::Ft | Kernel::Is);
+        s.row(vec![
+            k.name().into(),
+            f2(e_now),
+            f2(e_sp2),
+            f2(e_ori),
+            if bisection { "yes (all-to-all)".into() } else { "no".into() },
+        ]);
+    }
+    s.emit("fig5_summary");
+}

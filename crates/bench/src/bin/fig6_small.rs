@@ -1,0 +1,86 @@
+//! Figure 6 — small-message throughput under contention.
+//!
+//! One server, 1–N clients on dedicated nodes, five configurations:
+//! OneVN, ST×{8,96 frames}, MT×{8,96 frames}. Reproduces (a) per-client
+//! and (b) aggregate server throughput, plus the §6.4.1 diagnostics:
+//! remap rate (paper: 200–300/s sustained, 50–75% of peak delivered),
+//! receive-queue-overrun NACKs (the 75K→60K drop from 2→3 clients on
+//! OneVN), and the strongly bimodal client round-trip times.
+
+use vnet_apps::clientserver::{run_client_server, CsConfig, CsMode, CsResult};
+use vnet_bench::{default_par, f1, par_run, quick_mode, Table};
+use vnet_sim::SimDuration;
+
+fn configs() -> Vec<(&'static str, CsMode, u32)> {
+    vec![
+        ("OneVN", CsMode::OneVn, 8),
+        ("ST-8", CsMode::St, 8),
+        ("ST-96", CsMode::St, 96),
+        ("MT-8", CsMode::Mt, 8),
+        ("MT-96", CsMode::Mt, 96),
+    ]
+}
+
+fn main() {
+    let quick = quick_mode();
+    let clients: Vec<u32> =
+        if quick { vec![1, 2, 4, 10] } else { vec![1, 2, 3, 4, 6, 8, 10, 12, 16] };
+    let measure = if quick { SimDuration::from_secs(1) } else { SimDuration::from_secs(2) };
+
+    let mut jobs: Vec<vnet_bench::Job<(usize, u32, CsResult)>> = Vec::new();
+    for (ci, &(_, mode, frames)) in configs().iter().enumerate() {
+        for &n in &clients {
+            jobs.push(Box::new(move || {
+                let mut cs = CsConfig::small(n, mode, frames);
+                cs.measure = measure;
+                (ci, n, run_client_server(&cs))
+            }));
+        }
+    }
+    let results = par_run(jobs, default_par());
+
+    let names: Vec<&str> = configs().iter().map(|c| c.0).collect();
+    let mut agg = Table::new(
+        "Figure 6b: aggregate server throughput, small messages (msgs/s)",
+        &["clients", names[0], names[1], names[2], names[3], names[4]],
+    );
+    let mut per = Table::new(
+        "Figure 6a: per-client throughput, small messages (msgs/s, min..max)",
+        &["clients", names[0], names[1], names[2], names[3], names[4]],
+    );
+    let mut diag = Table::new(
+        "Figure 6 diagnostics (section 6.4.1)",
+        &["config", "clients", "remaps/s", "NACK not-resident", "NACK queue-full", "rtt p50 us", "rtt p99 us"],
+    );
+    for &n in &clients {
+        let mut agg_row = vec![n.to_string()];
+        let mut per_row = vec![n.to_string()];
+        #[allow(clippy::needless_range_loop)]
+        for ci in 0..configs().len() {
+            let r = results
+                .iter()
+                .find(|(c, cn, _)| *c == ci && *cn == n)
+                .map(|(_, _, r)| r)
+                .expect("job ran");
+            agg_row.push(f1(r.aggregate));
+            let max = r.per_client.iter().cloned().fold(0.0, f64::max);
+            let min = r.per_client.iter().cloned().fold(f64::INFINITY, f64::min);
+            per_row.push(format!("{}..{}", f1(min), f1(max)));
+            let mut rtt = r.rtt_us.clone();
+            diag.row(vec![
+                names[ci].into(),
+                n.to_string(),
+                f1(r.remaps_per_sec),
+                r.nacks_not_resident.to_string(),
+                r.nacks_queue_full.to_string(),
+                f1(rtt.quantile(0.5)),
+                f1(rtt.quantile(0.99)),
+            ]);
+        }
+        agg.row(agg_row);
+        per.row(per_row);
+    }
+    agg.emit("fig6_aggregate");
+    per.emit("fig6_per_client");
+    diag.emit("fig6_diagnostics");
+}

@@ -1,0 +1,84 @@
+//! Figure 7 — bulk-transfer (8 KB) throughput under contention.
+//!
+//! Same harness as Figure 6 with 8 KB requests. Paper shape: OneVN caps at
+//! ~42.8 MB/s aggregate; ST-8/MT-8 degrade once the 9th client forces
+//! endpoint remapping (the remap DMA competes with data staging on the
+//! single SBUS engine); ST-96/MT-96 surpass OneVN because one-to-one
+//! "connections" avoid the shared receive queue's overruns.
+
+use vnet_apps::clientserver::{run_client_server, CsConfig, CsMode, CsResult};
+use vnet_bench::{default_par, f1, f2, par_run, quick_mode, Table};
+use vnet_sim::SimDuration;
+
+fn configs() -> Vec<(&'static str, CsMode, u32)> {
+    vec![
+        ("OneVN", CsMode::OneVn, 8),
+        ("ST-8", CsMode::St, 8),
+        ("ST-96", CsMode::St, 96),
+        ("MT-8", CsMode::Mt, 8),
+        ("MT-96", CsMode::Mt, 96),
+    ]
+}
+
+fn main() {
+    let quick = quick_mode();
+    let clients: Vec<u32> =
+        if quick { vec![1, 4, 10] } else { vec![1, 2, 3, 4, 6, 8, 10, 12, 16] };
+    let measure = if quick { SimDuration::from_secs(1) } else { SimDuration::from_secs(2) };
+
+    let mut jobs: Vec<vnet_bench::Job<(usize, u32, CsResult)>> = Vec::new();
+    for (ci, &(_, mode, frames)) in configs().iter().enumerate() {
+        for &n in &clients {
+            jobs.push(Box::new(move || {
+                let mut cs = CsConfig::bulk(n, mode, frames);
+                cs.measure = measure;
+                (ci, n, run_client_server(&cs))
+            }));
+        }
+    }
+    let results = par_run(jobs, default_par());
+
+    let names: Vec<&str> = configs().iter().map(|c| c.0).collect();
+    let mut agg = Table::new(
+        "Figure 7b: aggregate server throughput, 8KB messages (MB/s; paper OneVN ~42.8)",
+        &["clients", names[0], names[1], names[2], names[3], names[4]],
+    );
+    let mut per = Table::new(
+        "Figure 7a: per-client throughput, 8KB messages (MB/s, min..max)",
+        &["clients", names[0], names[1], names[2], names[3], names[4]],
+    );
+    let mut diag = Table::new(
+        "Figure 7 diagnostics",
+        &["config", "clients", "remaps/s", "NACK not-resident", "NACK queue-full"],
+    );
+    for &n in &clients {
+        let mut agg_row = vec![n.to_string()];
+        let mut per_row = vec![n.to_string()];
+        #[allow(clippy::needless_range_loop)]
+        for ci in 0..configs().len() {
+            let r = results
+                .iter()
+                .find(|(c, cn, _)| *c == ci && *cn == n)
+                .map(|(_, _, r)| r)
+                .expect("job ran");
+            agg_row.push(f1(r.aggregate_mb_s));
+            let max =
+                r.per_client.iter().cloned().fold(0.0, f64::max) * 8192.0 / 1e6;
+            let min = r.per_client.iter().cloned().fold(f64::INFINITY, f64::min) * 8192.0
+                / 1e6;
+            per_row.push(format!("{}..{}", f2(min), f2(max)));
+            diag.row(vec![
+                names[ci].into(),
+                n.to_string(),
+                f1(r.remaps_per_sec),
+                r.nacks_not_resident.to_string(),
+                r.nacks_queue_full.to_string(),
+            ]);
+        }
+        agg.row(agg_row);
+        per.row(per_row);
+    }
+    agg.emit("fig7_aggregate");
+    per.emit("fig7_per_client");
+    diag.emit("fig7_diagnostics");
+}

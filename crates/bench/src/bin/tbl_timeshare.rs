@@ -1,0 +1,72 @@
+//! §6.3 — multiple time-shared parallel applications.
+//!
+//! Paper: "the execution time of multiple, time-shared Split-C
+//! applications … on 16-nodes is within 15% of the time to run them in
+//! sequence. The time spent in communication remains nearly constant …
+//! In the presence of application load imbalance, time-sharing improved
+//! the throughput of some workloads up to 20%."
+
+use vnet_apps::timeshare::{run_timeshare, SyntheticApp, TimeshareResult};
+use vnet_bench::{default_par, f3, par_run, quick_mode, Table};
+use vnet_core::prelude::SimDuration;
+
+fn main() {
+    let quick = quick_mode();
+    let nodes = if quick { 4 } else { 16 };
+    let steps = if quick { 40 } else { 100 };
+
+    struct Case {
+        name: &'static str,
+        napps: usize,
+        compute_us: u64,
+        bytes: u32,
+        imbalance: f64,
+    }
+    let cases = vec![
+        Case { name: "2 apps, balanced, comm-light", napps: 2, compute_us: 2_000, bytes: 256, imbalance: 0.0 },
+        Case { name: "2 apps, balanced, comm-heavy", napps: 2, compute_us: 400, bytes: 2048, imbalance: 0.0 },
+        Case { name: "3 apps, balanced", napps: 3, compute_us: 1_000, bytes: 512, imbalance: 0.0 },
+        Case { name: "2 apps, imbalanced (rotating)", napps: 2, compute_us: 2_000, bytes: 256, imbalance: 0.8 },
+    ];
+
+    let jobs: Vec<vnet_bench::Job<(String, TimeshareResult)>> = cases
+        .into_iter()
+        .map(|c| {
+            Box::new(move || {
+                let r = run_timeshare(
+                    nodes,
+                    c.napps,
+                    |_| SyntheticApp {
+                        steps,
+                        compute: SimDuration::from_micros(c.compute_us),
+                        bytes: c.bytes,
+                        imbalance: c.imbalance,
+                    },
+                    17,
+                );
+                (c.name.to_string(), r)
+            }) as _
+        })
+        .collect();
+    let results = par_run(jobs, default_par());
+
+    let mut t = Table::new(
+        &format!("Section 6.3: time-shared parallel apps on {nodes} nodes (paper: within 15% of sequence)"),
+        &["workload", "sequential (s)", "concurrent (s)", "slowdown", "comm solo (s)", "comm shared (s)"],
+    );
+    for (name, r) in &results {
+        let solo: f64 = r.solo_comm.iter().map(|d| d.as_secs_f64()).sum::<f64>()
+            / r.solo_comm.len() as f64;
+        let shared: f64 = r.shared_comm.iter().map(|d| d.as_secs_f64()).sum::<f64>()
+            / r.shared_comm.len() as f64;
+        t.row(vec![
+            name.clone(),
+            f3(r.sequential.as_secs_f64()),
+            f3(r.concurrent.as_secs_f64()),
+            f3(r.slowdown()),
+            f3(solo),
+            f3(shared),
+        ]);
+    }
+    t.emit("tbl_timeshare");
+}

@@ -1,0 +1,462 @@
+//! The `Cluster` facade: build a simulated cluster, create endpoints and
+//! virtual networks, spawn application threads, and run.
+
+use crate::config::ClusterConfig;
+use crate::names::NameService;
+use crate::sys::ThreadBody;
+use crate::world::{Event, World};
+use vnet_net::HostId;
+use vnet_nic::{EpId, GlobalEp, Nic, NicOut};
+use vnet_os::{OsOut, Scheduler, SegmentDriver, Tid};
+use vnet_sim::{Engine, SimDuration, SimTime};
+
+/// A complete simulated cluster: engine + composed world.
+pub struct Cluster {
+    engine: Engine<World>,
+    world: World,
+    names: NameService,
+}
+
+impl Cluster {
+    /// Build a cluster from configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Cluster { engine: Engine::new(), world: World::new(cfg), names: NameService::new() }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.world.hosts()
+    }
+
+    /// The composed world (full component access for instrumentation).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable world access (fault injection, pageout control).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Enable the residency/scheduling debug trace; dump with
+    /// [`Cluster::trace_text`].
+    pub fn enable_trace(&mut self) {
+        self.world.trace_mut().enable();
+    }
+
+    /// Render the debug trace collected so far.
+    pub fn trace_text(&self) -> String {
+        self.world.trace.to_text()
+    }
+
+    /// The NIC of `host`.
+    pub fn nic(&self, host: HostId) -> &Nic {
+        &self.world.nics[host.idx()]
+    }
+
+    /// The segment driver of `host`.
+    pub fn os(&self, host: HostId) -> &SegmentDriver {
+        &self.world.oses[host.idx()]
+    }
+
+    /// The thread scheduler of `host`.
+    pub fn sched(&self, host: HostId) -> &Scheduler {
+        &self.world.scheds[host.idx()]
+    }
+
+    // ------------------------------------------------------------- setup
+
+    /// Allocate an endpoint on `host` (registers with the NIC; starts
+    /// non-resident in the on-host r/o state).
+    pub fn create_endpoint(&mut self, host: HostId) -> GlobalEp {
+        let now = self.engine.now();
+        let (gep, outs) = self.world.create_endpoint_raw(now, host.idx());
+        self.apply_os_ext(host.idx(), outs);
+        gep
+    }
+
+    /// Register an endpoint under a well-known name (§3.1 rendezvous:
+    /// "the names can be obtained by any rendezvous mechanism").
+    pub fn register_name(&mut self, name: impl Into<String>, ep: GlobalEp) {
+        self.names.register(name, ep);
+    }
+
+    /// Resolve a well-known name.
+    pub fn lookup_name(&mut self, name: &str) -> Option<GlobalEp> {
+        self.names.lookup(name)
+    }
+
+    /// Resolve a name and install it in `from`'s translation table —
+    /// the full §3.1 flow: rendezvous, then endpoint-relative addressing.
+    pub fn connect_by_name(&mut self, from: GlobalEp, idx: usize, name: &str) -> bool {
+        match self.names.lookup(name) {
+            Some(dst) => {
+                self.connect(from, idx, dst);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Install translation `idx → dst` (with dst's key) on endpoint `from`.
+    pub fn connect(&mut self, from: GlobalEp, idx: usize, dst: GlobalEp) {
+        let key = self.world.keys.get(&dst).copied().unwrap_or_default();
+        self.world.user[from.host.idx()]
+            .entry(from.ep)
+            .or_default()
+            .set_translation(idx, dst, key);
+    }
+
+    /// Build a virtual network over `eps` (§3.1): every endpoint gets a
+    /// translation table addressing every member by its slice index —
+    /// "traditional virtual node number addressing in parallel programs is
+    /// easily realized with this approach".
+    pub fn build_virtual_network(&mut self, eps: &[GlobalEp]) {
+        for (i, &a) in eps.iter().enumerate() {
+            for (j, &b) in eps.iter().enumerate() {
+                if i != j {
+                    self.connect(a, j, b);
+                }
+            }
+        }
+    }
+
+    /// Destroy an endpoint (process termination, §4.2): the driver
+    /// synchronizes de-allocation with the NIC (quiescing first if it is
+    /// resident) and unregisters it; late messages addressed to it return
+    /// to their senders as undeliverable.
+    pub fn destroy_endpoint(&mut self, ep: GlobalEp) {
+        let now = self.engine.now();
+        let h = ep.host.idx();
+        let mut outs = Vec::new();
+        self.world.oses[h].free_endpoint(now, ep.ep, &mut outs);
+        self.world.keys.remove(&ep);
+        self.world.user[h].remove(&ep.ep);
+        self.apply_os_ext(h, outs);
+    }
+
+    /// Spawn an application thread on `host`. Returns its id (per-host).
+    pub fn spawn_thread(&mut self, host: HostId, body: Box<dyn ThreadBody>) -> Tid {
+        let tid = self.world.spawn_thread_raw(host.idx(), body);
+        let now = self.engine.now();
+        if let Some((d, ev)) = self.world.prep_cpu_kick(host.idx(), now) {
+            self.engine.schedule(d, ev);
+        }
+        tid
+    }
+
+    /// Downcast access to a thread body (results extraction after a run).
+    pub fn body<T: ThreadBody>(&self, host: HostId, tid: Tid) -> Option<&T> {
+        self.world.body::<T>(host.idx(), tid)
+    }
+
+    /// Mutable downcast access to a thread body.
+    pub fn body_mut<T: ThreadBody>(&mut self, host: HostId, tid: Tid) -> Option<&mut T> {
+        self.world.body_mut::<T>(host.idx(), tid)
+    }
+
+    // --------------------------------------------------------------- run
+
+    /// Run for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.engine.now() + d;
+        self.engine.run_until(&mut self.world, deadline)
+    }
+
+    /// Run until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.engine.run_until(&mut self.world, deadline)
+    }
+
+    /// Run until the event queue drains (only sensible before threads with
+    /// infinite loops are spawned, or after they all exit).
+    pub fn settle(&mut self) -> u64 {
+        self.engine.run(&mut self.world)
+    }
+
+    // ----------------------------------------------- external effect glue
+
+    fn apply_os_ext(&mut self, host: usize, outs: Vec<OsOut>) {
+        let now = self.engine.now();
+        for o in outs {
+            match o {
+                OsOut::Nic(op) => {
+                    let mut nic_outs = Vec::new();
+                    self.world.nics[host].driver_request(now, op, &mut nic_outs);
+                    self.apply_nic_ext(host, nic_outs);
+                }
+                OsOut::Wake(tid) => {
+                    self.engine
+                        .schedule(SimDuration::ZERO, Event::WakeThread { host: host as u32, tid });
+                }
+                OsOut::After(d, ev) => {
+                    self.engine.schedule(d, Event::Os { host: host as u32, ev });
+                }
+            }
+        }
+    }
+
+    fn apply_nic_ext(&mut self, host: usize, outs: Vec<NicOut>) {
+        let now = self.engine.now();
+        for o in outs {
+            match o {
+                NicOut::After(d, ev) => {
+                    self.engine.schedule(d, Event::Nic { host: host as u32, ev });
+                }
+                NicOut::Inject(pkt) => match self.world.fabric.inject(now, pkt) {
+                    vnet_net::InjectOutcome::Delivered { delay, corrupt, pkt } => {
+                        self.engine.schedule(
+                            delay,
+                            Event::Deliver {
+                                host: pkt.dst.0,
+                                src: pkt.src,
+                                frame: pkt.payload,
+                                corrupt,
+                            },
+                        );
+                    }
+                    vnet_net::InjectOutcome::Dropped { .. } => {}
+                },
+                NicOut::Driver(msg) => {
+                    self.engine
+                        .schedule(SimDuration::ZERO, Event::DriverMsg { host: host as u32, msg });
+                }
+            }
+        }
+    }
+
+    /// Force `ep` resident and wait for the remap pipeline to finish —
+    /// used by microbenchmarks that measure the steady state (§6.1 runs
+    /// with warmed endpoints).
+    pub fn make_resident(&mut self, ep: GlobalEp) {
+        let h = ep.host.idx();
+        let now = self.engine.now();
+        let mut outs = Vec::new();
+        self.world.oses[h].proxy_fault(now, ep.ep, &mut outs);
+        self.apply_os_ext(h, outs);
+        // Bounded settle: the remap takes well under 50 ms on an idle node.
+        let deadline = self.engine.now() + SimDuration::from_millis(50);
+        while !self.world.nics[h].is_resident(ep.ep) && self.engine.now() < deadline {
+            let step = self.engine.now() + SimDuration::from_micros(100);
+            self.engine.run_until(&mut self.world, step);
+            if self.engine.queue_len() == 0 && !self.world.nics[h].is_resident(ep.ep) {
+                // Queue drained without the load completing — nothing more
+                // will happen spontaneously.
+                break;
+            }
+        }
+        assert!(
+            self.world.nics[h].is_resident(ep.ep),
+            "make_resident failed for {ep}: remap pipeline stalled"
+        );
+    }
+}
+
+/// Convenience: an endpoint id paired with its host for terser test code.
+pub fn local(ep: GlobalEp) -> EpId {
+    ep.ep
+}
+
+/// A process: a host, the endpoints it owns, and its threads — the unit
+/// of teardown (§4.2: "Process termination automatically invokes segment
+/// driver methods to free segments").
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Hosting node.
+    pub host: HostId,
+    /// Endpoints owned by the process.
+    pub endpoints: Vec<GlobalEp>,
+    /// Threads belonging to the process.
+    pub threads: Vec<Tid>,
+}
+
+impl Process {
+    /// An empty process on `host`.
+    pub fn new(host: HostId) -> Self {
+        Process { host, endpoints: Vec::new(), threads: Vec::new() }
+    }
+}
+
+impl Cluster {
+    /// Create an endpoint owned by `proc`.
+    pub fn create_process_endpoint(&mut self, proc_: &mut Process) -> GlobalEp {
+        let ep = self.create_endpoint(proc_.host);
+        proc_.endpoints.push(ep);
+        ep
+    }
+
+    /// Spawn a thread owned by `proc`.
+    pub fn spawn_process_thread(&mut self, proc_: &mut Process, body: Box<dyn ThreadBody>) -> Tid {
+        let tid = self.spawn_thread(proc_.host, body);
+        proc_.threads.push(tid);
+        tid
+    }
+
+    /// Terminate a process: stop its threads and free every endpoint it
+    /// owns. The driver synchronizes de-allocation with the NIC; traffic
+    /// addressed to the dead endpoints returns to its senders (§3.2).
+    pub fn exit_process(&mut self, proc_: &Process) {
+        for &ep in &proc_.endpoints {
+            self.destroy_endpoint(ep);
+        }
+        for &tid in &proc_.threads {
+            self.world.kill_thread(proc_.host.idx(), tid);
+        }
+        // Let the scheduler observe the exits.
+        let now = self.engine.now();
+        if let Some((d, ev)) = self.world.prep_cpu_kick(proc_.host.idx(), now) {
+            self.engine.schedule(d, ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::sys::{Step, Sys};
+    use vnet_nic::QueueSel;
+
+    struct Echo {
+        ep: EpId,
+        served: u64,
+    }
+
+    impl ThreadBody for Echo {
+        fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+            while let Some(m) = sys.poll(self.ep, QueueSel::Request) {
+                self.served += 1;
+                let _ = sys.reply(self.ep, &m, 0, [m.msg.args[0] * 2, 0, 0, 0], 0);
+            }
+            Step::WaitEvent(self.ep)
+        }
+    }
+
+    struct Pinger {
+        ep: EpId,
+        to_send: u32,
+        sent: u32,
+        replies: u32,
+        last_answer: u64,
+    }
+
+    impl ThreadBody for Pinger {
+        fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+            while self.sent < self.to_send {
+                match sys.request(self.ep, 1, 1, [self.sent as u64 + 1, 0, 0, 0], 0) {
+                    Ok(_) => self.sent += 1,
+                    Err(crate::sys::SendError::NoCredit) => break,
+                    Err(crate::sys::SendError::WouldBlock) => return Step::WaitResident(self.ep),
+                    Err(e) => panic!("send failed: {e:?}"),
+                }
+            }
+            while let Some(m) = sys.poll(self.ep, QueueSel::Reply) {
+                assert!(!m.undeliverable);
+                self.replies += 1;
+                self.last_answer = m.msg.args[0];
+            }
+            if self.replies == self.to_send {
+                Step::Exit
+            } else {
+                Step::WaitEvent(self.ep)
+            }
+        }
+    }
+
+    #[test]
+    fn request_reply_round_trips() {
+        let mut c = Cluster::new(ClusterConfig::now(2));
+        let a = c.create_endpoint(HostId(0));
+        let b = c.create_endpoint(HostId(1));
+        c.build_virtual_network(&[a, b]);
+        c.spawn_thread(HostId(1), Box::new(Echo { ep: b.ep, served: 0 }));
+        let pinger = c.spawn_thread(
+            HostId(0),
+            Box::new(Pinger { ep: a.ep, to_send: 10, sent: 0, replies: 0, last_answer: 0 }),
+        );
+        c.run_for(SimDuration::from_millis(100));
+        let p: &Pinger = c.body(HostId(0), pinger).unwrap();
+        assert_eq!(p.replies, 10, "all replies must arrive");
+        assert_eq!(p.last_answer, 20, "handler computed 10 * 2");
+        // Both endpoints were faulted in on demand.
+        assert!(c.nic(HostId(0)).is_resident(a.ep));
+        assert!(c.nic(HostId(1)).is_resident(b.ep));
+        assert!(c.os(HostId(0)).stats().loads.get() >= 1);
+    }
+
+    #[test]
+    fn credits_cap_outstanding_requests() {
+        struct Blaster {
+            ep: EpId,
+            hit_no_credit: bool,
+            accepted: u32,
+        }
+        impl ThreadBody for Blaster {
+            fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+                loop {
+                    match sys.request(self.ep, 1, 1, [0; 4], 0) {
+                        Ok(_) => self.accepted += 1,
+                        Err(crate::sys::SendError::NoCredit) => {
+                            self.hit_no_credit = true;
+                            return Step::Exit;
+                        }
+                        Err(_) => return Step::Yield,
+                    }
+                    if self.accepted > 100 {
+                        return Step::Exit;
+                    }
+                }
+            }
+        }
+        let mut c = Cluster::new(ClusterConfig::now(2));
+        let a = c.create_endpoint(HostId(0));
+        let b = c.create_endpoint(HostId(1));
+        c.build_virtual_network(&[a, b]);
+        // No server thread: replies never come, so credits never recover.
+        let t = c.spawn_thread(
+            HostId(0),
+            Box::new(Blaster { ep: a.ep, hit_no_credit: false, accepted: 0 }),
+        );
+        c.run_for(SimDuration::from_millis(50));
+        let bl: &Blaster = c.body(HostId(0), t).unwrap();
+        assert!(bl.hit_no_credit, "the 32-credit window must close");
+        assert_eq!(bl.accepted, 32, "exactly one window of requests accepted");
+    }
+
+    #[test]
+    fn make_resident_preloads() {
+        let mut c = Cluster::new(ClusterConfig::now(2));
+        let a = c.create_endpoint(HostId(0));
+        assert!(!c.nic(HostId(0)).is_resident(a.ep));
+        c.make_resident(a);
+        assert!(c.nic(HostId(0)).is_resident(a.ep));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut c = Cluster::new(ClusterConfig::now(2).with_seed(seed));
+            let a = c.create_endpoint(HostId(0));
+            let b = c.create_endpoint(HostId(1));
+            c.build_virtual_network(&[a, b]);
+            c.spawn_thread(HostId(1), Box::new(Echo { ep: b.ep, served: 0 }));
+            c.spawn_thread(
+                HostId(0),
+                Box::new(Pinger { ep: a.ep, to_send: 20, sent: 0, replies: 0, last_answer: 0 }),
+            );
+            c.run_for(SimDuration::from_millis(20));
+            (c.events_processed(), c.now().as_nanos())
+        };
+        assert_eq!(run(7), run(7), "identical seeds give identical runs");
+    }
+}

@@ -1,0 +1,186 @@
+//! Cluster configuration and the calibrated host cost model.
+
+use vnet_net::{NetConfig, TopologySpec};
+use vnet_nic::NicConfig;
+use vnet_os::{OsConfig, SchedConfig};
+use vnet_sim::SimDuration;
+
+/// Which communication system the cluster runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Virtual networks (the paper's system): many endpoints per host,
+    /// full transport protocol, OS-managed residency.
+    VirtualNetwork,
+    /// First-generation Active Messages ("GAM"): one permanently resident
+    /// endpoint per host, no transport protocol. The Figure 3/4 baseline.
+    Gam,
+}
+
+/// Host-processor costs (§6.1): the LogP overheads and the polling costs
+/// that drive the Figure 6 single-thread-vs-frames effects.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Send overhead o_s: CPU time to write a message descriptor into the
+    /// NI with programmed I/O.
+    pub host_send: SimDuration,
+    /// Receive overhead o_r: CPU time to read a message out of the NI.
+    pub host_recv: SimDuration,
+    /// Poll of a **resident** endpoint: uncached programmed I/O across the
+    /// SBUS ("the costs of polling resident but non-cacheable endpoints in
+    /// interface memory", §6.4).
+    pub poll_nic: SimDuration,
+    /// Poll of a **non-resident** endpoint: cacheable host memory.
+    pub poll_host: SimDuration,
+    /// User-level bookkeeping per request (credit check, table lookup).
+    pub credit_check: SimDuration,
+    /// Mutex acquire+release around each operation on a *shared* endpoint
+    /// (§3.3; exclusive endpoints skip it).
+    pub shared_lock: SimDuration,
+}
+
+impl CostModel {
+    /// Virtual-network Active Messages on the NOW: o_s = 2.6 µs (bigger
+    /// descriptors), o_r = 3.2 µs (VIS block loads). o_s + o_r matches GAM.
+    pub fn now_am() -> Self {
+        CostModel {
+            host_send: SimDuration::from_nanos(2_600),
+            host_recv: SimDuration::from_nanos(3_200),
+            poll_nic: SimDuration::from_nanos(900),
+            poll_host: SimDuration::from_nanos(150),
+            credit_check: SimDuration::from_nanos(100),
+            shared_lock: SimDuration::from_nanos(500),
+        }
+    }
+
+    /// First-generation GAM: o_s = 1.8 µs, o_r = 4.0 µs.
+    pub fn now_gam() -> Self {
+        CostModel {
+            host_send: SimDuration::from_nanos(1_800),
+            host_recv: SimDuration::from_nanos(4_000),
+            poll_nic: SimDuration::from_nanos(900),
+            poll_host: SimDuration::from_nanos(150),
+            credit_check: SimDuration::from_nanos(100),
+            shared_lock: SimDuration::from_nanos(500),
+        }
+    }
+}
+
+/// Everything needed to build a [`crate::cluster::Cluster`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Operating mode (selects NIC protocol + cost presets).
+    pub mode: Mode,
+    /// Network topology.
+    pub topology: TopologySpec,
+    /// Network physical parameters.
+    pub net: NetConfig,
+    /// NIC configuration (frames, queue depths, firmware costs).
+    pub nic: NicConfig,
+    /// OS configuration (fault handling, replacement policy).
+    pub os: OsConfig,
+    /// Thread scheduler configuration.
+    pub sched: SchedConfig,
+    /// Host cost model.
+    pub cost: CostModel,
+    /// Random drop probability per routed packet (0 for the healthy
+    /// cluster; Myrinet error rates are negligible).
+    pub drop_prob: f64,
+    /// Random corruption probability per routed packet.
+    pub corrupt_prob: f64,
+    /// Master seed; every component derives its stream from this.
+    pub seed: u64,
+    /// User-level request credits per destination endpoint (§6.4.1: 32,
+    /// matching the request receive queue depth).
+    pub credits: u32,
+}
+
+impl ClusterConfig {
+    /// The paper's cluster: `n` hosts in virtual-network mode. For
+    /// `n == 100` this is the full NOW; smaller `n` uses a crossbar
+    /// (microbenchmark isolation).
+    pub fn now(n: u32) -> Self {
+        let topology = if n == 100 {
+            TopologySpec::now_cluster()
+        } else {
+            TopologySpec::Crossbar { hosts: n }
+        };
+        ClusterConfig {
+            mode: Mode::VirtualNetwork,
+            topology,
+            net: NetConfig::default(),
+            nic: NicConfig::virtual_network(),
+            os: OsConfig::default(),
+            sched: SchedConfig::default(),
+            cost: CostModel::now_am(),
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            seed: 0x5EED,
+            credits: 32,
+        }
+    }
+
+    /// Full 100-node NOW fat tree regardless of `n` hosts in use.
+    pub fn now_fat_tree() -> Self {
+        let mut c = Self::now(100);
+        c.topology = TopologySpec::now_cluster();
+        c
+    }
+
+    /// The GAM baseline configuration on `n` hosts.
+    pub fn gam(n: u32) -> Self {
+        let mut c = Self::now(n);
+        c.mode = Mode::Gam;
+        c.nic = NicConfig::gam();
+        c.cost = CostModel::now_gam();
+        c
+    }
+
+    /// Same cluster with 96 endpoint frames (the newer interface).
+    pub fn with_frames(mut self, frames: u32) -> Self {
+        self.nic.frames = frames;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> u32 {
+        self.topology.hosts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logp_overhead_sum_preserved() {
+        // The paper: "the total per-packet overhead remains the same".
+        let am = CostModel::now_am();
+        let gam = CostModel::now_gam();
+        assert_eq!(
+            (am.host_send + am.host_recv).as_nanos(),
+            (gam.host_send + gam.host_recv).as_nanos()
+        );
+        assert!(am.host_send > gam.host_send, "bigger descriptors cost more o_s");
+        assert!(am.host_recv < gam.host_recv, "block loads cost less o_r");
+    }
+
+    #[test]
+    fn presets() {
+        let c = ClusterConfig::now(100);
+        assert_eq!(c.hosts(), 100);
+        assert_eq!(c.nic.frames, 8);
+        assert_eq!(c.credits, 32);
+        let c = ClusterConfig::now(100).with_frames(96);
+        assert_eq!(c.nic.frames, 96);
+        let g = ClusterConfig::gam(2);
+        assert_eq!(g.mode, Mode::Gam);
+        assert_eq!(g.nic.frames, 1);
+        assert_eq!(ClusterConfig::now(16).hosts(), 16);
+    }
+}

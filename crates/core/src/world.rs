@@ -1,0 +1,488 @@
+//! The composed cluster world: fabric + NICs + segment drivers + thread
+//! schedulers + application threads, wired into one deterministic
+//! event graph.
+
+use crate::config::{ClusterConfig, Mode};
+use crate::sys::{Step, Sys, ThreadBody};
+use crate::user::UserEpState;
+use std::collections::HashMap;
+use vnet_net::{Fabric, FaultPlan, HostId, InjectOutcome, Topology};
+use vnet_nic::{
+    DriverMsg, EpId, Frame, GlobalEp, Nic, NicConfig, NicEvent, NicMode, NicOut, ProtectionKey,
+};
+use vnet_os::{BlockReason, OsEvent, OsOut, Scheduler, SegmentDriver, Tid};
+use vnet_sim::{Ctx, SimDuration, SimRng, SimTime, SimWorld, TraceRing};
+
+/// Minimum CPU time charged per thread burst: no user-level loop runs in
+/// zero time (guards against zero-cost livelock in misbehaving bodies).
+const MIN_BURST: SimDuration = SimDuration::from_nanos(200);
+
+/// Global event alphabet of the composed simulation.
+#[derive(Debug)]
+pub enum Event {
+    /// NIC-internal event.
+    Nic {
+        /// Host index.
+        host: u32,
+        /// The event.
+        ev: NicEvent,
+    },
+    /// OS-internal event (remap daemon, page-in).
+    Os {
+        /// Host index.
+        host: u32,
+        /// The event.
+        ev: OsEvent,
+    },
+    /// Frame delivery from the fabric.
+    Deliver {
+        /// Receiving host.
+        host: u32,
+        /// Sending host.
+        src: HostId,
+        /// The frame.
+        frame: Frame,
+        /// CRC failure flag.
+        corrupt: bool,
+    },
+    /// Driver-protocol message crossing NIC → OS (used when raised outside
+    /// an event handler).
+    DriverMsg {
+        /// Host index.
+        host: u32,
+        /// The message.
+        msg: DriverMsg,
+    },
+    /// CPU dispatch step (generation-guarded).
+    Cpu {
+        /// Host index.
+        host: u32,
+        /// Generation stamp.
+        gen: u64,
+    },
+    /// Timer wake for a sleeping thread.
+    WakeThread {
+        /// Host index.
+        host: u32,
+        /// The thread.
+        tid: Tid,
+    },
+}
+
+struct ThreadRec {
+    body: Option<Box<dyn ThreadBody>>,
+    pending_compute: SimDuration,
+}
+
+struct CpuState {
+    gen: u64,
+    sched_at: SimTime,
+    busy_until: SimTime,
+}
+
+/// The composed world (see module docs).
+pub struct World {
+    /// Build configuration.
+    pub cfg: ClusterConfig,
+    /// The network.
+    pub fabric: Fabric,
+    /// One NIC per host.
+    pub nics: Vec<Nic>,
+    /// One endpoint segment driver per host.
+    pub oses: Vec<SegmentDriver>,
+    /// One thread scheduler per host.
+    pub scheds: Vec<Scheduler>,
+    /// User-level endpoint state per host.
+    pub user: Vec<HashMap<EpId, UserEpState>>,
+    /// Protection keys of every endpoint (the rendezvous snapshot).
+    pub keys: HashMap<GlobalEp, ProtectionKey>,
+    /// Debug trace of residency and scheduling transitions; disabled by
+    /// default (enable via [`World::trace_mut`]).
+    pub trace: TraceRing,
+    threads: Vec<HashMap<Tid, ThreadRec>>,
+    cpu: Vec<CpuState>,
+    rngs: Vec<SimRng>,
+    key_rng: SimRng,
+}
+
+impl World {
+    /// Build from configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let topo = Topology::build(cfg.topology.clone());
+        let n = topo.host_count() as usize;
+        let faults = if cfg.drop_prob > 0.0 || cfg.corrupt_prob > 0.0 {
+            FaultPlan::with_errors(cfg.seed ^ 0xFA17, cfg.drop_prob, cfg.corrupt_prob)
+        } else {
+            FaultPlan::none(cfg.seed ^ 0xFA17)
+        };
+        let fabric = Fabric::new(cfg.net.clone(), topo, faults);
+        let mut nic_cfg: NicConfig = cfg.nic.clone();
+        nic_cfg.mode = match cfg.mode {
+            Mode::VirtualNetwork => NicMode::VirtualNetwork,
+            Mode::Gam => NicMode::Gam,
+        };
+        let root = SimRng::seed_from_u64(cfg.seed);
+        World {
+            fabric,
+            nics: (0..n).map(|i| Nic::new(HostId(i as u32), nic_cfg.clone(), cfg.seed)).collect(),
+            oses: (0..n)
+                .map(|i| SegmentDriver::new(cfg.os.clone(), nic_cfg.frames, cfg.seed ^ (i as u64)))
+                .collect(),
+            scheds: (0..n).map(|_| Scheduler::new(cfg.sched.clone())).collect(),
+            user: (0..n).map(|_| HashMap::new()).collect(),
+            keys: HashMap::new(),
+            threads: (0..n).map(|_| HashMap::new()).collect(),
+            cpu: (0..n)
+                .map(|_| CpuState { gen: 0, sched_at: SimTime::MAX, busy_until: SimTime::ZERO })
+                .collect(),
+            rngs: (0..n).map(|i| root.derive(0x7000 + i as u64)).collect(),
+            key_rng: root.derive(0x4B45_5953),
+            trace: TraceRing::default(),
+            cfg,
+        }
+    }
+
+    /// Mutable access to the debug trace (call `.enable()` to record).
+    pub fn trace_mut(&mut self) -> &mut TraceRing {
+        &mut self.trace
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.nics.len()
+    }
+
+    // ------------------------------------------------------------ effects
+
+    /// Apply NIC effects inside an event handler.
+    pub(crate) fn apply_nic(&mut self, host: usize, outs: Vec<NicOut>, ctx: &mut Ctx<Event>) {
+        for o in outs {
+            match o {
+                NicOut::After(d, ev) => {
+                    ctx.schedule(d, Event::Nic { host: host as u32, ev });
+                }
+                NicOut::Inject(pkt) => match self.fabric.inject(ctx.now(), pkt) {
+                    InjectOutcome::Delivered { delay, corrupt, pkt } => {
+                        ctx.schedule(
+                            delay,
+                            Event::Deliver {
+                                host: pkt.dst.0,
+                                src: pkt.src,
+                                frame: pkt.payload,
+                                corrupt,
+                            },
+                        );
+                    }
+                    InjectOutcome::Dropped { .. } => {}
+                },
+                NicOut::Driver(msg) => self.handle_driver_msg(host, msg, ctx),
+            }
+        }
+    }
+
+    /// Apply OS effects inside an event handler.
+    pub(crate) fn apply_os(&mut self, host: usize, outs: Vec<OsOut>, ctx: &mut Ctx<Event>) {
+        for o in outs {
+            match o {
+                OsOut::Nic(op) => {
+                    let mut nic_outs = Vec::new();
+                    self.nics[host].driver_request(ctx.now(), op, &mut nic_outs);
+                    self.apply_nic(host, nic_outs, ctx);
+                }
+                OsOut::Wake(tid) => {
+                    if self.scheds[host].wake(tid) {
+                        self.kick_cpu(host, ctx);
+                    }
+                }
+                OsOut::After(d, ev) => {
+                    ctx.schedule(d, Event::Os { host: host as u32, ev });
+                }
+            }
+        }
+    }
+
+    /// Route a NIC→driver message: segment-driver bookkeeping plus thread
+    /// wakeups (the composing world owns the scheduler).
+    fn handle_driver_msg(&mut self, host: usize, msg: DriverMsg, ctx: &mut Ctx<Event>) {
+        let wake_cost = self.cfg.os.wake_cost;
+        self.trace.record_with(ctx.now(), host as u32, "driver.msg", || format!("{msg:?}"));
+        match &msg {
+            DriverMsg::Loaded { ep, .. } => {
+                let ep = *ep;
+                // Wake residency waiters, and event waiters too — a load
+                // can deposit flushed returns before any fresh Event fires,
+                // and spurious wakes are safe (bodies re-check and
+                // re-block).
+                let mut woken = 0;
+                let tids: Vec<Tid> = self.scheds[host]
+                    .blocked_on_residency(ep)
+                    .into_iter()
+                    .chain(self.scheds[host].blocked_on_event(ep))
+                    .collect();
+                for tid in tids {
+                    ctx.schedule(wake_cost, Event::WakeThread { host: host as u32, tid });
+                    woken += 1;
+                }
+                self.oses[host].note_residency_wakes(woken);
+            }
+            DriverMsg::Event { ep, .. } => {
+                let ep = *ep;
+                let tids = self.scheds[host].blocked_on_event(ep);
+                self.oses[host].note_event_wakes(tids.len() as u64);
+                for tid in tids {
+                    ctx.schedule(wake_cost, Event::WakeThread { host: host as u32, tid });
+                }
+            }
+            _ => {}
+        }
+        let mut os_outs = Vec::new();
+        self.oses[host].on_nic_msg(ctx.now(), msg, &mut os_outs);
+        self.apply_os(host, os_outs, ctx);
+    }
+
+    // ---------------------------------------------------------------- CPU
+
+    /// Ensure a CPU step is scheduled no later than the CPU's ready time.
+    pub(crate) fn kick_cpu(&mut self, host: usize, ctx: &mut Ctx<Event>) {
+        let ready = ctx.now().max(self.cpu[host].busy_until);
+        if self.cpu[host].sched_at <= ready {
+            return;
+        }
+        self.cpu[host].gen += 1;
+        self.cpu[host].sched_at = ready;
+        let gen = self.cpu[host].gen;
+        ctx.schedule(ready - ctx.now(), Event::Cpu { host: host as u32, gen });
+    }
+
+    fn on_cpu(&mut self, host: usize, gen: u64, ctx: &mut Ctx<Event>) {
+        if gen != self.cpu[host].gen {
+            return;
+        }
+        self.cpu[host].sched_at = SimTime::MAX;
+        let now = ctx.now();
+        if now < self.cpu[host].busy_until {
+            self.kick_cpu(host, ctx);
+            return;
+        }
+        // Dispatch / preempt.
+        if self.scheds[host].current().is_none() {
+            if !self.scheds[host].has_runnable() {
+                return; // CPU idles; wakes re-kick
+            }
+            let cost = self.scheds[host].dispatch(now);
+            if cost > SimDuration::ZERO {
+                self.cpu[host].busy_until = now + cost;
+                self.kick_cpu(host, ctx);
+                return;
+            }
+        } else if self.scheds[host].preempt_if_due(now) {
+            self.kick_cpu(host, ctx);
+            return;
+        }
+        let Some(tid) = self.scheds[host].current() else {
+            self.kick_cpu(host, ctx);
+            return;
+        };
+        // Continue a long compute without re-invoking the body.
+        let pending = self.threads[host].get(&tid).map(|r| r.pending_compute);
+        if let Some(pending) = pending {
+            if pending > SimDuration::ZERO {
+                let slice = if self.scheds[host].ready_count() == 0 {
+                    pending
+                } else {
+                    pending.min(self.scheds[host].quantum_left(now)).max(MIN_BURST)
+                };
+                self.threads[host].get_mut(&tid).unwrap().pending_compute = pending - slice;
+                self.cpu[host].busy_until = now + slice;
+                self.kick_cpu(host, ctx);
+                return;
+            }
+        }
+        // Run one burst of the body.
+        let Some(rec) = self.threads[host].get_mut(&tid) else {
+            // Registered in the scheduler but no body (shouldn't happen).
+            self.scheds[host].exit_current();
+            self.kick_cpu(host, ctx);
+            return;
+        };
+        let Some(mut body) = rec.body.take() else {
+            self.scheds[host].exit_current();
+            self.kick_cpu(host, ctx);
+            return;
+        };
+        let mut sys = Sys {
+            now,
+            host: HostId(host as u32),
+            nic: &mut self.nics[host],
+            os: &mut self.oses[host],
+            user: &mut self.user[host],
+            keys: &self.keys,
+            cost: &self.cfg.cost,
+            credits: self.cfg.credits,
+            rng: &mut self.rngs[host],
+            elapsed: SimDuration::ZERO,
+            nic_outs: Vec::new(),
+            os_outs: Vec::new(),
+        };
+        let step = body.run(&mut sys);
+        let elapsed = sys.elapsed.max(MIN_BURST);
+        let nic_outs = std::mem::take(&mut sys.nic_outs);
+        let os_outs = std::mem::take(&mut sys.os_outs);
+        drop(sys);
+        self.threads[host].get_mut(&tid).unwrap().body = Some(body);
+        self.apply_nic(host, nic_outs, ctx);
+        self.apply_os(host, os_outs, ctx);
+
+        match step {
+            Step::Compute(d) => {
+                self.threads[host].get_mut(&tid).unwrap().pending_compute = d;
+            }
+            Step::Yield => {
+                self.scheds[host].yield_current();
+            }
+            Step::Sleep(d) => {
+                self.scheds[host].block_current(BlockReason::Sleep);
+                ctx.schedule(elapsed + d, Event::WakeThread { host: host as u32, tid });
+            }
+            Step::WaitEvent(ep) => {
+                // Arm the mask first, then re-check, to close the lost
+                // wakeup window.
+                if !self.nics[host].set_event_mask_direct(ep, true) {
+                    if let Some(img) = self.oses[host].host_image_mut(ep) {
+                        img.notify_on_arrival = true;
+                    }
+                }
+                let has = if self.nics[host].is_resident(ep) {
+                    self.nics[host].recv_depths(ep).map(|(a, b)| a + b > 0).unwrap_or(false)
+                } else {
+                    self.oses[host].host_image(ep).map(|i| i.has_received()).unwrap_or(false)
+                };
+                if has {
+                    self.scheds[host].yield_current();
+                } else {
+                    self.scheds[host].block_current(BlockReason::EndpointEvent(ep));
+                }
+            }
+            Step::WaitResident(ep) => {
+                if self.nics[host].is_resident(ep) {
+                    self.scheds[host].yield_current();
+                } else {
+                    self.scheds[host].block_current(BlockReason::Residency(ep));
+                }
+            }
+            Step::Exit => {
+                self.scheds[host].exit_current();
+            }
+        }
+        self.cpu[host].busy_until = now + elapsed;
+        self.kick_cpu(host, ctx);
+    }
+
+    // ----------------------------------------------------- setup (no ctx)
+
+    /// Allocate an endpoint on `host` with a fresh protection key.
+    /// Effects are returned for the caller (the [`crate::Cluster`] facade)
+    /// to inject into the engine.
+    pub(crate) fn create_endpoint_raw(
+        &mut self,
+        now: SimTime,
+        host: usize,
+    ) -> (GlobalEp, Vec<OsOut>) {
+        let key = ProtectionKey(self.key_rng.below(u64::MAX - 1) + 1);
+        let mut outs = Vec::new();
+        let ep = self.oses[host].create_endpoint(now, key, &mut outs);
+        let gep = GlobalEp::new(HostId(host as u32), ep);
+        self.keys.insert(gep, key);
+        self.user[host].entry(ep).or_default();
+        (gep, outs)
+    }
+
+    /// Spawn a thread with `body` on `host`.
+    pub(crate) fn spawn_thread_raw(&mut self, host: usize, body: Box<dyn ThreadBody>) -> Tid {
+        let tid = self.scheds[host].spawn();
+        self.threads[host]
+            .insert(tid, ThreadRec { body: Some(body), pending_compute: SimDuration::ZERO });
+        tid
+    }
+
+    /// Immutable access to a thread body, downcast to its concrete type.
+    pub fn body<T: ThreadBody>(&self, host: usize, tid: Tid) -> Option<&T> {
+        let rec = self.threads[host].get(&tid)?;
+        let body = rec.body.as_deref()?;
+        (body as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutable access to a thread body, downcast to its concrete type.
+    pub fn body_mut<T: ThreadBody>(&mut self, host: usize, tid: Tid) -> Option<&mut T> {
+        let rec = self.threads[host].get_mut(&tid)?;
+        let body = rec.body.as_deref_mut()?;
+        (body as &mut dyn std::any::Any).downcast_mut::<T>()
+    }
+
+    /// Forcibly terminate a thread (process exit): its body is dropped and
+    /// it will never be scheduled again.
+    pub(crate) fn kill_thread(&mut self, host: usize, tid: Tid) {
+        if let Some(rec) = self.threads[host].get_mut(&tid) {
+            rec.body = None;
+            rec.pending_compute = SimDuration::ZERO;
+        }
+        // If it is blocked, wake it so the scheduler can observe the exit
+        // (the CPU loop exits bodies that have vanished).
+        self.scheds[host].wake(tid);
+    }
+
+    /// Prepare a CPU kick from outside an event handler (setup paths).
+    /// Returns the event to schedule, if one is needed.
+    pub(crate) fn prep_cpu_kick(&mut self, host: usize, now: SimTime) -> Option<(SimDuration, Event)> {
+        let ready = now.max(self.cpu[host].busy_until);
+        if self.cpu[host].sched_at <= ready {
+            return None;
+        }
+        self.cpu[host].gen += 1;
+        self.cpu[host].sched_at = ready;
+        let gen = self.cpu[host].gen;
+        Some((ready - now, Event::Cpu { host: host as u32, gen }))
+    }
+}
+
+impl SimWorld for World {
+    type Event = Event;
+
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<Event>) {
+        match ev {
+            Event::Nic { host, ev } => {
+                let mut outs = Vec::new();
+                self.nics[host as usize].on_event(ctx.now(), ev, &mut outs);
+                self.apply_nic(host as usize, outs, ctx);
+            }
+            Event::Os { host, ev } => {
+                let mut outs = Vec::new();
+                match ev {
+                    OsEvent::DaemonStep => {
+                        self.oses[host as usize].on_daemon_step(ctx.now(), &mut outs)
+                    }
+                    OsEvent::PageInDone { ep } => {
+                        self.oses[host as usize].on_page_in_done(ctx.now(), ep, &mut outs)
+                    }
+                }
+                self.apply_os(host as usize, outs, ctx);
+            }
+            Event::Deliver { host, src, frame, corrupt } => {
+                let mut outs = Vec::new();
+                self.nics[host as usize].on_packet(ctx.now(), src, frame, corrupt, &mut outs);
+                self.apply_nic(host as usize, outs, ctx);
+            }
+            Event::DriverMsg { host, msg } => {
+                self.handle_driver_msg(host as usize, msg, ctx);
+            }
+            Event::Cpu { host, gen } => {
+                self.on_cpu(host as usize, gen, ctx);
+            }
+            Event::WakeThread { host, tid } => {
+                if self.scheds[host as usize].wake(tid) {
+                    self.kick_cpu(host as usize, ctx);
+                }
+            }
+        }
+    }
+}

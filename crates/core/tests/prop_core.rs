@@ -1,0 +1,145 @@
+//! Whole-stack property test: arbitrary small workloads — random host
+//! counts, endpoint placements, payload sizes, fault rates, frame
+//! pressure — always complete every request exactly once, and identical
+//! seeds give identical runs.
+
+use proptest::prelude::*;
+use vnet_core::prelude::*;
+use vnet_core::{Cluster, ClusterConfig};
+use vnet_sim::SimDuration as D;
+
+struct Echo {
+    ep: EpId,
+    pending: Vec<DeliveredMsg>,
+}
+
+impl ThreadBody for Echo {
+    fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+        while let Some(m) = self.pending.pop() {
+            if sys.reply(self.ep, &m, 0, m.msg.args, 0).is_err() {
+                self.pending.push(m);
+                return Step::Yield;
+            }
+        }
+        while let Some(m) = sys.poll(self.ep, QueueSel::Request) {
+            if sys.reply(self.ep, &m, 0, m.msg.args, 0).is_err() {
+                self.pending.push(m);
+                return Step::Yield;
+            }
+        }
+        Step::WaitEvent(self.ep)
+    }
+}
+
+struct Client {
+    ep: EpId,
+    total: u32,
+    bytes: u32,
+    sent: u32,
+    replies: u32,
+    seen: std::collections::HashSet<u64>,
+    dup: bool,
+}
+
+impl ThreadBody for Client {
+    fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+        while self.sent < self.total {
+            match sys.request(self.ep, 0, 0, [self.sent as u64, 0, 0, 0], self.bytes) {
+                Ok(_) => self.sent += 1,
+                Err(SendError::NoCredit) | Err(SendError::QueueFull) => break,
+                Err(SendError::WouldBlock) => return Step::WaitResident(self.ep),
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        while let Some(m) = sys.poll(self.ep, QueueSel::Reply) {
+            assert!(!m.undeliverable, "healthy-cluster request bounced");
+            self.replies += 1;
+            if !self.seen.insert(m.msg.args[0]) {
+                self.dup = true;
+            }
+        }
+        if self.replies == self.total {
+            Step::Exit
+        } else {
+            Step::WaitEvent(self.ep)
+        }
+    }
+}
+
+/// One randomized scenario: `pairs` conversations spread over `hosts`
+/// hosts (multiple endpoints per host when pairs > hosts, exercising
+/// frame pressure and loopback).
+fn run_scenario(
+    seed: u64,
+    hosts: u32,
+    pairs: usize,
+    msgs: u32,
+    bytes: u32,
+    drop: f64,
+) -> (Vec<(u32, bool)>, u64) {
+    let mut cfg = ClusterConfig::now(hosts).with_seed(seed);
+    cfg.drop_prob = drop;
+    let mut c = Cluster::new(cfg);
+    let mut clients = Vec::new();
+    for k in 0..pairs {
+        let ch = HostId((k as u32) % hosts);
+        let sh = HostId((k as u32 + 1) % hosts);
+        let ce = c.create_endpoint(ch);
+        let se = c.create_endpoint(sh);
+        c.connect(ce, 0, se);
+        c.spawn_thread(sh, Box::new(Echo { ep: se.ep, pending: vec![] }));
+        let t = c.spawn_thread(
+            ch,
+            Box::new(Client {
+                ep: ce.ep,
+                total: msgs,
+                bytes,
+                sent: 0,
+                replies: 0,
+                seen: Default::default(),
+                dup: false,
+            }),
+        );
+        clients.push((ch, t));
+    }
+    c.run_for(D::from_secs(120));
+    let out = clients
+        .iter()
+        .map(|&(h, t)| {
+            let b = c.body::<Client>(h, t).expect("client body");
+            (b.replies, b.dup)
+        })
+        .collect();
+    (out, c.events_processed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_workloads_complete_exactly_once(
+        seed in any::<u64>(),
+        hosts in 2u32..6,
+        pairs in 1usize..10,
+        msgs in 1u32..60,
+        bytes in prop_oneof![Just(0u32), Just(64u32), Just(2048u32), Just(8192u32)],
+        drop in prop_oneof![Just(0.0f64), 0.0f64..0.08],
+    ) {
+        let (results, _) = run_scenario(seed, hosts, pairs, msgs, bytes, drop);
+        for (i, (replies, dup)) in results.iter().enumerate() {
+            prop_assert_eq!(*replies, msgs, "conversation {} incomplete", i);
+            prop_assert!(!dup, "conversation {} saw a duplicate reply", i);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs(
+        seed in any::<u64>(),
+        hosts in 2u32..5,
+        pairs in 1usize..6,
+    ) {
+        let a = run_scenario(seed, hosts, pairs, 20, 64, 0.02);
+        let b = run_scenario(seed, hosts, pairs, 20, 64, 0.02);
+        prop_assert_eq!(a, b);
+    }
+}

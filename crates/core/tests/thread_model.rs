@@ -1,0 +1,126 @@
+//! Tests of the host CPU/thread model: quantum preemption, sleep timing,
+//! compute slicing, and livelock protection.
+
+use vnet_core::prelude::*;
+use vnet_core::{Cluster, ClusterConfig};
+use vnet_sim::SimDuration as D;
+use vnet_sim::SimTime;
+
+struct Computer {
+    chunks: u32,
+    per_chunk: D,
+    pub finished_at: Option<SimTime>,
+}
+
+impl ThreadBody for Computer {
+    fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+        if self.chunks == 0 {
+            self.finished_at = Some(sys.now());
+            return Step::Exit;
+        }
+        self.chunks -= 1;
+        Step::Compute(self.per_chunk)
+    }
+}
+
+#[test]
+fn long_computes_time_share_fairly() {
+    // Two 100 ms compute jobs on one CPU with a 10 ms quantum: both finish
+    // around 200 ms (interleaved), not one at 100 ms and the other at 200.
+    let mut c = Cluster::new(ClusterConfig::now(2));
+    let t1 = c.spawn_thread(
+        HostId(0),
+        Box::new(Computer { chunks: 10, per_chunk: D::from_millis(10), finished_at: None }),
+    );
+    let t2 = c.spawn_thread(
+        HostId(0),
+        Box::new(Computer { chunks: 10, per_chunk: D::from_millis(10), finished_at: None }),
+    );
+    c.run_for(D::from_millis(500));
+    let f1 = c.body::<Computer>(HostId(0), t1).unwrap().finished_at.unwrap();
+    let f2 = c.body::<Computer>(HostId(0), t2).unwrap().finished_at.unwrap();
+    let (a, b) = (f1.as_secs_f64(), f2.as_secs_f64());
+    assert!((0.18..0.22).contains(&a.max(b)), "last finisher at {:.3}", a.max(b));
+    // Interleaving: the first finisher cannot be done before ~190 ms
+    // either (both progress together).
+    assert!(a.min(b) > 0.15, "first finisher at {:.3} — jobs did not interleave", a.min(b));
+    assert!(c.sched(HostId(0)).preemptions() > 5, "quantum preemption must occur");
+}
+
+#[test]
+fn single_compute_runs_unsliced() {
+    // Alone on the CPU there is no reason to slice: one big chunk.
+    let mut c = Cluster::new(ClusterConfig::now(2));
+    let t = c.spawn_thread(
+        HostId(0),
+        Box::new(Computer { chunks: 1, per_chunk: D::from_millis(100), finished_at: None }),
+    );
+    c.run_for(D::from_millis(200));
+    let f = c.body::<Computer>(HostId(0), t).unwrap().finished_at.unwrap();
+    assert!((0.099..0.102).contains(&f.as_secs_f64()), "{f}");
+    assert_eq!(c.sched(HostId(0)).preemptions(), 0);
+}
+
+#[test]
+fn sleep_wakes_on_schedule() {
+    struct Sleeper {
+        pub woke_at: Option<SimTime>,
+        slept: bool,
+    }
+    impl ThreadBody for Sleeper {
+        fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+            if !self.slept {
+                self.slept = true;
+                return Step::Sleep(D::from_millis(7));
+            }
+            self.woke_at = Some(sys.now());
+            Step::Exit
+        }
+    }
+    let mut c = Cluster::new(ClusterConfig::now(2));
+    let t = c.spawn_thread(HostId(0), Box::new(Sleeper { woke_at: None, slept: false }));
+    c.run_for(D::from_millis(50));
+    let woke = c.body::<Sleeper>(HostId(0), t).unwrap().woke_at.unwrap();
+    let us = woke.as_micros_f64();
+    assert!((7_000.0..7_200.0).contains(&us), "woke at {us} us");
+}
+
+#[test]
+fn pure_yield_loops_cannot_freeze_time() {
+    // A body that does nothing but Yield must still advance simulated time
+    // (MIN_BURST), so runaway spinners cannot livelock the simulation.
+    struct Spinner {
+        pub bursts: u64,
+    }
+    impl ThreadBody for Spinner {
+        fn run(&mut self, _sys: &mut Sys<'_>) -> Step {
+            self.bursts += 1;
+            Step::Yield
+        }
+    }
+    let mut c = Cluster::new(ClusterConfig::now(2));
+    let t = c.spawn_thread(HostId(0), Box::new(Spinner { bursts: 0 }));
+    c.run_for(D::from_millis(1));
+    let bursts = c.body::<Spinner>(HostId(0), t).unwrap().bursts;
+    assert!(bursts > 0);
+    assert!(
+        bursts <= 1_000_000 / 200 + 2,
+        "bursts bounded by MIN_BURST=200ns: {bursts}"
+    );
+    assert_eq!(c.now().as_nanos(), 1_000_000, "time advanced to the deadline");
+}
+
+#[test]
+fn exiting_threads_leave_an_idle_cpu() {
+    let mut c = Cluster::new(ClusterConfig::now(2));
+    c.spawn_thread(
+        HostId(0),
+        Box::new(Computer { chunks: 2, per_chunk: D::from_micros(50), finished_at: None }),
+    );
+    c.run_for(D::from_millis(5));
+    assert_eq!(c.sched(HostId(0)).live_threads(), 0);
+    // No runnable work: the engine goes quiescent (no CPU self-kicks).
+    let before = c.events_processed();
+    c.run_for(D::from_millis(5));
+    assert_eq!(c.events_processed(), before, "idle CPU must not burn events");
+}

@@ -1,0 +1,147 @@
+//! Fault injection.
+//!
+//! The paper's delivery model (§3.2) exists because the interconnect is
+//! *almost* perfect: "We cannot assume a perfectly reliable interconnect …
+//! because we want the communication system to support hot-swap of links
+//! and switches". The [`FaultPlan`] injects exactly those imperfections:
+//! random transmission errors (dropped or corrupted packets) and
+//! administratively downed links (hot-swap events).
+
+use crate::topology::LinkId;
+use std::collections::HashSet;
+use vnet_sim::SimRng;
+
+/// Why the fabric refused or lost a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random transmission error consumed the packet.
+    TransmissionError,
+    /// The packet was corrupted in flight; it arrives but fails the
+    /// receiver's CRC check (the NIC drops it there).
+    Corrupted,
+    /// A link on the route is administratively down (hot-swap in progress).
+    LinkDown,
+}
+
+/// Configurable fault model applied to every traversed link.
+#[derive(Debug)]
+pub struct FaultPlan {
+    /// Probability a packet is silently dropped per *route* traversal.
+    pub drop_prob: f64,
+    /// Probability a packet is corrupted per route traversal (it still
+    /// consumes wire time and is delivered marked corrupt).
+    pub corrupt_prob: f64,
+    down: HashSet<LinkId>,
+    rng: SimRng,
+    drops: u64,
+    corruptions: u64,
+}
+
+impl FaultPlan {
+    /// A fault-free plan (the common case; Myrinet error rates are tiny).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            down: HashSet::new(),
+            rng: SimRng::seed_from_u64(seed),
+            drops: 0,
+            corruptions: 0,
+        }
+    }
+
+    /// A plan with the given random error probabilities.
+    pub fn with_errors(seed: u64, drop_prob: f64, corrupt_prob: f64) -> Self {
+        let mut p = Self::none(seed);
+        p.drop_prob = drop_prob;
+        p.corrupt_prob = corrupt_prob;
+        p
+    }
+
+    /// Take a link down (hot-swap start). Packets routed over it are lost.
+    pub fn link_down(&mut self, l: LinkId) {
+        self.down.insert(l);
+    }
+
+    /// Bring a link back up (hot-swap complete).
+    pub fn link_up(&mut self, l: LinkId) {
+        self.down.remove(&l);
+    }
+
+    /// Whether a link is currently down.
+    pub fn is_down(&self, l: LinkId) -> bool {
+        self.down.contains(&l)
+    }
+
+    /// Evaluate the fault model for one packet over `route`.
+    /// `None` means clean passage; `Some(reason)` means the packet is lost
+    /// or corrupted.
+    pub fn judge(&mut self, route: &[LinkId]) -> Option<DropReason> {
+        if route.iter().any(|l| self.down.contains(l)) {
+            self.drops += 1;
+            return Some(DropReason::LinkDown);
+        }
+        if self.drop_prob > 0.0 && self.rng.chance(self.drop_prob) {
+            self.drops += 1;
+            return Some(DropReason::TransmissionError);
+        }
+        if self.corrupt_prob > 0.0 && self.rng.chance(self.corrupt_prob) {
+            self.corruptions += 1;
+            return Some(DropReason::Corrupted);
+        }
+        None
+    }
+
+    /// Packets dropped so far (errors + down links).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Packets corrupted so far.
+    pub fn corruptions(&self) -> u64 {
+        self.corruptions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_passes_everything() {
+        let mut p = FaultPlan::none(1);
+        for _ in 0..1000 {
+            assert_eq!(p.judge(&[LinkId(0), LinkId(1)]), None);
+        }
+        assert_eq!(p.drops(), 0);
+    }
+
+    #[test]
+    fn down_link_kills_routes_over_it() {
+        let mut p = FaultPlan::none(1);
+        p.link_down(LinkId(5));
+        assert!(p.is_down(LinkId(5)));
+        assert_eq!(p.judge(&[LinkId(4), LinkId(5)]), Some(DropReason::LinkDown));
+        assert_eq!(p.judge(&[LinkId(4), LinkId(6)]), None);
+        p.link_up(LinkId(5));
+        assert_eq!(p.judge(&[LinkId(4), LinkId(5)]), None);
+        assert_eq!(p.drops(), 1);
+    }
+
+    #[test]
+    fn error_rates_approximate_probability() {
+        let mut p = FaultPlan::with_errors(7, 0.1, 0.1);
+        let mut drops = 0;
+        let mut corrupt = 0;
+        for _ in 0..10_000 {
+            match p.judge(&[LinkId(0)]) {
+                Some(DropReason::TransmissionError) => drops += 1,
+                Some(DropReason::Corrupted) => corrupt += 1,
+                _ => {}
+            }
+        }
+        assert!((800..1200).contains(&drops), "drops={drops}");
+        // Corruption is judged only on the 90% that survive the drop check.
+        assert!((700..1100).contains(&corrupt), "corrupt={corrupt}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Wire packets.
+
+use std::fmt;
+
+/// Identifier of a host (workstation) attached to the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// Index form, for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A packet in flight. The fabric charges wire time for
+/// `header_bytes + payload bytes` and routes on `(src, dst, channel)`;
+/// the payload `P` is opaque.
+#[derive(Clone, Debug)]
+pub struct Packet<P> {
+    /// Injecting host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Logical channel; selects among the multipath routes between the pair.
+    pub channel: u8,
+    /// Payload size on the wire, excluding the link header.
+    pub bytes: u32,
+    /// Upper-layer payload (NIC frame).
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Total wire size given a link-header size.
+    pub fn wire_bytes(&self, header_bytes: u32) -> u32 {
+        self.bytes + header_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_includes_header() {
+        let p = Packet { src: HostId(0), dst: HostId(1), channel: 0, bytes: 16, payload: () };
+        assert_eq!(p.wire_bytes(8), 24);
+    }
+
+    #[test]
+    fn host_id_formats() {
+        assert_eq!(format!("{}", HostId(42)), "h42");
+        assert_eq!(format!("{:?}", HostId(7)), "h7");
+        assert_eq!(HostId(3).idx(), 3);
+    }
+}

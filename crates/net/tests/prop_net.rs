@@ -1,0 +1,108 @@
+//! Property tests for the network substrate: route validity over arbitrary
+//! fat trees, and fabric timing invariants.
+
+use proptest::prelude::*;
+use vnet_net::{Fabric, FaultPlan, HostId, InjectOutcome, NetConfig, Packet, Topology, TopologySpec};
+use vnet_sim::SimTime;
+
+fn fat_tree() -> impl Strategy<Value = TopologySpec> {
+    (1u32..8, 1u32..8, 1u32..6).prop_map(|(leaves, hosts_per_leaf, spines)| {
+        TopologySpec::FatTree { leaves, hosts_per_leaf, spines }
+    })
+}
+
+proptest! {
+    /// Every route over every fat tree uses valid links, starts at the
+    /// source's up link, and ends at the destination's down link.
+    #[test]
+    fn routes_valid(spec in fat_tree(), channel in 0u8..8) {
+        let topo = Topology::build(spec);
+        let h = topo.host_count();
+        prop_assume!(h >= 2);
+        let mut r = vec![];
+        for s in 0..h {
+            for d in 0..h {
+                if s == d {
+                    continue;
+                }
+                r.clear();
+                let hops = topo.route(HostId(s), HostId(d), channel, &mut r);
+                prop_assert!(!r.is_empty());
+                prop_assert!(hops >= 1);
+                for l in &r {
+                    prop_assert!(l.idx() < topo.link_count() as usize);
+                }
+                prop_assert_eq!(*r.last().unwrap(), topo.host_down_link(HostId(d)));
+                // No link repeats within one route (loop freedom).
+                let mut seen = std::collections::HashSet::new();
+                for l in &r {
+                    prop_assert!(seen.insert(*l), "route revisits a link");
+                }
+            }
+        }
+    }
+
+    /// Uncontended delivery delay is positive and nondecreasing in size.
+    #[test]
+    fn delay_monotone_in_bytes(
+        spec in fat_tree(),
+        sizes in prop::collection::vec(1u32..16_000, 2..10),
+    ) {
+        let topo = Topology::build(spec);
+        prop_assume!(topo.host_count() >= 2);
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let mut last = None;
+        for bytes in sorted {
+            // Fresh fabric each time: no contention carryover.
+            let mut f = Fabric::new(
+                NetConfig::default(),
+                Topology::build(topo.spec().clone()),
+                FaultPlan::none(1),
+            );
+            let out = f.inject(
+                SimTime::ZERO,
+                Packet { src: HostId(0), dst: HostId(topo.host_count() - 1), channel: 0, bytes, payload: () },
+            );
+            let InjectOutcome::Delivered { delay, .. } = out else {
+                prop_assert!(false, "clean fabric must deliver");
+                unreachable!()
+            };
+            prop_assert!(delay.as_nanos() > 0);
+            if let Some(prev) = last {
+                prop_assert!(delay >= prev, "bigger packets cannot arrive faster");
+            }
+            last = Some(delay);
+        }
+    }
+
+    /// Same injection sequence produces identical delays (determinism).
+    #[test]
+    fn fabric_deterministic(
+        seed in any::<u64>(),
+        flows in prop::collection::vec((0u32..10, 0u32..10, 1u32..9000), 1..50),
+    ) {
+        let run = || {
+            let mut f = Fabric::new(
+                NetConfig::default(),
+                Topology::build(TopologySpec::FatTree { leaves: 5, hosts_per_leaf: 2, spines: 2 }),
+                FaultPlan::with_errors(seed, 0.05, 0.05),
+            );
+            let mut out = vec![];
+            for (i, &(s, d, bytes)) in flows.iter().enumerate() {
+                if s == d {
+                    continue;
+                }
+                let t = SimTime::from_nanos(i as u64 * 500);
+                match f.inject(t, Packet { src: HostId(s), dst: HostId(d), channel: 0, bytes, payload: () }) {
+                    InjectOutcome::Delivered { delay, corrupt, .. } => {
+                        out.push((i, delay.as_nanos(), corrupt))
+                    }
+                    InjectOutcome::Dropped { .. } => out.push((i, u64::MAX, false)),
+                }
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,277 @@
+//! Logical flow-control channels (§5.1).
+//!
+//! A channel is one lane of the lightweight stop-and-wait protocol between
+//! a pair of interfaces: at most one unacknowledged data frame outstanding,
+//! sequence-numbered, statically bound to a network route (the fabric maps
+//! the channel index to a spine, giving multipath). Multiple channels per
+//! peer mask transmission and acknowledgment latency.
+//!
+//! Channels are *shared physical resources*: a message may not squat on one
+//! forever. After [`max_retx_before_unbind`] consecutive retransmissions
+//! the NI unbinds the message (returning it to its endpoint's queue for a
+//! later reacquire) so the channel can serve other traffic.
+//!
+//! Sequence state is self-synchronizing: a receiver that sees a sequence
+//! number from the future (peer rebooted or message epoch advanced) adopts
+//! it rather than wedging.
+//!
+//! [`max_retx_before_unbind`]: crate::config::NicConfig::max_retx_before_unbind
+
+use crate::ids::EpId;
+use crate::msg::Frame;
+use vnet_net::HostId;
+use vnet_sim::{SimDuration, SimTime};
+
+/// Identifies one channel: the peer host and the lane index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ChannelKey {
+    /// Remote interface.
+    pub peer: HostId,
+    /// Lane index in `0..channels_per_peer`.
+    pub idx: u8,
+}
+
+/// A frame bound to a channel awaiting acknowledgment.
+#[derive(Clone, Debug)]
+pub struct InFlight {
+    /// Message uid (matches `ack_uid` on the returning ack).
+    pub uid: u64,
+    /// Originating endpoint (for quiescence accounting).
+    pub src_ep: EpId,
+    /// The frame, kept in NI memory for retransmission.
+    pub frame: Frame,
+    /// Wire payload bytes (for re-injection).
+    pub bytes: u32,
+    /// When the most recent copy was transmitted.
+    pub last_tx: SimTime,
+    /// Consecutive retransmissions of this binding.
+    pub retx: u32,
+    /// Timer generation; stale timer events are ignored.
+    pub gen: u64,
+}
+
+/// Sender-side state of one channel.
+#[derive(Clone, Debug)]
+pub struct ChannelState {
+    /// Next sequence number to assign.
+    pub next_seq: u64,
+    /// Reserved by a bulk send whose payload is still staging through the
+    /// SBUS; the bind happens when the DMA completes.
+    pub reserved: bool,
+    /// The outstanding frame, if any (stop-and-wait: at most one).
+    pub in_flight: Option<InFlight>,
+    /// Current retransmission timeout (doubles per retransmission, jittered
+    /// by the caller, reset on successful acknowledgment).
+    pub rto: SimDuration,
+    /// Monotone timer generation counter.
+    pub gen: u64,
+}
+
+impl ChannelState {
+    /// Fresh channel with the given base timeout.
+    pub fn new(rto_base: SimDuration) -> Self {
+        ChannelState { next_seq: 0, reserved: false, in_flight: None, rto: rto_base, gen: 0 }
+    }
+
+    /// Whether a new message can bind to (or reserve) this channel.
+    pub fn is_free(&self) -> bool {
+        self.in_flight.is_none() && !self.reserved
+    }
+
+    /// Bind a frame: assign the next sequence number and occupy the channel
+    /// (clearing any staging reservation). Returns the assigned sequence.
+    /// Panics if another message is already bound.
+    pub fn bind(&mut self, mut inf: InFlight) -> u64 {
+        assert!(self.in_flight.is_none(), "stop-and-wait violated");
+        self.reserved = false;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.gen += 1;
+        inf.gen = self.gen;
+        inf.frame.seq = seq;
+        self.in_flight = Some(inf);
+        seq
+    }
+
+    /// Complete the outstanding frame if `ack_uid` matches; returns it.
+    /// A stale ack (uid mismatch — e.g. the ack of an unbound message's
+    /// earlier copy) returns `None` and leaves the channel untouched.
+    pub fn complete(&mut self, ack_uid: u64, rto_base: SimDuration) -> Option<InFlight> {
+        match &self.in_flight {
+            Some(inf) if inf.uid == ack_uid => {
+                self.rto = rto_base;
+                self.gen += 1; // invalidate the pending timer
+                self.in_flight.take()
+            }
+            _ => None,
+        }
+    }
+
+    /// Record a retransmission: bump counters and back off the timeout
+    /// (caller applies jitter and the cap). Returns the new retx count.
+    pub fn on_retransmit(&mut self, rto_max: SimDuration) -> u32 {
+        let inf = self.in_flight.as_mut().expect("retransmit with nothing in flight");
+        inf.retx += 1;
+        self.gen += 1;
+        inf.gen = self.gen;
+        self.rto = self.rto.saturating_mul(2).min(rto_max);
+        inf.retx
+    }
+
+    /// Forcibly unbind the outstanding frame (channel reuse, §5.1).
+    /// Returns the evicted in-flight record.
+    pub fn unbind(&mut self, rto_base: SimDuration) -> Option<InFlight> {
+        self.rto = rto_base;
+        self.gen += 1;
+        self.in_flight.take()
+    }
+}
+
+/// Receiver-side per-channel sequence tracking.
+#[derive(Clone, Debug, Default)]
+pub struct RxChannel {
+    /// Next expected sequence number.
+    pub expected: u64,
+}
+
+impl RxChannel {
+    /// Classify an arriving data frame's sequence number.
+    /// Self-synchronizing: future sequences are adopted (§5.1 — channels
+    /// "automatically re-initialize sequencing state").
+    pub fn accept(&mut self, seq: u64) -> SeqClass {
+        use std::cmp::Ordering::*;
+        match seq.cmp(&self.expected) {
+            Equal => {
+                self.expected = seq + 1;
+                SeqClass::InOrder
+            }
+            Less => SeqClass::Duplicate,
+            Greater => {
+                self.expected = seq + 1;
+                SeqClass::Resync
+            }
+        }
+    }
+}
+
+/// How a sequence number relates to the receiver's expectation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeqClass {
+    /// The expected next frame.
+    InOrder,
+    /// A retransmission of something already seen on this channel.
+    Duplicate,
+    /// Sender state is ahead (reboot/unbind churn); state adopted.
+    Resync,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GlobalEp, ProtectionKey};
+    use crate::msg::{FrameKind, UserMsg};
+
+    fn inflight(uid: u64) -> InFlight {
+        let msg = UserMsg {
+            uid,
+            is_request: true,
+            handler: 0,
+            args: [0; 4],
+            payload_bytes: 0,
+            src_ep: GlobalEp::new(HostId(0), EpId(0)),
+            reply_key: ProtectionKey::OPEN,
+            corr: 0,
+        };
+        InFlight {
+            uid,
+            src_ep: EpId(0),
+            frame: Frame {
+                kind: FrameKind::Data(msg),
+                dst_ep: EpId(0),
+                key: ProtectionKey::OPEN,
+                chan: 0,
+                seq: 0,
+                ack_uid: 0,
+                timestamp: 0,
+            },
+            bytes: 48,
+            last_tx: SimTime::ZERO,
+            retx: 0,
+            gen: 0,
+        }
+    }
+
+    const RTO: SimDuration = SimDuration::from_micros(100);
+    const RTO_MAX: SimDuration = SimDuration::from_millis(8);
+
+    #[test]
+    fn bind_assigns_monotone_seqs() {
+        let mut c = ChannelState::new(RTO);
+        let s0 = c.bind(inflight(1));
+        assert_eq!(s0, 0);
+        assert!(!c.is_free());
+        assert!(c.complete(1, RTO).is_some());
+        let s1 = c.bind(inflight(2));
+        assert_eq!(s1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stop-and-wait violated")]
+    fn double_bind_panics() {
+        let mut c = ChannelState::new(RTO);
+        c.bind(inflight(1));
+        c.bind(inflight(2));
+    }
+
+    #[test]
+    fn stale_ack_ignored() {
+        let mut c = ChannelState::new(RTO);
+        c.bind(inflight(5));
+        assert!(c.complete(99, RTO).is_none());
+        assert!(!c.is_free());
+        assert!(c.complete(5, RTO).is_some());
+        assert!(c.is_free());
+    }
+
+    #[test]
+    fn retransmit_backs_off_and_caps() {
+        let mut c = ChannelState::new(RTO);
+        c.bind(inflight(1));
+        for i in 1..=10 {
+            let n = c.on_retransmit(RTO_MAX);
+            assert_eq!(n, i);
+        }
+        assert_eq!(c.rto, RTO_MAX);
+        // Ack resets the backoff.
+        c.complete(1, RTO);
+        assert_eq!(c.rto, RTO);
+    }
+
+    #[test]
+    fn unbind_frees_channel() {
+        let mut c = ChannelState::new(RTO);
+        c.bind(inflight(1));
+        let gen_before = c.gen;
+        let evicted = c.unbind(RTO).unwrap();
+        assert_eq!(evicted.uid, 1);
+        assert!(c.is_free());
+        assert!(c.gen > gen_before, "pending timer must be invalidated");
+    }
+
+    #[test]
+    fn rx_in_order_and_duplicates() {
+        let mut rx = RxChannel::default();
+        assert_eq!(rx.accept(0), SeqClass::InOrder);
+        assert_eq!(rx.accept(1), SeqClass::InOrder);
+        assert_eq!(rx.accept(1), SeqClass::Duplicate);
+        assert_eq!(rx.accept(0), SeqClass::Duplicate);
+        assert_eq!(rx.accept(2), SeqClass::InOrder);
+    }
+
+    #[test]
+    fn rx_resyncs_on_future_seq() {
+        let mut rx = RxChannel::default();
+        assert_eq!(rx.accept(41), SeqClass::Resync);
+        assert_eq!(rx.accept(42), SeqClass::InOrder);
+    }
+}

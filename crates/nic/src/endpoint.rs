@@ -1,0 +1,218 @@
+//! Endpoint state as it moves between NI frames and host memory.
+//!
+//! An endpoint's substance — its send queue, receive queues, protection
+//! key, event mask — is the [`EndpointImage`]. When resident, the image
+//! lives in an NI endpoint frame (this crate holds it); when non-resident
+//! it is "like any other cacheable memory page" and the OS holds it. Loads
+//! and unloads move the image wholesale (8 KB over the SBUS).
+
+use crate::ids::{GlobalEp, ProtectionKey};
+use crate::msg::{DeliveredMsg, UserMsg};
+use std::collections::VecDeque;
+use vnet_sim::SimTime;
+
+/// A send descriptor waiting in an endpoint's send queue (or parked there
+/// again after a transient NACK or a channel unbind).
+#[derive(Clone, Debug)]
+pub struct PendingSend {
+    /// Message uid (assigned at post time).
+    pub uid: u64,
+    /// Destination endpoint.
+    pub dst: GlobalEp,
+    /// Protection key for the destination.
+    pub key: ProtectionKey,
+    /// The message.
+    pub msg: UserMsg,
+    /// Earliest time the NI may (re)transmit it — backoff after transient
+    /// NACKs and channel unbinds.
+    pub not_before: SimTime,
+    /// Consecutive transient NACKs drawn (drives the retry backoff).
+    pub nacks: u32,
+    /// Channel unbind cycles experienced (drives return-to-sender).
+    pub unbind_cycles: u32,
+}
+
+/// The migratable endpoint state.
+#[derive(Clone, Debug)]
+pub struct EndpointImage {
+    /// Protection key arriving messages must present.
+    pub key: ProtectionKey,
+    /// Whether message arrival should raise a driver event (§3.3 event
+    /// masks; set when threads block on the endpoint).
+    pub notify_on_arrival: bool,
+    /// Send descriptors (bounded by `send_queue_depth`).
+    pub send_q: VecDeque<PendingSend>,
+    /// Received requests awaiting the application (bounded, 32).
+    pub recv_req: VecDeque<DeliveredMsg>,
+    /// Received replies + returned-undeliverable messages (bounded, 32).
+    pub recv_rep: VecDeque<DeliveredMsg>,
+}
+
+impl EndpointImage {
+    /// Fresh image with the given protection key.
+    pub fn new(key: ProtectionKey) -> Self {
+        EndpointImage {
+            key,
+            notify_on_arrival: false,
+            send_q: VecDeque::new(),
+            recv_req: VecDeque::new(),
+            recv_rep: VecDeque::new(),
+        }
+    }
+
+    /// Whether any receive queue holds a message.
+    pub fn has_received(&self) -> bool {
+        !self.recv_req.is_empty() || !self.recv_rep.is_empty()
+    }
+
+    /// Whether there is anything to transmit.
+    pub fn has_send_work(&self) -> bool {
+        !self.send_q.is_empty()
+    }
+
+    /// Whether the head of the send queue is eligible at `now` (its
+    /// `not_before` backoff has expired).
+    pub fn head_eligible(&self, now: SimTime) -> bool {
+        self.send_q.front().map(|p| p.not_before <= now).unwrap_or(false)
+    }
+
+    /// Earliest `not_before` of the queue head, if any (for wakeup timers).
+    pub fn head_not_before(&self) -> Option<SimTime> {
+        self.send_q.front().map(|p| p.not_before)
+    }
+}
+
+/// State of one NI endpoint frame slot.
+#[derive(Clone, Debug)]
+pub enum FrameSlot {
+    /// Unoccupied.
+    Free,
+    /// Reserved for `ep` while its image streams in over the SBUS; not yet
+    /// serviceable (arrivals still draw NotResident NACKs).
+    Loading {
+        /// The endpoint index being bound here.
+        ep: crate::ids::EpId,
+        /// The incoming state (conceptually in transit on the SBUS).
+        image: Box<EndpointImage>,
+        /// Driver clock of the load request (echoed in the reply).
+        clock: u64,
+    },
+    /// Hosting a resident, serviceable endpoint.
+    Active {
+        /// The endpoint index bound here.
+        ep: crate::ids::EpId,
+        /// The endpoint's state.
+        image: Box<EndpointImage>,
+    },
+    /// Being quiesced for unload (§5.3): no new transmissions; in-flight
+    /// messages continue retransmitting until acknowledged.
+    Draining {
+        /// The endpoint index bound here.
+        ep: crate::ids::EpId,
+        /// The endpoint's state.
+        image: Box<EndpointImage>,
+        /// Driver clock of the unload request (echoed in the reply).
+        clock: u64,
+    },
+}
+
+impl FrameSlot {
+    /// The endpoint bound to this slot in any phase (loading, active, or
+    /// draining).
+    pub fn occupant(&self) -> Option<crate::ids::EpId> {
+        match self {
+            FrameSlot::Free => None,
+            FrameSlot::Loading { ep, .. }
+            | FrameSlot::Active { ep, .. }
+            | FrameSlot::Draining { ep, .. } => Some(*ep),
+        }
+    }
+
+    /// Image access regardless of slot phase.
+    pub fn image(&self) -> Option<&EndpointImage> {
+        match self {
+            FrameSlot::Free => None,
+            FrameSlot::Loading { image, .. }
+            | FrameSlot::Active { image, .. }
+            | FrameSlot::Draining { image, .. } => Some(image),
+        }
+    }
+
+    /// Mutable image access regardless of slot phase.
+    pub fn image_mut(&mut self) -> Option<&mut EndpointImage> {
+        match self {
+            FrameSlot::Free => None,
+            FrameSlot::Loading { image, .. }
+            | FrameSlot::Active { image, .. }
+            | FrameSlot::Draining { image, .. } => Some(image),
+        }
+    }
+
+    /// Whether the slot accepts new work (sends, deposits).
+    pub fn is_active(&self) -> bool {
+        matches!(self, FrameSlot::Active { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EpId;
+    use vnet_net::HostId;
+
+    fn ps(uid: u64, not_before: SimTime) -> PendingSend {
+        PendingSend {
+            uid,
+            dst: GlobalEp::new(HostId(1), EpId(0)),
+            key: ProtectionKey::OPEN,
+            msg: UserMsg {
+                uid,
+                is_request: true,
+                handler: 0,
+                args: [0; 4],
+                payload_bytes: 0,
+                src_ep: GlobalEp::new(HostId(0), EpId(0)),
+                reply_key: ProtectionKey::OPEN,
+                corr: 0,
+            },
+            not_before,
+            nacks: 0,
+            unbind_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn fresh_image_is_idle() {
+        let img = EndpointImage::new(ProtectionKey(9));
+        assert!(!img.has_received());
+        assert!(!img.has_send_work());
+        assert!(!img.head_eligible(SimTime::ZERO));
+        assert_eq!(img.head_not_before(), None);
+    }
+
+    #[test]
+    fn head_eligibility_follows_not_before() {
+        let mut img = EndpointImage::new(ProtectionKey::OPEN);
+        img.send_q.push_back(ps(1, SimTime::from_nanos(100)));
+        assert!(img.has_send_work());
+        assert!(!img.head_eligible(SimTime::from_nanos(99)));
+        assert!(img.head_eligible(SimTime::from_nanos(100)));
+        assert_eq!(img.head_not_before(), Some(SimTime::from_nanos(100)));
+    }
+
+    #[test]
+    fn slot_phases() {
+        let mut slot = FrameSlot::Active {
+            ep: EpId(4),
+            image: Box::new(EndpointImage::new(ProtectionKey::OPEN)),
+        };
+        assert!(slot.is_active());
+        assert_eq!(slot.occupant(), Some(EpId(4)));
+        assert!(slot.image().is_some());
+        assert!(slot.image_mut().is_some());
+        slot = FrameSlot::Free;
+        assert!(!slot.is_active());
+        assert_eq!(slot.occupant(), None);
+        assert!(slot.image().is_none());
+    }
+}

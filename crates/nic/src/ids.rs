@@ -1,0 +1,89 @@
+//! Identifiers shared across the NIC/OS boundary.
+
+use std::fmt;
+use vnet_net::HostId;
+
+/// Per-host endpoint index. Dense, allocated by the OS endpoint driver.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EpId(pub u32);
+
+impl EpId {
+    /// Index form, for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+impl fmt::Display for EpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// A globally unique endpoint address: `(host, endpoint)`.
+///
+/// This is the *resolved* form of the paper's opaque endpoint names — what a
+/// translation-table entry points at after rendezvous.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalEp {
+    /// Hosting workstation.
+    pub host: HostId,
+    /// Endpoint index on that host.
+    pub ep: EpId,
+}
+
+impl GlobalEp {
+    /// Convenience constructor.
+    pub fn new(host: HostId, ep: EpId) -> Self {
+        GlobalEp { host, ep }
+    }
+}
+
+impl fmt::Debug for GlobalEp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.ep)
+    }
+}
+
+impl fmt::Display for GlobalEp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.ep)
+    }
+}
+
+/// Protection key (§3.1). The NI stamps every outgoing message with the key
+/// from the sender's translation table and the receiving NI verifies it
+/// against the destination endpoint's key before depositing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ProtectionKey(pub u64);
+
+impl ProtectionKey {
+    /// The "no protection" key used by system endpoints and the GAM
+    /// baseline (which predates the protection model).
+    pub const OPEN: ProtectionKey = ProtectionKey(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        let g = GlobalEp::new(HostId(3), EpId(7));
+        assert_eq!(format!("{g}"), "h3:ep7");
+        assert_eq!(format!("{g:?}"), "h3:ep7");
+        assert_eq!(EpId(2).idx(), 2);
+    }
+
+    #[test]
+    fn keys_compare() {
+        assert_eq!(ProtectionKey::OPEN, ProtectionKey(0));
+        assert_ne!(ProtectionKey(1), ProtectionKey(2));
+    }
+}

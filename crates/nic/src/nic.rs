@@ -1,0 +1,1513 @@
+//! The NIC firmware state machine.
+//!
+//! The firmware is a single serial processor. Work arrives from three
+//! directions — the network (frames), the host (posted sends, driver
+//! operations), and its own timers (retransmission, DMA completion) — and
+//! every item costs processor time from [`crate::config::FwCosts`]. The
+//! dispatch loop drains an inbox FIFO (arrivals, completions, driver ops)
+//! and otherwise serves send descriptors under the weighted round-robin
+//! discipline of [`crate::sched`].
+//!
+//! All interaction with the outside world is via [`NicOut`] effects; the
+//! composing world maps them onto the global event graph.
+
+use crate::channel::{ChannelKey, ChannelState, InFlight, RxChannel};
+use crate::config::{NicConfig, NicMode};
+use crate::dma::{DmaDirection, DmaEngine};
+use crate::endpoint::{FrameSlot, PendingSend};
+use crate::ids::{EpId, GlobalEp};
+use crate::msg::{
+    AckEntry, DeliveredMsg, DriverMsg, DriverOp, Frame, FrameKind, NackReason, PollOutcome,
+    PostError, QueueSel, SendRequest, UserMsg,
+};
+use crate::sched::WrrScheduler;
+use crate::stats::NicStats;
+use std::collections::{HashMap, HashSet, VecDeque};
+use vnet_net::{HostId, Packet};
+use vnet_sim::{SimDuration, SimRng, SimTime};
+
+/// Events delivered to a NIC by the simulation engine.
+#[derive(Clone, Debug)]
+pub enum NicEvent {
+    /// Firmware dispatch step (generation-guarded; stale steps are no-ops).
+    FwStep {
+        /// Generation stamp; must match the NIC's current value.
+        gen: u64,
+    },
+    /// Retransmission timer for a channel.
+    Retx {
+        /// The channel.
+        key: ChannelKey,
+        /// In-flight generation at arming time; stale timers are ignored.
+        gen: u64,
+    },
+    /// An SBUS DMA transfer finished.
+    DmaDone(DmaTag),
+    /// Emit a packet whose firmware processing just completed (effects of
+    /// a firmware step take effect at the step's end, not its start).
+    EmitPkt(Box<Packet<Frame>>),
+    /// Emit a driver message whose firmware processing just completed.
+    EmitDriver(DriverMsg),
+    /// Deposit a small message whose receive processing just completed,
+    /// then emit the (n)ack.
+    DepositSmall {
+        /// Sending host (ack destination).
+        src: HostId,
+        /// The data frame.
+        frame: Box<Frame>,
+    },
+    /// Flush the coalesced-ack buffer for a peer (§8 piggybacked acks).
+    FlushAcks {
+        /// Peer whose buffer to flush.
+        peer: HostId,
+        /// Buffer generation at arming time; stale flushes are ignored.
+        gen: u64,
+    },
+}
+
+/// What a completed DMA was doing.
+#[derive(Clone, Debug)]
+pub enum DmaTag {
+    /// Bulk send staging (host → NI) finished for message `uid`.
+    SendStaged {
+        /// The staged message.
+        uid: u64,
+    },
+    /// Bulk receive delivery (NI → host) finished for message `uid`.
+    RecvStaged {
+        /// The staged message.
+        uid: u64,
+    },
+    /// Endpoint frame load (host → NI) finished.
+    LoadDone {
+        /// The endpoint.
+        ep: EpId,
+    },
+    /// Endpoint frame unload (NI → host) finished.
+    UnloadDone {
+        /// The endpoint.
+        ep: EpId,
+    },
+}
+
+/// Effects emitted by the NIC for the composing world to apply.
+#[derive(Debug)]
+pub enum NicOut {
+    /// Schedule `ev` for this same NIC after `delay`.
+    After(SimDuration, NicEvent),
+    /// Inject a packet into the fabric.
+    Inject(Packet<Frame>),
+    /// Deliver a message to the local endpoint segment driver.
+    Driver(DriverMsg),
+}
+
+/// Internal firmware work items (inbox entries).
+#[derive(Debug)]
+enum FwWork {
+    Rx { src: HostId, frame: Frame },
+    Retx(ChannelKey),
+    Dma(DmaTag),
+    Driver(DriverOp),
+}
+
+struct StagedSend {
+    ps: PendingSend,
+    chan: ChannelKey,
+    src_ep: EpId,
+}
+
+struct StagedRecv {
+    src: HostId,
+    frame: Frame,
+}
+
+/// Bounded set of recently delivered message uids (exactly-once filter).
+#[derive(Default)]
+struct DedupWindow {
+    set: HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl DedupWindow {
+    fn contains(&self, uid: u64) -> bool {
+        self.set.contains(&uid)
+    }
+
+    fn insert(&mut self, uid: u64, cap: usize) {
+        if self.set.insert(uid) {
+            self.order.push_back(uid);
+            while self.order.len() > cap {
+                let old = self.order.pop_front().unwrap();
+                self.set.remove(&old);
+            }
+        }
+    }
+}
+
+/// One network interface.
+pub struct Nic {
+    host: HostId,
+    cfg: NicConfig,
+    frames: Vec<FrameSlot>,
+    ep_frame: HashMap<EpId, usize>,
+    registered: HashSet<EpId>,
+    tx: HashMap<ChannelKey, ChannelState>,
+    rx: HashMap<ChannelKey, RxChannel>,
+    dedup: DedupWindow,
+    dma: DmaEngine,
+    sched: WrrScheduler,
+    inbox: VecDeque<FwWork>,
+    staging_out: HashMap<u64, StagedSend>,
+    staging_in: HashMap<u64, StagedRecv>,
+    /// Retry metadata for channel-bound messages:
+    /// `(transient nacks, unbind cycles, destination, key)`.
+    pending_meta: HashMap<u64, (u32, u32, GlobalEp, crate::ids::ProtectionKey)>,
+    in_flight_per_ep: HashMap<EpId, u32>,
+    unload_dma_started: HashSet<EpId>,
+    need_resident_pending: HashSet<EpId>,
+    pending_returns: HashMap<EpId, VecDeque<DeliveredMsg>>,
+    fw_busy_until: SimTime,
+    fw_step_gen: u64,
+    fw_scheduled_at: SimTime,
+    clock: u64,
+    uid_counter: u64,
+    chan_rr: HashMap<HostId, u8>,
+    /// Per-peer smoothed RTT estimate (µs) and variance, from reflected
+    /// timestamps (adaptive retransmission scheduling, §8).
+    peer_rtt: HashMap<HostId, (f64, f64)>,
+    /// Coalesced positive acks awaiting flush, per peer.
+    ack_buf: HashMap<HostId, Vec<AckEntry>>,
+    /// Flush-timer generation per peer.
+    ack_flush_gen: HashMap<HostId, u64>,
+    rng: SimRng,
+    stats: NicStats,
+}
+
+impl Nic {
+    /// A NIC for `host` with deterministic randomness derived from `seed`.
+    pub fn new(host: HostId, cfg: NicConfig, seed: u64) -> Self {
+        let frames = (0..cfg.frames).map(|_| FrameSlot::Free).collect::<Vec<_>>();
+        let sched = WrrScheduler::new(frames.len());
+        Nic {
+            host,
+            dma: DmaEngine::now_sbus(),
+            frames,
+            ep_frame: HashMap::new(),
+            registered: HashSet::new(),
+            tx: HashMap::new(),
+            rx: HashMap::new(),
+            dedup: DedupWindow::default(),
+            sched,
+            inbox: VecDeque::new(),
+            staging_out: HashMap::new(),
+            staging_in: HashMap::new(),
+            pending_meta: HashMap::new(),
+            in_flight_per_ep: HashMap::new(),
+            unload_dma_started: HashSet::new(),
+            need_resident_pending: HashSet::new(),
+            pending_returns: HashMap::new(),
+            fw_busy_until: SimTime::ZERO,
+            fw_step_gen: 0,
+            fw_scheduled_at: SimTime::MAX,
+            clock: 0,
+            uid_counter: 0,
+            chan_rr: HashMap::new(),
+            peer_rtt: HashMap::new(),
+            ack_buf: HashMap::new(),
+            ack_flush_gen: HashMap::new(),
+            rng: SimRng::seed_from_u64(seed).derive(host.0 as u64),
+            stats: NicStats::default(),
+            cfg,
+        }
+    }
+
+    /// This NIC's host.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> &NicStats {
+        &self.stats
+    }
+
+    /// Current Lamport clock.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The shared SBUS DMA engine (instrumentation).
+    pub fn dma(&self) -> &DmaEngine {
+        &self.dma
+    }
+
+    fn tick_clock(&mut self, seen: u64) -> u64 {
+        self.clock = self.clock.max(seen) + 1;
+        self.clock
+    }
+
+    fn next_uid(&mut self) -> u64 {
+        self.uid_counter += 1;
+        ((self.host.0 as u64) << 40) | self.uid_counter
+    }
+
+    /// Host PIO read of the message-id allocator, used by the OS library
+    /// when writing send descriptors into a *non-resident* endpoint's host
+    /// image (those descriptors bypass [`Nic::post_send`]).
+    pub fn alloc_uid(&mut self) -> u64 {
+        self.next_uid()
+    }
+
+    fn ts32(now: SimTime) -> u32 {
+        (now.as_nanos() / 1_000) as u32
+    }
+
+    /// Retransmission timeout for a frame of `bytes` payload: the channel's
+    /// backoff state plus slack for the wire + SBUS staging time of a bulk
+    /// payload (a fixed timeout sized for short messages would fire before
+    /// an 8 KB message's ack can possibly return). With
+    /// [`NicConfig::adaptive_rto`], the base comes from the peer's
+    /// SRTT + 4·RTTVAR estimate instead (plus any accumulated backoff).
+    ///
+    /// [`NicConfig::adaptive_rto`]: crate::config::NicConfig::adaptive_rto
+    fn rto_for(&self, peer: HostId, ch_rto: SimDuration, bytes: u32) -> SimDuration {
+        // Slack sized for a congested staging path (~10 MB/s effective):
+        // several queued 8 KB deposits ahead of ours on the receiver's
+        // SBUS engine must not fire the timer.
+        let size_slack = SimDuration::for_bytes(bytes as u64 * 2, 10.0);
+        if self.cfg.adaptive_rto {
+            if let Some(&(srtt, rttvar)) = self.peer_rtt.get(&peer) {
+                // Floor at the fixed base: the estimator only ever
+                // lengthens the timer (under congestion), never undercuts
+                // the minimum safe granularity.
+                let est = SimDuration::from_micros_f64(srtt + 4.0 * rttvar)
+                    .max(self.cfg.rto_base);
+                // Carry the exponential backoff excess accumulated on the
+                // channel (resets on successful acknowledgment).
+                let backoff_excess = ch_rto - self.cfg.rto_base;
+                return est + backoff_excess + size_slack;
+            }
+        }
+        ch_rto + size_slack
+    }
+
+    /// Fold an RTT sample (µs) into the peer's estimator (Jacobson/Karels).
+    fn observe_rtt(&mut self, peer: HostId, sample_us: f64) {
+        match self.peer_rtt.get_mut(&peer) {
+            None => {
+                self.peer_rtt.insert(peer, (sample_us, sample_us / 2.0));
+            }
+            Some((srtt, rttvar)) => {
+                let err = (sample_us - *srtt).abs();
+                *rttvar = 0.75 * *rttvar + 0.25 * err;
+                *srtt = 0.875 * *srtt + 0.125 * sample_us;
+            }
+        }
+    }
+
+    /// Hand a packet to the fabric — or loop it back through the local
+    /// firmware when both endpoints share a host (processes on one node
+    /// communicating through a virtual network never touch the wire).
+    fn emit(&mut self, pkt: Packet<Frame>, out: &mut Vec<NicOut>) {
+        if pkt.dst == self.host {
+            self.inbox.push_back(FwWork::Rx { src: self.host, frame: pkt.payload });
+            // Always called from inside firmware processing; the
+            // end-of-step kick keeps the loop running.
+        } else {
+            out.push(NicOut::Inject(pkt));
+        }
+    }
+
+    // ---------------------------------------------------------------- host API
+
+    /// Whether `ep` is resident and serviceable.
+    pub fn is_resident(&self, ep: EpId) -> bool {
+        self.ep_frame.get(&ep).map(|&i| self.frames[i].is_active()).unwrap_or(false)
+    }
+
+    /// Host PIO write of a send descriptor into a resident endpoint (§4.1:
+    /// "applications also have fine-grained access to them with programmed
+    /// I/O"). Returns the assigned message uid.
+    pub fn post_send(
+        &mut self,
+        now: SimTime,
+        ep: EpId,
+        req: SendRequest,
+        out: &mut Vec<NicOut>,
+    ) -> Result<u64, PostError> {
+        self.post_send_at(now, now, ep, req, out)
+    }
+
+    /// Like [`Nic::post_send`], but the descriptor becomes transmittable at
+    /// `ready_at` — the moment the host's PIO writes complete. The slot is
+    /// reserved immediately; the firmware will not pick the descriptor up
+    /// early.
+    pub fn post_send_at(
+        &mut self,
+        now: SimTime,
+        ready_at: SimTime,
+        ep: EpId,
+        req: SendRequest,
+        out: &mut Vec<NicOut>,
+    ) -> Result<u64, PostError> {
+        let Some(&fi) = self.ep_frame.get(&ep) else { return Err(PostError::NotResident) };
+        if !self.frames[fi].is_active() {
+            return Err(PostError::NotResident);
+        }
+        let depth = self.cfg.send_queue_depth;
+        let image = self.frames[fi].image_mut().expect("active slot has image");
+        if image.send_q.len() >= depth {
+            return Err(PostError::SendQueueFull);
+        }
+        let uid = self.next_uid();
+        let mut msg = req.msg;
+        msg.uid = uid;
+        let image = self.frames[fi].image_mut().expect("active slot has image");
+        image.send_q.push_back(PendingSend {
+            uid,
+            dst: req.dst,
+            key: req.key,
+            msg,
+            not_before: ready_at.max(now),
+            nacks: 0,
+            unbind_cycles: 0,
+        });
+        self.kick(now, out);
+        Ok(uid)
+    }
+
+    /// Host PIO poll of a resident endpoint's receive queue.
+    pub fn poll_recv(&mut self, _now: SimTime, ep: EpId, q: QueueSel) -> PollOutcome {
+        let Some(&fi) = self.ep_frame.get(&ep) else { return PollOutcome::NotResident };
+        if !self.frames[fi].is_active() {
+            return PollOutcome::NotResident;
+        }
+        let image = self.frames[fi].image_mut().expect("active slot has image");
+        let got = match q {
+            QueueSel::Request => image.recv_req.pop_front(),
+            QueueSel::Reply => image.recv_rep.pop_front(),
+        };
+        if got.is_some() {
+            self.flush_pending_returns(ep);
+        }
+        match got {
+            Some(m) => PollOutcome::Msg(m),
+            None => PollOutcome::Empty,
+        }
+    }
+
+    /// Depths of the (request, reply) receive queues of a resident endpoint.
+    pub fn recv_depths(&self, ep: EpId) -> Option<(usize, usize)> {
+        let &fi = self.ep_frame.get(&ep)?;
+        let image = self.frames[fi].image()?;
+        Some((image.recv_req.len(), image.recv_rep.len()))
+    }
+
+    /// Host PIO update of a resident endpoint's event mask. Returns false
+    /// if the endpoint is not resident (caller updates the host image).
+    pub fn set_event_mask_direct(&mut self, ep: EpId, notify: bool) -> bool {
+        if let Some(&fi) = self.ep_frame.get(&ep) {
+            if self.frames[fi].is_active() {
+                self.frames[fi].image_mut().unwrap().notify_on_arrival = notify;
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------- driver API
+
+    /// Enqueue a driver-protocol operation (§4.3). The NIC interleaves its
+    /// processing with user traffic.
+    pub fn driver_request(&mut self, now: SimTime, op: DriverOp, out: &mut Vec<NicOut>) {
+        self.inbox.push_back(FwWork::Driver(op));
+        self.kick(now, out);
+    }
+
+    // ------------------------------------------------------------ network API
+
+    /// A packet arrived from the fabric. `corrupt` marks CRC failures
+    /// (dropped here, recovered by sender timeout).
+    pub fn on_packet(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        frame: Frame,
+        corrupt: bool,
+        out: &mut Vec<NicOut>,
+    ) {
+        if corrupt {
+            self.stats.crc_drops.inc();
+            return;
+        }
+        self.inbox.push_back(FwWork::Rx { src, frame });
+        self.kick(now, out);
+    }
+
+    /// Engine-scheduled event dispatch.
+    pub fn on_event(&mut self, now: SimTime, ev: NicEvent, out: &mut Vec<NicOut>) {
+        match ev {
+            NicEvent::FwStep { gen } => {
+                if gen != self.fw_step_gen {
+                    return; // superseded
+                }
+                self.fw_scheduled_at = SimTime::MAX;
+                self.fw_step(now, out);
+            }
+            NicEvent::Retx { key, gen } => {
+                // Validate against current in-flight generation; stale
+                // timers (acked or rearmed) are ignored.
+                let live = self
+                    .tx
+                    .get(&key)
+                    .and_then(|c| c.in_flight.as_ref())
+                    .map(|inf| inf.gen == gen)
+                    .unwrap_or(false);
+                if live {
+                    self.inbox.push_back(FwWork::Retx(key));
+                    self.kick(now, out);
+                }
+            }
+            NicEvent::DmaDone(tag) => {
+                self.inbox.push_back(FwWork::Dma(tag));
+                self.kick(now, out);
+            }
+            NicEvent::EmitPkt(pkt) => {
+                // Loopback packets re-enter the local firmware.
+                if pkt.dst == self.host {
+                    self.inbox.push_back(FwWork::Rx { src: self.host, frame: pkt.payload });
+                    self.kick(now, out);
+                } else {
+                    out.push(NicOut::Inject(*pkt));
+                }
+            }
+            NicEvent::EmitDriver(msg) => out.push(NicOut::Driver(msg)),
+            NicEvent::DepositSmall { src, frame } => {
+                self.finish_small_deposit(now, src, *frame, out);
+            }
+            NicEvent::FlushAcks { peer, gen } => {
+                if self.ack_flush_gen.get(&peer) == Some(&gen) {
+                    self.flush_acks(peer, out);
+                }
+            }
+        }
+    }
+
+    /// Emit the coalesced-ack buffer for `peer` as one batch frame.
+    fn flush_acks(&mut self, peer: HostId, out: &mut Vec<NicOut>) {
+        let Some(entries) = self.ack_buf.remove(&peer) else { return };
+        if entries.is_empty() {
+            return;
+        }
+        *self.ack_flush_gen.entry(peer).or_insert(0) += 1; // invalidate timer
+        let bytes = entries.len() as u32 * 12;
+        let frame = Frame {
+            kind: FrameKind::AckBatch(entries),
+            dst_ep: EpId(0),
+            key: crate::ids::ProtectionKey::OPEN,
+            chan: 0,
+            seq: 0,
+            ack_uid: 0,
+            timestamp: 0,
+        };
+        out.push(NicOut::Inject(Packet {
+            src: self.host,
+            dst: peer,
+            channel: 0,
+            bytes,
+            payload: frame,
+        }));
+    }
+
+    /// Complete a small-message receive at the end of its processing time:
+    /// re-check duplicates, deposit, and emit the (n)ack.
+    fn finish_small_deposit(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        frame: Frame,
+        out: &mut Vec<NicOut>,
+    ) {
+        let msg = match &frame.kind {
+            FrameKind::Data(m) => m.clone(),
+            _ => unreachable!("deposits are data frames"),
+        };
+        if self.cfg.mode == NicMode::Gam {
+            if self.deposit(now, frame.dst_ep, msg, false, out).is_err() {
+                self.stats.gam_overruns.inc();
+            }
+            return;
+        }
+        if self.dedup.contains(msg.uid) {
+            self.stats.duplicates.inc();
+            self.emit_ack_now(now, src, &frame, None, out);
+            return;
+        }
+        match self.deposit(now, frame.dst_ep, msg.clone(), false, out) {
+            Ok(()) => {
+                self.dedup.insert(msg.uid, self.cfg.dedup_window);
+                self.emit_ack_now(now, src, &frame, None, out);
+            }
+            Err(reason) => {
+                self.stats.nacks_tx.inc();
+                self.emit_ack_now(now, src, &frame, Some(reason), out);
+                if reason == NackReason::NotResident {
+                    self.request_residency(frame.dst_ep, out);
+                }
+            }
+        }
+    }
+
+    /// Build and emit an ack immediately (we are already at the completion
+    /// instant of the receive processing).
+    fn emit_ack_now(
+        &mut self,
+        now: SimTime,
+        to: HostId,
+        data_frame: &Frame,
+        nack: Option<NackReason>,
+        out: &mut Vec<NicOut>,
+    ) {
+        let mut tmp = Vec::new();
+        self.send_ack(now, to, data_frame, nack, &mut tmp);
+        for o in tmp {
+            match o {
+                NicOut::Inject(p) if p.dst == self.host => {
+                    self.inbox.push_back(FwWork::Rx { src: self.host, frame: p.payload });
+                    self.kick(now, out);
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    // -------------------------------------------------------- firmware loop
+
+    /// Ensure a dispatch step is scheduled no later than the firmware's
+    /// ready time.
+    fn kick(&mut self, now: SimTime, out: &mut Vec<NicOut>) {
+        let ready = now.max(self.fw_busy_until);
+        if self.fw_scheduled_at <= ready {
+            return;
+        }
+        self.fw_step_gen += 1;
+        self.fw_scheduled_at = ready;
+        out.push(NicOut::After(ready - now, NicEvent::FwStep { gen: self.fw_step_gen }));
+    }
+
+    /// Shift a firmware step's outward effects to the step's completion:
+    /// packets leave and driver messages land after the processing time,
+    /// and follow-up timers are measured from completion.
+    fn defer(cost: SimDuration, tmp: Vec<NicOut>, out: &mut Vec<NicOut>) {
+        for o in tmp {
+            match o {
+                NicOut::Inject(p) => {
+                    out.push(NicOut::After(cost, NicEvent::EmitPkt(Box::new(p))));
+                }
+                NicOut::Driver(m) => out.push(NicOut::After(cost, NicEvent::EmitDriver(m))),
+                NicOut::After(d, ev) => out.push(NicOut::After(d + cost, ev)),
+            }
+        }
+    }
+
+    fn fw_step(&mut self, now: SimTime, out: &mut Vec<NicOut>) {
+        if now < self.fw_busy_until {
+            // The step fired inside the busy window (can happen when work
+            // created mid-step re-armed the loop); re-arm at readiness.
+            self.kick(now, out);
+            return;
+        }
+        if let Some(work) = self.inbox.pop_front() {
+            let mut tmp = Vec::new();
+            let cost = match work {
+                FwWork::Rx { src, frame } => self.process_rx(now, src, frame, &mut tmp),
+                FwWork::Retx(key) => self.process_retx(now, key, &mut tmp),
+                FwWork::Dma(tag) => self.process_dma_done(now, tag, &mut tmp),
+                FwWork::Driver(op) => self.process_driver(now, op, &mut tmp),
+            };
+            self.fw_busy_until = now + cost;
+            Self::defer(cost, tmp, out);
+            self.kick(now, out);
+            return;
+        }
+        // Send-side service under WRR.
+        let frames = &self.frames;
+        let tx = &self.tx;
+        let cpp = self.cfg.channels_per_peer;
+        let gam = self.cfg.mode == NicMode::Gam;
+        let pick = self.sched.select(now, |i| {
+            let FrameSlot::Active { image, .. } = &frames[i] else { return false };
+            if !image.head_eligible(now) {
+                return false;
+            }
+            if gam {
+                return true; // no channels in GAM mode
+            }
+            let dst = image.send_q.front().unwrap().dst.host;
+            (0..cpp).any(|idx| {
+                tx.get(&ChannelKey { peer: dst, idx }).map(|c| c.is_free()).unwrap_or(true)
+            })
+        });
+        if let Some(fi) = pick {
+            self.sched.served();
+            let mut tmp = Vec::new();
+            let cost = self.process_send(now, fi, &mut tmp);
+            self.fw_busy_until = now + cost;
+            Self::defer(cost, tmp, out);
+            self.kick(now, out);
+            return;
+        }
+        // Idle: arm a wakeup for the earliest backoff expiry, if any.
+        let mut next: Option<SimTime> = None;
+        for slot in &self.frames {
+            if let FrameSlot::Active { image, .. } = slot {
+                if let Some(t) = image.head_not_before() {
+                    if t > now {
+                        next = Some(next.map_or(t, |n: SimTime| n.min(t)));
+                    }
+                }
+            }
+        }
+        if let Some(t) = next {
+            self.fw_step_gen += 1;
+            self.fw_scheduled_at = t;
+            out.push(NicOut::After(t - now, NicEvent::FwStep { gen: self.fw_step_gen }));
+        }
+    }
+
+    // ------------------------------------------------------------- send path
+
+    fn alloc_channel(&mut self, peer: HostId) -> Option<ChannelKey> {
+        let start = *self.chan_rr.entry(peer).or_insert(0);
+        for step in 0..self.cfg.channels_per_peer {
+            let idx = (start + step) % self.cfg.channels_per_peer;
+            let key = ChannelKey { peer, idx };
+            let ch = self.tx.entry(key).or_insert_with(|| ChannelState::new(self.cfg.rto_base));
+            if ch.is_free() {
+                self.chan_rr.insert(peer, (idx + 1) % self.cfg.channels_per_peer);
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    fn process_send(&mut self, now: SimTime, fi: usize, out: &mut Vec<NicOut>) -> SimDuration {
+        let FrameSlot::Active { ep, image } = &mut self.frames[fi] else {
+            return SimDuration::ZERO;
+        };
+        let ep = *ep;
+        let Some(ps) = image.send_q.pop_front() else { return SimDuration::ZERO };
+        let bulk = ps.msg.is_bulk(self.cfg.pio_threshold);
+        if self.cfg.mode == NicMode::Gam {
+            return self.gam_send(now, ps, bulk, out);
+        }
+        let Some(chan) = self.alloc_channel(ps.dst.host) else {
+            // Raced: the oracle saw a free channel but another frame's work
+            // took it within this step. Put the descriptor back.
+            let image = self.frames[fi].image_mut().unwrap();
+            image.send_q.push_front(ps);
+            return SimDuration::ZERO;
+        };
+        *self.in_flight_per_ep.entry(ep).or_insert(0) += 1;
+        if bulk {
+            // Stage payload host -> NI over the SBUS, then inject. The
+            // channel is reserved now so a second bulk send cannot race it
+            // during the DMA; the bind happens at completion.
+            self.tx.get_mut(&chan).expect("allocated").reserved = true;
+            let delay = self.dma.start(now, DmaDirection::ReadHost, ps.msg.payload_bytes);
+            let uid = ps.uid;
+            self.staging_out.insert(uid, StagedSend { ps, chan, src_ep: ep });
+            out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::SendStaged { uid })));
+            self.cfg.costs.send_bulk_setup
+        } else {
+            self.transmit(now, ep, ps, chan, out);
+            self.cfg.costs.send_small
+        }
+    }
+
+    /// Bind `ps` to `chan`, inject its data frame, and arm the
+    /// retransmission timer.
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        src_ep: EpId,
+        ps: PendingSend,
+        chan: ChannelKey,
+        out: &mut Vec<NicOut>,
+    ) {
+        let frame = Frame {
+            kind: FrameKind::Data(ps.msg.clone()),
+            dst_ep: ps.dst.ep,
+            key: ps.key,
+            chan: chan.idx,
+            seq: 0, // assigned by bind
+            ack_uid: 0,
+            timestamp: Self::ts32(now),
+        };
+        let bytes = ps.msg.wire_bytes();
+        let inf = InFlight {
+            uid: ps.uid,
+            src_ep,
+            frame,
+            bytes,
+            last_tx: now,
+            retx: 0,
+            gen: 0,
+        };
+        // Keep backoff/progress metadata with the channel binding by stashing
+        // the PendingSend fields we need on unbind inside the frame's msg —
+        // nacks/unbind_cycles are carried in `pending_meta`.
+        let ch = self.tx.get_mut(&chan).expect("channel allocated");
+        let _seq = ch.bind(inf);
+        let inf = ch.in_flight.as_mut().unwrap();
+        inf.frame.seq = _seq;
+        self.pending_meta.insert(ps.uid, (ps.nacks, ps.unbind_cycles, ps.dst, ps.key));
+        let gen = inf.gen;
+        let ch_rto = ch.rto;
+        let base = self.rto_for(chan.peer, ch_rto, ps.msg.payload_bytes);
+        let rto = base.mul_f64(self.rng.jitter(0.25));
+        let pkt = Packet {
+            src: self.host,
+            dst: chan.peer,
+            channel: chan.idx,
+            bytes,
+            payload: self.tx[&chan].in_flight.as_ref().unwrap().frame.clone(),
+        };
+        self.emit(pkt, out);
+        out.push(NicOut::After(rto, NicEvent::Retx { key: chan, gen }));
+        self.stats.data_sent.inc();
+    }
+
+    fn gam_send(
+        &mut self,
+        now: SimTime,
+        ps: PendingSend,
+        bulk: bool,
+        out: &mut Vec<NicOut>,
+    ) -> SimDuration {
+        if bulk {
+            let delay = self.dma.start(now, DmaDirection::ReadHost, ps.msg.payload_bytes);
+            let uid = ps.uid;
+            let chan = ChannelKey { peer: ps.dst.host, idx: 0 };
+            self.staging_out.insert(uid, StagedSend { ps, chan, src_ep: EpId(0) });
+            out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::SendStaged { uid })));
+            self.cfg.costs.send_bulk_setup
+        } else {
+            let frame = Frame {
+                kind: FrameKind::Data(ps.msg.clone()),
+                dst_ep: ps.dst.ep,
+                key: ps.key,
+                chan: 0,
+                seq: 0,
+                ack_uid: 0,
+                timestamp: Self::ts32(now),
+            };
+            self.emit(
+                Packet {
+                    src: self.host,
+                    dst: ps.dst.host,
+                    channel: 0,
+                    bytes: ps.msg.wire_bytes(),
+                    payload: frame,
+                },
+                out,
+            );
+            self.stats.data_sent.inc();
+            self.cfg.costs.send_small
+        }
+    }
+
+    // ---------------------------------------------------------- receive path
+
+    fn process_rx(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        frame: Frame,
+        out: &mut Vec<NicOut>,
+    ) -> SimDuration {
+        match frame.kind.clone() {
+            FrameKind::Data(msg) => self.process_data(now, src, frame, msg, out),
+            FrameKind::Ack => self.process_ack(now, src, frame, None, out),
+            FrameKind::Nack(r) => self.process_ack(now, src, frame, Some(r), out),
+            FrameKind::AckBatch(entries) => {
+                let n = entries.len().max(1);
+                for e in entries {
+                    self.handle_ack_entry(now, src, e.chan, e.uid, e.timestamp, None, out);
+                }
+                self.cfg.costs.ack + self.cfg.costs.ack_entry() * (n as u64 - 1)
+            }
+        }
+    }
+
+    fn process_data(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        frame: Frame,
+        msg: UserMsg,
+        out: &mut Vec<NicOut>,
+    ) -> SimDuration {
+        let bulk = msg.is_bulk(self.cfg.pio_threshold);
+        // Sequence bookkeeping (self-synchronizing; exactness comes from the
+        // dedup window below).
+        let rxk = ChannelKey { peer: src, idx: frame.chan };
+        self.rx.entry(rxk).or_default().accept(frame.seq);
+
+        if self.cfg.mode == NicMode::Gam {
+            return self.gam_receive(now, src, frame, msg, bulk, out);
+        }
+        // Duplicate? Ack again, deliver nothing.
+        if self.dedup.contains(msg.uid) {
+            self.stats.duplicates.inc();
+            self.send_ack(now, src, &frame, None, out);
+            return self.cfg.costs.recv_small;
+        }
+        // A copy of a bulk frame whose first copy is still staging through
+        // the SBUS: drop it silently — the staged copy will ack on deposit.
+        if self.staging_in.contains_key(&msg.uid) {
+            self.stats.duplicates.inc();
+            return self.cfg.costs.recv_small;
+        }
+        // Admission checks (fast, before any DMA).
+        if let Some(reason) = self.admission_check(&frame, &msg) {
+            self.stats.nacks_tx.inc();
+            self.send_ack(now, src, &frame, Some(reason), out);
+            if reason == NackReason::NotResident {
+                self.request_residency(frame.dst_ep, out);
+            }
+            return self.cfg.costs.recv_small;
+        }
+        if bulk {
+            // Stage NI -> host over the SBUS; deposit + ack on completion.
+            // Staging SRAM is finite: an arrival beyond the buffer budget
+            // draws a transient NACK and the sender backs off, exactly the
+            // self-regulation receive-queue overruns get (§6.4.1).
+            if self.staging_in.len() >= self.cfg.recv_staging_bufs {
+                self.stats.nacks_tx.inc();
+                self.send_ack(now, src, &frame, Some(NackReason::RecvQueueFull), out);
+                return self.cfg.costs.recv_small;
+            }
+            let delay = self.dma.start(now, DmaDirection::WriteHost, msg.payload_bytes);
+            let uid = msg.uid;
+            self.staging_in.insert(uid, StagedRecv { src, frame });
+            out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::RecvStaged { uid })));
+            self.cfg.costs.recv_bulk_setup
+        } else {
+            // A queue-capacity check ran in admission; the deposit itself
+            // lands when the receive processing completes (After(0) here is
+            // shifted by the step cost in `defer`).
+            out.push(NicOut::After(
+                SimDuration::ZERO,
+                NicEvent::DepositSmall { src, frame: Box::new(frame) },
+            ));
+            self.cfg.costs.recv_small
+        }
+    }
+
+    /// Pre-deposit admission: endpoint existence, residency, key.
+    fn admission_check(&self, frame: &Frame, _msg: &UserMsg) -> Option<NackReason> {
+        let ep = frame.dst_ep;
+        if !self.registered.contains(&ep) {
+            return Some(NackReason::NoSuchEndpoint);
+        }
+        match self.ep_frame.get(&ep).map(|&i| &self.frames[i]) {
+            Some(FrameSlot::Active { image, .. }) => {
+                if image.key != frame.key {
+                    Some(NackReason::BadKey)
+                } else {
+                    None
+                }
+            }
+            // Loading / draining endpoints are not yet/no longer serviceable.
+            Some(_) | None => Some(NackReason::NotResident),
+        }
+    }
+
+    fn request_residency(&mut self, ep: EpId, out: &mut Vec<NicOut>) {
+        // Suppress while loading (already on its way) or draining (the
+        // driver just decided to evict it; the sender's retry will re-raise
+        // after the unload completes).
+        let in_transition = self.ep_frame.get(&ep).map(|&i| !self.frames[i].is_active() && self.frames[i].occupant().is_some()).unwrap_or(false);
+        if in_transition {
+            return;
+        }
+        if self.need_resident_pending.insert(ep) {
+            let clock = self.tick_clock(0);
+            self.stats.resident_requests.inc();
+            out.push(NicOut::Driver(DriverMsg::NeedResident { ep, clock }));
+        }
+    }
+
+    fn gam_receive(
+        &mut self,
+        now: SimTime,
+        _src: HostId,
+        frame: Frame,
+        msg: UserMsg,
+        bulk: bool,
+        out: &mut Vec<NicOut>,
+    ) -> SimDuration {
+        if bulk {
+            // First-generation interface: single-buffered staging — the
+            // wire -> NI SRAM copy cannot overlap the SBUS transfer, so it
+            // occupies the staging pipeline serially (the store-and-forward
+            // penalty that virtual networks pipeline away, §6.1).
+            let penalty =
+                SimDuration::for_bytes(msg.payload_bytes as u64, self.cfg.link_mb_s_hint);
+            let delay = self.dma.start_with_overhead(
+                now,
+                DmaDirection::WriteHost,
+                msg.payload_bytes,
+                penalty,
+            );
+            let uid = msg.uid;
+            self.staging_in.insert(uid, StagedRecv { src: _src, frame });
+            out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::RecvStaged { uid })));
+            self.cfg.costs.recv_bulk_setup
+        } else {
+            out.push(NicOut::After(
+                SimDuration::ZERO,
+                NicEvent::DepositSmall { src: _src, frame: Box::new(frame) },
+            ));
+            let _ = msg;
+            self.cfg.costs.recv_small
+        }
+    }
+
+    /// Deposit into the endpoint's receive queue; raises a driver event on
+    /// empty→nonempty transitions when the mask asks for it.
+    fn deposit(
+        &mut self,
+        now: SimTime,
+        ep: EpId,
+        msg: UserMsg,
+        undeliverable: bool,
+        out: &mut Vec<NicOut>,
+    ) -> Result<(), NackReason> {
+        let Some(&fi) = self.ep_frame.get(&ep) else { return Err(NackReason::NotResident) };
+        if !self.frames[fi].is_active() {
+            return Err(NackReason::NotResident);
+        }
+        let depth = self.cfg.recv_queue_depth;
+        let image = self.frames[fi].image_mut().unwrap();
+        let q = if msg.is_request && !undeliverable {
+            &mut image.recv_req
+        } else {
+            &mut image.recv_rep
+        };
+        if q.len() >= depth {
+            return Err(NackReason::RecvQueueFull);
+        }
+        let was_idle = !image.has_received();
+        let q = if msg.is_request && !undeliverable {
+            &mut image.recv_req
+        } else {
+            &mut image.recv_rep
+        };
+        q.push_back(DeliveredMsg { msg, undeliverable, deposited_at: now });
+        self.stats.deposits.inc();
+        let image = self.frames[fi].image().unwrap();
+        if was_idle && image.notify_on_arrival {
+            let clock = self.tick_clock(0);
+            out.push(NicOut::Driver(DriverMsg::Event { ep, clock }));
+        }
+        Ok(())
+    }
+
+    fn send_ack(
+        &mut self,
+        now: SimTime,
+        to: HostId,
+        data_frame: &Frame,
+        nack: Option<NackReason>,
+        out: &mut Vec<NicOut>,
+    ) {
+        let uid = match &data_frame.kind {
+            FrameKind::Data(m) => m.uid,
+            _ => unreachable!("acks acknowledge data frames"),
+        };
+        // Positive acks may coalesce (§8 piggybacking); NACKs never wait.
+        if nack.is_none() && to != self.host {
+            if let Some(window) = self.cfg.ack_coalesce {
+                let buf = self.ack_buf.entry(to).or_default();
+                buf.push(AckEntry {
+                    chan: data_frame.chan,
+                    seq: data_frame.seq,
+                    uid,
+                    timestamp: data_frame.timestamp,
+                });
+                let len = buf.len();
+                if len >= self.cfg.ack_coalesce_max {
+                    self.flush_acks(to, out);
+                } else if len == 1 {
+                    let gen = self.ack_flush_gen.entry(to).or_insert(0);
+                    *gen += 1;
+                    let gen = *gen;
+                    out.push(NicOut::After(window, NicEvent::FlushAcks { peer: to, gen }));
+                }
+                return;
+            }
+        }
+        let frame = Frame {
+            kind: match nack {
+                None => FrameKind::Ack,
+                Some(r) => FrameKind::Nack(r),
+            },
+            dst_ep: data_frame.dst_ep,
+            key: data_frame.key,
+            chan: data_frame.chan,
+            seq: data_frame.seq,
+            ack_uid: uid,
+            timestamp: data_frame.timestamp, // reflected (§5.1)
+        };
+        self.emit(
+            Packet { src: self.host, dst: to, channel: data_frame.chan, bytes: 0, payload: frame },
+            out,
+        );
+        let _ = now;
+    }
+
+    // -------------------------------------------------------------- ack path
+
+    fn process_ack(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        frame: Frame,
+        nack: Option<NackReason>,
+        out: &mut Vec<NicOut>,
+    ) -> SimDuration {
+        self.handle_ack_entry(now, src, frame.chan, frame.ack_uid, frame.timestamp, nack, out);
+        self.cfg.costs.ack
+    }
+
+    /// Channel bookkeeping for one acknowledgment (shared by single acks
+    /// and batch entries).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_ack_entry(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        chan: u8,
+        ack_uid: u64,
+        timestamp: u32,
+        nack: Option<NackReason>,
+        out: &mut Vec<NicOut>,
+    ) {
+        let key = ChannelKey { peer: src, idx: chan };
+        let completed = self
+            .tx
+            .get_mut(&key)
+            .and_then(|ch| ch.complete(ack_uid, self.cfg.rto_base));
+        let Some(inf) = completed else {
+            return; // stale ack of an unbound copy
+        };
+        self.dec_in_flight(now, inf.src_ep, out);
+        // Observed RTT via the reflected timestamp. Because the receiver
+        // echoes the timestamp of the specific copy it saw, the sample is
+        // unambiguous even for retransmitted frames (no Karn's rule
+        // needed — the reason §5.1 puts a timestamp in every link header).
+        let rtt = Self::ts32(now).wrapping_sub(timestamp);
+        self.stats.rtt_us.record(rtt as f64);
+        if self.cfg.adaptive_rto && nack.is_none() {
+            self.observe_rtt(src, rtt as f64);
+        }
+        let meta = self.pending_meta.remove(&inf.uid);
+        match nack {
+            None => {
+                self.stats.acks_rx.inc();
+            }
+            Some(reason) => {
+                self.stats.record_nack_rx(reason);
+                let (nacks, unbind_cycles, dst, pkey) = meta.unwrap_or((
+                    0,
+                    0,
+                    GlobalEp::new(src, inf.frame.dst_ep),
+                    inf.frame.key,
+                ));
+                let msg = match inf.frame.kind {
+                    FrameKind::Data(m) => m,
+                    _ => unreachable!("in-flight frames carry data"),
+                };
+                if reason.is_transient() {
+                    // Park for a backoff and retry (§6.4.1: "negatively
+                    // acknowledged and retransmitted later").
+                    let exp = nacks.min(5);
+                    let delay = self
+                        .cfg
+                        .nack_retry_base
+                        .saturating_mul(1 << exp)
+                        .min(self.cfg.nack_retry_max)
+                        .mul_f64(self.rng.jitter(0.3));
+                    self.park_for_retry(
+                        now,
+                        inf.src_ep,
+                        PendingSend {
+                            uid: inf.uid,
+                            dst,
+                            key: pkey,
+                            msg,
+                            not_before: now + delay,
+                            nacks: nacks + 1,
+                            unbind_cycles,
+                        },
+                        out,
+                    );
+                } else {
+                    // Hard failure: return to sender (§3.2).
+                    self.return_to_sender(now, inf.src_ep, msg, out);
+                }
+            }
+        }
+    }
+
+    fn dec_in_flight(&mut self, now: SimTime, ep: EpId, out: &mut Vec<NicOut>) {
+        if let Some(c) = self.in_flight_per_ep.get_mut(&ep) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.in_flight_per_ep.remove(&ep);
+                self.maybe_start_unload_dma(now, ep, out);
+            }
+        }
+    }
+
+    /// Put a message back on its endpoint's send queue for a later retry.
+    /// If the endpoint has vanished mid-flight (freed), the message is
+    /// dropped — process teardown discards its traffic.
+    fn park_for_retry(
+        &mut self,
+        now: SimTime,
+        ep: EpId,
+        ps: PendingSend,
+        out: &mut Vec<NicOut>,
+    ) {
+        let _ = now;
+        let _ = &out;
+        if let Some(&fi) = self.ep_frame.get(&ep) {
+            if let Some(image) = self.frames[fi].image_mut() {
+                image.send_q.push_front(ps);
+            }
+        }
+    }
+
+    /// Deliver `msg` back to its source endpoint marked undeliverable.
+    fn return_to_sender(&mut self, now: SimTime, ep: EpId, msg: UserMsg, out: &mut Vec<NicOut>) {
+        self.stats.returned_to_sender.inc();
+        if self.deposit(now, ep, msg.clone(), true, out).is_err() {
+            // Not resident or queue full: hold and flush later.
+            self.pending_returns.entry(ep).or_default().push_back(DeliveredMsg {
+                msg,
+                undeliverable: true,
+                deposited_at: now,
+            });
+            self.request_residency(ep, out);
+        }
+    }
+
+    fn flush_pending_returns(&mut self, ep: EpId) {
+        let Some(q) = self.pending_returns.get_mut(&ep) else { return };
+        let Some(&fi) = self.ep_frame.get(&ep) else { return };
+        if !self.frames[fi].is_active() {
+            return;
+        }
+        let depth = self.cfg.recv_queue_depth;
+        let image = self.frames[fi].image_mut().unwrap();
+        while image.recv_rep.len() < depth {
+            match q.pop_front() {
+                Some(m) => image.recv_rep.push_back(m),
+                None => break,
+            }
+        }
+        if q.is_empty() {
+            self.pending_returns.remove(&ep);
+        }
+    }
+
+    // ----------------------------------------------------------- retransmit
+
+    fn process_retx(&mut self, now: SimTime, key: ChannelKey, out: &mut Vec<NicOut>) -> SimDuration {
+        let Some(ch) = self.tx.get_mut(&key) else { return SimDuration::ZERO };
+        let Some(inf) = ch.in_flight.as_ref() else { return SimDuration::ZERO };
+        if inf.retx + 1 > self.cfg.max_retx_before_unbind {
+            // Unbind so the shared channel can be reused (§5.1).
+            let inf = ch.unbind(self.cfg.rto_base).unwrap();
+            self.stats.unbinds.inc();
+            self.dec_in_flight(now, inf.src_ep, out);
+            let meta = self.pending_meta.remove(&inf.uid);
+            let (nacks, unbind_cycles, dst, pkey) = meta.unwrap_or((
+                0,
+                0,
+                GlobalEp::new(key.peer, inf.frame.dst_ep),
+                inf.frame.key,
+            ));
+            let msg = match inf.frame.kind {
+                FrameKind::Data(m) => m,
+                _ => unreachable!(),
+            };
+            if unbind_cycles + 1 > self.cfg.max_unbind_cycles {
+                // Prolonged absence of acknowledgments: unrecoverable (§5.1).
+                self.return_to_sender(now, inf.src_ep, msg, out);
+            } else {
+                let delay = self.cfg.rto_max.mul_f64(self.rng.jitter(0.3));
+                self.park_for_retry(
+                    now,
+                    inf.src_ep,
+                    PendingSend {
+                        uid: inf.uid,
+                        dst,
+                        key: pkey,
+                        msg,
+                        not_before: now + delay,
+                        nacks,
+                        unbind_cycles: unbind_cycles + 1,
+                    },
+                    out,
+                );
+            }
+            return self.cfg.costs.retransmit;
+        }
+        ch.on_retransmit(self.cfg.rto_max);
+        let inf = ch.in_flight.as_mut().unwrap();
+        inf.last_tx = now;
+        inf.frame.timestamp = Self::ts32(now);
+        let pkt = Packet {
+            src: self.host,
+            dst: key.peer,
+            channel: key.idx,
+            bytes: inf.bytes,
+            payload: inf.frame.clone(),
+        };
+        let gen = inf.gen;
+        let payload_bytes = match &inf.frame.kind {
+            FrameKind::Data(m) => m.payload_bytes,
+            _ => 0,
+        };
+        let ch_rto = ch.rto;
+        let rto = self.rto_for(key.peer, ch_rto, payload_bytes).mul_f64(self.rng.jitter(0.25));
+        self.emit(pkt, out);
+        out.push(NicOut::After(rto, NicEvent::Retx { key, gen }));
+        self.stats.retransmits.inc();
+        self.cfg.costs.retransmit
+    }
+
+    // ---------------------------------------------------------------- DMA
+
+    fn process_dma_done(&mut self, now: SimTime, tag: DmaTag, out: &mut Vec<NicOut>) -> SimDuration {
+        match tag {
+            DmaTag::SendStaged { uid } => {
+                let Some(st) = self.staging_out.remove(&uid) else { return SimDuration::ZERO };
+                if self.cfg.mode == NicMode::Gam {
+                    let frame = Frame {
+                        kind: FrameKind::Data(st.ps.msg.clone()),
+                        dst_ep: st.ps.dst.ep,
+                        key: st.ps.key,
+                        chan: 0,
+                        seq: 0,
+                        ack_uid: 0,
+                        timestamp: Self::ts32(now),
+                    };
+                    self.emit(
+                        Packet {
+                            src: self.host,
+                            dst: st.ps.dst.host,
+                            channel: 0,
+                            bytes: st.ps.msg.wire_bytes(),
+                            payload: frame,
+                        },
+                        out,
+                    );
+                    self.stats.data_sent.inc();
+                } else {
+                    self.transmit(now, st.src_ep, st.ps, st.chan, out);
+                }
+                self.cfg.costs.send_bulk_finish
+            }
+            DmaTag::RecvStaged { uid } => {
+                let Some(st) = self.staging_in.remove(&uid) else { return SimDuration::ZERO };
+                let msg = match &st.frame.kind {
+                    FrameKind::Data(m) => m.clone(),
+                    _ => unreachable!(),
+                };
+                if self.cfg.mode == NicMode::Gam {
+                    if self.deposit(now, st.frame.dst_ep, msg, false, out).is_err() {
+                        self.stats.gam_overruns.inc();
+                    }
+                } else {
+                    match self.deposit(now, st.frame.dst_ep, msg.clone(), false, out) {
+                        Ok(()) => {
+                            self.dedup.insert(uid, self.cfg.dedup_window);
+                            self.send_ack(now, st.src, &st.frame, None, out);
+                        }
+                        Err(reason) => {
+                            self.stats.nacks_tx.inc();
+                            self.send_ack(now, st.src, &st.frame, Some(reason), out);
+                            if reason == NackReason::NotResident {
+                                self.request_residency(st.frame.dst_ep, out);
+                            }
+                        }
+                    }
+                }
+                self.cfg.costs.recv_bulk_finish
+            }
+            DmaTag::LoadDone { ep } => {
+                let &fi = self.ep_frame.get(&ep).expect("loading ep has a frame");
+                let slot = std::mem::replace(&mut self.frames[fi], FrameSlot::Free);
+                let FrameSlot::Loading { image, clock: _, .. } = slot else {
+                    panic!("LoadDone for a frame not in Loading state");
+                };
+                self.frames[fi] = FrameSlot::Active { ep, image };
+                self.stats.loads.inc();
+                self.flush_pending_returns(ep);
+                let clock = self.tick_clock(0);
+                out.push(NicOut::Driver(DriverMsg::Loaded { ep, clock }));
+                self.cfg.costs.driver_op / 2
+            }
+            DmaTag::UnloadDone { ep } => {
+                let Some(&fi) = self.ep_frame.get(&ep) else { return SimDuration::ZERO };
+                let slot = std::mem::replace(&mut self.frames[fi], FrameSlot::Free);
+                let FrameSlot::Draining { image, .. } = slot else {
+                    panic!("UnloadDone for a frame not in Draining state");
+                };
+                self.ep_frame.remove(&ep);
+                self.unload_dma_started.remove(&ep);
+                self.stats.unloads.inc();
+                let clock = self.tick_clock(0);
+                out.push(NicOut::Driver(DriverMsg::Unloaded { ep, image, clock }));
+                self.cfg.costs.driver_op / 2
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- driver ops
+
+    fn process_driver(&mut self, now: SimTime, op: DriverOp, out: &mut Vec<NicOut>) -> SimDuration {
+        match op {
+            DriverOp::Load { ep, image, clock } => {
+                self.tick_clock(clock);
+                self.need_resident_pending.remove(&ep);
+                let fi = self
+                    .frames
+                    .iter()
+                    .position(|s| matches!(s, FrameSlot::Free))
+                    .expect("driver must evict before loading into a full NI");
+                self.frames[fi] = FrameSlot::Loading { ep, image, clock };
+                self.ep_frame.insert(ep, fi);
+                let delay = self.dma.start(now, DmaDirection::ReadHost, self.cfg.frame_bytes);
+                out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::LoadDone { ep })));
+                self.cfg.costs.driver_op
+            }
+            DriverOp::Unload { ep, clock } => {
+                self.tick_clock(clock);
+                let &fi = self.ep_frame.get(&ep).expect("unload of a non-resident endpoint");
+                let slot = std::mem::replace(&mut self.frames[fi], FrameSlot::Free);
+                let FrameSlot::Active { image, .. } = slot else {
+                    panic!("unload of a frame not in Active state");
+                };
+                self.frames[fi] = FrameSlot::Draining { ep, image, clock };
+                self.maybe_start_unload_dma(now, ep, out);
+                self.cfg.costs.driver_op
+            }
+            DriverOp::SetMask { ep, notify_on_arrival, clock } => {
+                self.tick_clock(clock);
+                if let Some(&fi) = self.ep_frame.get(&ep) {
+                    if let Some(image) = self.frames[fi].image_mut() {
+                        image.notify_on_arrival = notify_on_arrival;
+                    }
+                }
+                self.cfg.costs.driver_op / 10
+            }
+            DriverOp::Register { ep, clock } => {
+                self.tick_clock(clock);
+                self.registered.insert(ep);
+                self.cfg.costs.driver_op / 10
+            }
+            DriverOp::Unregister { ep, clock } => {
+                self.tick_clock(clock);
+                self.registered.remove(&ep);
+                self.need_resident_pending.remove(&ep);
+                self.pending_returns.remove(&ep);
+                self.cfg.costs.driver_op / 10
+            }
+        }
+    }
+
+    /// Begin the unload DMA once the draining endpoint has quiesced: no
+    /// in-flight messages still reference it (§5.3).
+    fn maybe_start_unload_dma(&mut self, now: SimTime, ep: EpId, out: &mut Vec<NicOut>) {
+        let Some(&fi) = self.ep_frame.get(&ep) else { return };
+        if !matches!(self.frames[fi], FrameSlot::Draining { .. }) {
+            return;
+        }
+        let in_flight = self.in_flight_per_ep.get(&ep).copied().unwrap_or(0);
+        let staging = self.staging_out.values().any(|s| s.src_ep == ep);
+        if in_flight == 0 && !staging && self.unload_dma_started.insert(ep) {
+            let delay = self.dma.start(now, DmaDirection::WriteHost, self.cfg.frame_bytes);
+            out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::UnloadDone { ep })));
+        }
+    }
+}
+
+impl Nic {
+    /// One-line diagnostic dump of the firmware state (send queues,
+    /// channels, scheduling horizon) for debugging stalls.
+    pub fn diagnostic_summary(&self, now: SimTime) -> String {
+        let mut sendq = Vec::new();
+        for slot in &self.frames {
+            if let Some(ep) = slot.occupant() {
+                if let Some(img) = slot.image() {
+                    sendq.push(format!(
+                        "{ep}:q{}nb{:?}",
+                        img.send_q.len(),
+                        img.head_not_before().map(|t| t.as_micros_f64())
+                    ));
+                }
+            }
+        }
+        let busy_ch = self
+            .tx
+            .iter()
+            .filter(|(_, c)| !c.is_free())
+            .map(|(k, c)| {
+                format!(
+                    "{}#{}:{:?}r{}",
+                    k.peer,
+                    k.idx,
+                    c.in_flight.as_ref().map(|i| i.uid),
+                    c.reserved
+                )
+            })
+            .collect::<Vec<_>>();
+        format!(
+            "now={} fw_busy_until={} sched_at={:?} gen={} inbox={} sendq=[{}] busy_ch=[{}] staging_out={} in_flight={:?}",
+            now,
+            self.fw_busy_until,
+            if self.fw_scheduled_at == SimTime::MAX {
+                None
+            } else {
+                Some(self.fw_scheduled_at.as_micros_f64())
+            },
+            self.fw_step_gen,
+            self.inbox.len(),
+            sendq.join(","),
+            busy_ch.join(","),
+            self.staging_out.len(),
+            self.in_flight_per_ep,
+        )
+    }
+
+    /// Number of endpoints currently bound to frames (any phase).
+    pub fn resident_count(&self) -> usize {
+        self.ep_frame.len()
+    }
+
+    /// Number of free frames.
+    pub fn free_frames(&self) -> usize {
+        self.frames.iter().filter(|s| matches!(s, FrameSlot::Free)).count()
+    }
+}

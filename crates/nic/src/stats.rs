@@ -1,0 +1,86 @@
+//! NIC instrumentation counters, used by the evaluation harness to report
+//! the §6.4.1 diagnostics (NACK/retransmission rates, remap traffic,
+//! observed round-trip times from reflected timestamps).
+
+use crate::msg::NackReason;
+use vnet_sim::stats::{Counter, Sampler};
+
+/// Per-NIC counters and samplers.
+#[derive(Clone, Debug, Default)]
+pub struct NicStats {
+    /// Data frames injected (first transmissions).
+    pub data_sent: Counter,
+    /// Data frames retransmitted.
+    pub retransmits: Counter,
+    /// Messages unbound from channels after the consecutive-retransmission
+    /// bound.
+    pub unbinds: Counter,
+    /// Messages returned to their sender as undeliverable.
+    pub returned_to_sender: Counter,
+    /// Data frames received and deposited.
+    pub deposits: Counter,
+    /// Duplicate data frames suppressed.
+    pub duplicates: Counter,
+    /// Positive acks received.
+    pub acks_rx: Counter,
+    /// NACKs received, by reason.
+    pub nacks_rx_not_resident: Counter,
+    /// NACKs received: receive queue full.
+    pub nacks_rx_queue_full: Counter,
+    /// NACKs received: bad key.
+    pub nacks_rx_bad_key: Counter,
+    /// NACKs received: no such endpoint.
+    pub nacks_rx_no_endpoint: Counter,
+    /// NACKs generated locally, by any reason.
+    pub nacks_tx: Counter,
+    /// Corrupted frames discarded on CRC check.
+    pub crc_drops: Counter,
+    /// Endpoint loads completed.
+    pub loads: Counter,
+    /// Endpoint unloads completed.
+    pub unloads: Counter,
+    /// NeedResident requests raised to the driver.
+    pub resident_requests: Counter,
+    /// GAM mode only: frames dropped because the receive queue overran
+    /// (no transport protocol to NACK them).
+    pub gam_overruns: Counter,
+    /// Round-trip times observed via reflected timestamps, µs.
+    pub rtt_us: Sampler,
+}
+
+impl NicStats {
+    /// Record an incoming NACK by reason.
+    pub fn record_nack_rx(&mut self, r: NackReason) {
+        match r {
+            NackReason::NotResident => self.nacks_rx_not_resident.inc(),
+            NackReason::RecvQueueFull => self.nacks_rx_queue_full.inc(),
+            NackReason::BadKey => self.nacks_rx_bad_key.inc(),
+            NackReason::NoSuchEndpoint => self.nacks_rx_no_endpoint.inc(),
+        }
+    }
+
+    /// Total incoming NACKs.
+    pub fn nacks_rx_total(&self) -> u64 {
+        self.nacks_rx_not_resident.get()
+            + self.nacks_rx_queue_full.get()
+            + self.nacks_rx_bad_key.get()
+            + self.nacks_rx_no_endpoint.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nack_breakdown_sums() {
+        let mut s = NicStats::default();
+        s.record_nack_rx(NackReason::NotResident);
+        s.record_nack_rx(NackReason::NotResident);
+        s.record_nack_rx(NackReason::RecvQueueFull);
+        s.record_nack_rx(NackReason::BadKey);
+        s.record_nack_rx(NackReason::NoSuchEndpoint);
+        assert_eq!(s.nacks_rx_not_resident.get(), 2);
+        assert_eq!(s.nacks_rx_total(), 5);
+    }
+}

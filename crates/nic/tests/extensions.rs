@@ -1,0 +1,137 @@
+//! Tests for the §8 "future work" transport extensions: adaptive
+//! retransmission timeouts and coalesced (piggybacked) acknowledgments.
+
+use vnet_net::LinkId;
+use vnet_nic::testkit::{request, Harness};
+use vnet_nic::{EpId, NicConfig, PollOutcome, ProtectionKey, QueueSel};
+use vnet_sim::SimDuration;
+
+const KEY: ProtectionKey = ProtectionKey(42);
+
+fn run_incast_sized(cfg: NicConfig, senders: u32, msgs_each: u32, bytes: u32) -> Harness {
+    let mut h = Harness::crossbar(senders + 1, cfg);
+    for s in 0..senders {
+        h.bring_up(s as usize, EpId(0), ProtectionKey(1));
+    }
+    h.bring_up(senders as usize, EpId(0), KEY);
+    let mut posted = vec![0u32; senders as usize];
+    let mut delivered = 0;
+    while delivered < senders * msgs_each {
+        for s in 0..senders as usize {
+            while posted[s] < msgs_each {
+                if !h.try_post(s, EpId(0), request(senders, 0, KEY, bytes)) {
+                    break;
+                }
+                posted[s] += 1;
+            }
+        }
+        h.run_for(SimDuration::from_micros(500));
+        while let PollOutcome::Msg(_) = h.poll(senders as usize, EpId(0), QueueSel::Request) {
+            delivered += 1;
+        }
+        assert!(h.now().as_secs_f64() < 30.0, "incast stalled at {delivered}");
+    }
+    h.settle();
+    h
+}
+
+fn run_incast(cfg: NicConfig, senders: u32, msgs_each: u32) -> Harness {
+    run_incast_sized(cfg, senders, msgs_each, 0)
+}
+
+#[test]
+fn adaptive_rto_cuts_spurious_retransmissions() {
+    // Bulk incast against an NI with a deep staging pipeline (16 buffers):
+    // queued 8 KB deposits make ack latency exceed the fixed timeout and
+    // its size slack, so the fixed-RTO firmware retransmits spuriously;
+    // the adaptive estimator learns the congested round trip. (The default
+    // 4-buffer staging keeps ack latency under the fixed slack, which is
+    // itself the self-regulation the paper's NACK path provides.)
+    let mut base = NicConfig::virtual_network();
+    base.recv_staging_bufs = 16;
+    let fixed = run_incast_sized(base.clone(), 6, 40, 8192);
+    let mut cfg = base;
+    cfg.adaptive_rto = true;
+    let adaptive = run_incast_sized(cfg, 6, 40, 8192);
+    let retx_fixed: u64 =
+        (0..6).map(|s| fixed.world.nics[s].stats().retransmits.get()).sum();
+    let retx_adaptive: u64 =
+        (0..6).map(|s| adaptive.world.nics[s].stats().retransmits.get()).sum();
+    assert!(
+        retx_fixed > 20,
+        "workload must congest the fixed-RTO firmware: {retx_fixed}"
+    );
+    assert!(
+        retx_adaptive * 2 < retx_fixed,
+        "adaptive RTO should at least halve spurious retransmissions: {retx_adaptive} vs {retx_fixed}"
+    );
+}
+
+#[test]
+fn adaptive_rto_preserves_exactly_once() {
+    let mut cfg = NicConfig::virtual_network();
+    cfg.adaptive_rto = true;
+    let h = run_incast(cfg, 4, 100);
+    // run_incast already asserts full delivery; verify no duplicates
+    // slipped through the dedup window either.
+    let receiver = h.world.nics[4].stats();
+    assert_eq!(receiver.deposits.get(), 400);
+}
+
+#[test]
+fn coalesced_acks_reduce_ack_frames() {
+    let plain = run_incast(NicConfig::virtual_network(), 1, 300);
+    let mut cfg = NicConfig::virtual_network();
+    cfg.ack_coalesce = Some(SimDuration::from_micros(30));
+    let coal = run_incast(cfg, 1, 300);
+    // Count frames on the receiver's injection link (link id = receiver
+    // index on a crossbar): acks + batches flow back to the sender.
+    let plain_frames = plain.world.fabric.link_stats(LinkId(1)).packets;
+    let coal_frames = coal.world.fabric.link_stats(LinkId(1)).packets;
+    assert!(
+        coal_frames * 2 < plain_frames,
+        "coalescing should at least halve reverse-path frames: {coal_frames} vs {plain_frames}"
+    );
+}
+
+#[test]
+fn coalesced_acks_preserve_delivery_and_credits() {
+    let mut cfg = NicConfig::virtual_network();
+    cfg.ack_coalesce = Some(SimDuration::from_micros(30));
+    let h = run_incast(cfg, 3, 150);
+    for s in 0..3 {
+        let st = h.world.nics[s].stats();
+        // Every data frame eventually completed (acks recovered through
+        // batches; channel accounting must balance).
+        assert_eq!(st.returned_to_sender.get(), 0);
+    }
+    assert_eq!(h.world.nics[3].stats().deposits.get(), 450);
+}
+
+#[test]
+fn lone_ack_flushes_within_window() {
+    // A single message must still be acknowledged promptly: the window
+    // timer flushes a buffer of one.
+    let mut cfg = NicConfig::virtual_network();
+    cfg.ack_coalesce = Some(SimDuration::from_micros(50));
+    let mut h = Harness::crossbar(2, cfg);
+    h.bring_up(0, EpId(0), ProtectionKey(1));
+    h.bring_up(1, EpId(0), KEY);
+    h.post(0, EpId(0), request(1, 0, KEY, 0));
+    h.settle();
+    assert_eq!(h.world.nics[0].stats().acks_rx.get(), 1);
+    assert_eq!(h.world.nics[0].stats().retransmits.get(), 0, "flush beat the RTO");
+}
+
+#[test]
+fn adaptive_rto_learns_congested_rtt() {
+    let mut cfg = NicConfig::virtual_network();
+    cfg.adaptive_rto = true;
+    let h = run_incast(cfg, 6, 100);
+    // The estimator must have samples for the receiver peer and the
+    // resulting RTT distribution should include congested samples well
+    // above the uncontended round trip.
+    let mut rtt = h.world.nics[0].stats().rtt_us.clone();
+    assert!(rtt.count() > 10);
+    assert!(rtt.quantile(0.9) > 20.0, "congested RTTs: p90={}", rtt.quantile(0.9));
+}

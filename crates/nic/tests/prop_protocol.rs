@@ -1,0 +1,173 @@
+//! Property tests for the NIC protocol machinery: stop-and-wait channel
+//! invariants under arbitrary operation sequences, WRR non-starvation, and
+//! end-to-end exactly-once delivery under randomized loss.
+
+use proptest::prelude::*;
+use vnet_net::{Fabric, FaultPlan, HostId, NetConfig, Topology, TopologySpec};
+use vnet_nic::channel::{ChannelState, InFlight};
+use vnet_nic::sched::WrrScheduler;
+use vnet_nic::testkit::{request, Harness};
+use vnet_nic::{
+    EpId, Frame, FrameKind, GlobalEp, NicConfig, PollOutcome, ProtectionKey, QueueSel, UserMsg,
+};
+use vnet_sim::{SimDuration, SimTime};
+
+fn inflight(uid: u64) -> InFlight {
+    InFlight {
+        uid,
+        src_ep: EpId(0),
+        frame: Frame {
+            kind: FrameKind::Data(UserMsg {
+                uid,
+                is_request: true,
+                handler: 0,
+                args: [0; 4],
+                payload_bytes: 0,
+                src_ep: GlobalEp::new(HostId(0), EpId(0)),
+                reply_key: ProtectionKey::OPEN,
+                corr: 0,
+            }),
+            dst_ep: EpId(0),
+            key: ProtectionKey::OPEN,
+            chan: 0,
+            seq: 0,
+            ack_uid: 0,
+            timestamp: 0,
+        },
+        bytes: 48,
+        last_tx: SimTime::ZERO,
+        retx: 0,
+        gen: 0,
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ChanOp {
+    Bind(u64),
+    Ack(u64),
+    Retransmit,
+    Unbind,
+}
+
+fn chan_op() -> impl Strategy<Value = ChanOp> {
+    prop_oneof![
+        (0u64..8).prop_map(ChanOp::Bind),
+        (0u64..8).prop_map(ChanOp::Ack),
+        Just(ChanOp::Retransmit),
+        Just(ChanOp::Unbind),
+    ]
+}
+
+proptest! {
+    /// Arbitrary legal op sequences keep the stop-and-wait invariants:
+    /// sequence numbers strictly increase per binding, the generation
+    /// counter is monotone, and at most one frame is in flight.
+    #[test]
+    fn channel_state_machine(ops in prop::collection::vec(chan_op(), 0..200)) {
+        let rto = SimDuration::from_micros(100);
+        let rto_max = SimDuration::from_millis(8);
+        let mut c = ChannelState::new(rto);
+        let mut last_seq: Option<u64> = None;
+        let mut last_gen = 0u64;
+        for op in ops {
+            match op {
+                ChanOp::Bind(uid) => {
+                    if c.is_free() {
+                        let seq = c.bind(inflight(uid));
+                        if let Some(prev) = last_seq {
+                            prop_assert!(seq > prev, "sequence must increase");
+                        }
+                        last_seq = Some(seq);
+                    }
+                }
+                ChanOp::Ack(uid) => {
+                    let was_busy = c.in_flight.is_some();
+                    let done = c.complete(uid, rto);
+                    if done.is_some() {
+                        prop_assert!(was_busy);
+                        prop_assert_eq!(done.unwrap().uid, uid);
+                        prop_assert_eq!(c.rto, rto, "ack resets backoff");
+                    }
+                }
+                ChanOp::Retransmit => {
+                    if c.in_flight.is_some() {
+                        c.on_retransmit(rto_max);
+                        prop_assert!(c.rto <= rto_max, "backoff is capped");
+                    }
+                }
+                ChanOp::Unbind => {
+                    let _ = c.unbind(rto);
+                    prop_assert!(c.in_flight.is_none());
+                }
+            }
+            prop_assert!(c.gen >= last_gen, "generation must be monotone");
+            last_gen = c.gen;
+        }
+    }
+
+    /// WRR never starves a frame with persistent work: over any work
+    /// pattern, every busy frame is selected within (frames x budget)
+    /// selections.
+    #[test]
+    fn wrr_no_starvation(busy in prop::collection::vec(any::<bool>(), 2..32)) {
+        prop_assume!(busy.iter().any(|&b| b));
+        let n = busy.len();
+        let mut s = WrrScheduler::with_bounds(n, 4, SimDuration::from_secs(1));
+        let mut hits = vec![0u32; n];
+        for _ in 0..n as u32 * 4 * 3 {
+            if let Some(i) = s.select(SimTime::ZERO, |i| busy[i]) {
+                s.served();
+                hits[i] += 1;
+            }
+        }
+        for (i, &b) in busy.iter().enumerate() {
+            if b {
+                prop_assert!(hits[i] > 0, "frame {} starved: {:?}", i, hits);
+            } else {
+                prop_assert_eq!(hits[i], 0, "idle frame {} serviced", i);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// End-to-end exactly-once: arbitrary loss/corruption rates and message
+    /// counts deliver every message exactly once.
+    #[test]
+    fn exactly_once_under_arbitrary_loss(
+        seed in any::<u64>(),
+        drop in 0.0f64..0.25,
+        corrupt in 0.0f64..0.15,
+        n in 5usize..40,
+    ) {
+        let topo = Topology::build(TopologySpec::Crossbar { hosts: 2 });
+        let fabric =
+            Fabric::new(NetConfig::default(), topo, FaultPlan::with_errors(seed, drop, corrupt));
+        let mut h = Harness::with_fabric(2, NicConfig::virtual_network(), fabric);
+        let key = ProtectionKey(9);
+        h.bring_up(0, EpId(0), ProtectionKey(1));
+        h.bring_up(1, EpId(0), key);
+        let mut posted = 0usize;
+        let mut got = Vec::new();
+        while got.len() < n {
+            while posted < n && posted - got.len() < 8 {
+                if !h.try_post(0, EpId(0), request(1, 0, key, 0)) {
+                    break;
+                }
+                posted += 1;
+            }
+            h.run_for(SimDuration::from_micros(400));
+            while let PollOutcome::Msg(m) = h.poll(1, EpId(0), QueueSel::Request) {
+                got.push(m.msg.uid);
+            }
+            if h.now().as_secs_f64() > 60.0 {
+                break;
+            }
+        }
+        prop_assert_eq!(got.len(), n, "all messages deliver (drop={} corrupt={})", drop, corrupt);
+        let unique: std::collections::HashSet<_> = got.iter().collect();
+        prop_assert_eq!(unique.len(), n, "duplicate delivery detected");
+    }
+}

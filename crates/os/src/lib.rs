@@ -1,0 +1,48 @@
+//! Solaris-style operating-system model: endpoint segment driver, virtual
+//! memory integration, and a per-node thread scheduler.
+//!
+//! Implements §4 of the paper. Endpoint management "is cast as a virtual
+//! memory problem": endpoints are memory-mapped segments whose backing store
+//! migrates between NI endpoint frames, host memory, and the swap area,
+//! under the four-state protocol of Figure 2:
+//!
+//! ```text
+//!            write fault                      make-resident (daemon)
+//! on-host r/o ----------> on-host r/w ----------------------------> on-NIC r/w
+//!      ^  \                    ^                                        |
+//!      |   \ vm pageout        | page-in                                | evict
+//!      |    v                  |                                        | (random)
+//!      |   on-disk ------------+                                        |
+//!      +----------------------------------------------------------------+
+//! ```
+//!
+//! The **on-host r/w** state is the paper's key robustness mechanism
+//! (§4.2): a write fault schedules the re-mapping *asynchronously* and lets
+//! the faulting thread continue immediately, writing into the host image.
+//! [`OsConfig::fast_write_fault`] disables it to reproduce the paper's
+//! ablation ("single threaded servers fell off sharply … because the server
+//! thread blocked for the full duration of the upload").
+//!
+//! A background **remap daemon** (the paper's kernel thread) serializes
+//! load/unload traffic to the NIC, picking eviction victims at random (the
+//! paper's policy; LRU and FIFO are provided for contrast). Message arrival
+//! for a non-resident endpoint raises a *proxy fault* through the same
+//! machinery (§4.2).
+//!
+//! Like `vnet-nic`, everything is effect-based: the driver consumes
+//! [`vnet_nic::DriverMsg`]s and emits [`OsOut`] effects that the composing
+//! world applies.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod replace;
+pub mod sched;
+pub mod segment;
+pub mod stats;
+
+pub use config::OsConfig;
+pub use replace::ReplacementPolicy;
+pub use sched::{BlockReason, SchedConfig, Scheduler, Tid};
+pub use segment::{EpState, OsEvent, OsOut, SegmentDriver, WriteOutcome};
+pub use stats::OsStats;

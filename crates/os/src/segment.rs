@@ -1,0 +1,733 @@
+//! The endpoint segment driver (§4.2–§4.3).
+//!
+//! Owns every endpoint on a node: its four-state residency record, its host
+//! image while non-resident, the remap daemon that serializes load/unload
+//! traffic to the NIC, and the bookkeeping that turns NIC driver messages
+//! into thread wakeups.
+
+use crate::config::OsConfig;
+use crate::sched::Tid;
+use crate::stats::OsStats;
+use std::collections::{HashMap, HashSet, VecDeque};
+use vnet_nic::{DriverMsg, DriverOp, EndpointImage, EpId, ProtectionKey};
+use vnet_sim::{SimDuration, SimRng, SimTime};
+
+/// Residency state of an endpoint (Figure 2 of the paper, plus the
+/// transition states the driver needs for bookkeeping).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpState {
+    /// Parked in host memory, read-only mapping: a write (or arrival)
+    /// faults and schedules a remap.
+    HostRo,
+    /// Host memory, writable: remap scheduled, application keeps running
+    /// (the §4.2 robustness state).
+    HostRw,
+    /// Image handed to the NIC; load DMA in progress.
+    Loading,
+    /// Resident in an NI endpoint frame, serviceable.
+    NicRw,
+    /// Eviction in progress (NIC is quiescing + unloading).
+    Unloading,
+    /// Paged out to the swap area ("vm pageout").
+    Disk,
+    /// Swap-in in progress.
+    PagingIn,
+    /// Being destroyed; ignored by the daemon.
+    Freeing,
+}
+
+/// Effects emitted by the segment driver.
+#[derive(Debug)]
+pub enum OsOut {
+    /// Send a driver-protocol operation to the local NIC.
+    Nic(DriverOp),
+    /// Wake a thread (endpoint event or residency transition).
+    Wake(Tid),
+    /// Schedule an OS event after a delay.
+    After(SimDuration, OsEvent),
+}
+
+/// Deferred OS events.
+#[derive(Clone, Debug)]
+pub enum OsEvent {
+    /// Remap daemon wakes up and processes its queue.
+    DaemonStep,
+    /// Swap-in of an endpoint finished.
+    PageInDone {
+        /// The endpoint.
+        ep: EpId,
+    },
+}
+
+/// Result of a write fault (application touched a non-resident endpoint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Endpoint is resident; no fault at all.
+    Resident,
+    /// Fault taken; remap scheduled; the thread may continue writing into
+    /// the host image (on-host r/w state).
+    Proceed,
+    /// Fault taken; the thread must block until the endpoint is resident
+    /// (ablation mode, or the image is in transition on the SBUS).
+    MustBlock,
+}
+
+struct EpRecord {
+    state: EpState,
+    /// Host-side image; `None` while the NIC holds it (Loading/NicRw/
+    /// Unloading).
+    image: Option<Box<EndpointImage>>,
+    last_activity: SimTime,
+    load_seq: u64,
+    remap_requested_at: Option<SimTime>,
+}
+
+/// The per-node endpoint segment driver.
+pub struct SegmentDriver {
+    cfg: OsConfig,
+    frames_total: u32,
+    nic_occupied: u32,
+    eps: HashMap<EpId, EpRecord>,
+    next_ep: u32,
+    daemon_q: VecDeque<EpId>,
+    daemon_queued: HashSet<EpId>,
+    daemon_busy: bool,
+    /// Target endpoint waiting for a victim's unload to finish.
+    pending_after_unload: Option<EpId>,
+    clock: u64,
+    load_seq: u64,
+    rng: SimRng,
+    stats: OsStats,
+}
+
+impl SegmentDriver {
+    /// Driver for a node whose NIC has `frames_total` endpoint frames.
+    pub fn new(cfg: OsConfig, frames_total: u32, seed: u64) -> Self {
+        SegmentDriver {
+            cfg,
+            frames_total,
+            nic_occupied: 0,
+            eps: HashMap::new(),
+            next_ep: 0,
+            daemon_q: VecDeque::new(),
+            daemon_queued: HashSet::new(),
+            daemon_busy: false,
+            pending_after_unload: None,
+            clock: 0,
+            load_seq: 0,
+            rng: SimRng::seed_from_u64(seed),
+            stats: OsStats::default(),
+        }
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> &OsStats {
+        &self.stats
+    }
+
+    /// Current Lamport clock.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Depth of the remap daemon's queue.
+    pub fn remap_queue_depth(&self) -> usize {
+        self.daemon_q.len()
+    }
+
+    fn tick(&mut self, seen: u64) -> u64 {
+        self.clock = self.clock.max(seen) + 1;
+        self.clock
+    }
+
+    // ------------------------------------------------------------ lifecycle
+
+    /// Allocate an endpoint ("segment creation is equivalent to allocating
+    /// an endpoint and initializing its message queues"). Registers it with
+    /// the NIC; it starts non-resident in the on-host r/o state.
+    pub fn create_endpoint(
+        &mut self,
+        now: SimTime,
+        key: ProtectionKey,
+        out: &mut Vec<OsOut>,
+    ) -> EpId {
+        let ep = EpId(self.next_ep);
+        self.next_ep += 1;
+        self.eps.insert(
+            ep,
+            EpRecord {
+                state: EpState::HostRo,
+                image: Some(Box::new(EndpointImage::new(key))),
+                last_activity: now,
+                load_seq: 0,
+                remap_requested_at: None,
+            },
+        );
+        let clock = self.tick(0);
+        out.push(OsOut::Nic(DriverOp::Register { ep, clock }));
+        ep
+    }
+
+    /// Destroy an endpoint (process termination frees its segments, §4.2).
+    /// If resident, the NIC quiesces and unloads it first; the image is
+    /// discarded when it comes back.
+    pub fn free_endpoint(&mut self, _now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        let Some(rec) = self.eps.get_mut(&ep) else { return };
+        match rec.state {
+            EpState::NicRw => {
+                rec.state = EpState::Freeing;
+                let clock = self.tick(0);
+                out.push(OsOut::Nic(DriverOp::Unload { ep, clock }));
+                // Unregister happens when the unload completes.
+            }
+            EpState::Loading | EpState::Unloading => {
+                // In transition: mark; the completion handler finishes it.
+                rec.state = EpState::Freeing;
+            }
+            _ => {
+                self.eps.remove(&ep);
+                let clock = self.tick(0);
+                out.push(OsOut::Nic(DriverOp::Unregister { ep, clock }));
+            }
+        }
+    }
+
+    /// Whether the endpoint exists (not freed).
+    pub fn exists(&self, ep: EpId) -> bool {
+        self.eps.contains_key(&ep)
+    }
+
+    /// Current residency state.
+    pub fn state(&self, ep: EpId) -> Option<&EpState> {
+        self.eps.get(&ep).map(|r| &r.state)
+    }
+
+    /// Host image access (only while the host holds it).
+    pub fn host_image_mut(&mut self, ep: EpId) -> Option<&mut EndpointImage> {
+        self.eps.get_mut(&ep).and_then(|r| r.image.as_deref_mut())
+    }
+
+    /// Immutable host image access.
+    pub fn host_image(&self, ep: EpId) -> Option<&EndpointImage> {
+        self.eps.get(&ep).and_then(|r| r.image.as_deref())
+    }
+
+    // ---------------------------------------------------------------- faults
+
+    /// Application wrote into the endpoint (posting a send). Classifies the
+    /// access per the four-state protocol and schedules remaps as needed.
+    pub fn touch_write(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) -> WriteOutcome {
+        let Some(rec) = self.eps.get_mut(&ep) else { return WriteOutcome::MustBlock };
+        rec.last_activity = now;
+        match rec.state {
+            EpState::NicRw => WriteOutcome::Resident,
+            EpState::HostRw => WriteOutcome::Proceed, // already writable + queued
+            EpState::HostRo => {
+                self.stats.write_faults.inc();
+                let rec = self.eps.get_mut(&ep).unwrap();
+                rec.state = EpState::HostRw;
+                self.enqueue_remap(now, ep, out);
+                if self.cfg.fast_write_fault {
+                    WriteOutcome::Proceed
+                } else {
+                    WriteOutcome::MustBlock
+                }
+            }
+            EpState::Disk => {
+                self.stats.write_faults.inc();
+                // Swap-in is always synchronous for the faulting thread.
+                self.enqueue_remap(now, ep, out);
+                WriteOutcome::MustBlock
+            }
+            EpState::PagingIn | EpState::Loading | EpState::Unloading => WriteOutcome::MustBlock,
+            EpState::Freeing => WriteOutcome::MustBlock,
+        }
+    }
+
+    /// Proxy fault: the NIC reported message arrival for a non-resident
+    /// endpoint (§4.2 — "the segment driver spawns a kernel thread which
+    /// performs proxy operations on behalf of the NI").
+    pub fn proxy_fault(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        let Some(rec) = self.eps.get_mut(&ep) else { return };
+        rec.last_activity = now;
+        match rec.state {
+            EpState::HostRo | EpState::HostRw | EpState::Disk => {
+                self.stats.proxy_faults.inc();
+                if self.eps[&ep].state == EpState::HostRo {
+                    self.eps.get_mut(&ep).unwrap().state = EpState::HostRw;
+                }
+                self.enqueue_remap(now, ep, out);
+            }
+            _ => {} // already resident or in transition
+        }
+    }
+
+    fn enqueue_remap(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        if !self.daemon_queued.insert(ep) {
+            return;
+        }
+        if let Some(rec) = self.eps.get_mut(&ep) {
+            if rec.remap_requested_at.is_none() {
+                rec.remap_requested_at = Some(now);
+            }
+        }
+        self.daemon_q.push_back(ep);
+        if !self.daemon_busy {
+            self.daemon_busy = true;
+            out.push(OsOut::After(self.cfg.daemon_op_cost, OsEvent::DaemonStep));
+        }
+    }
+
+    // ------------------------------------------------------------- daemon
+
+    /// One pass of the background remap thread.
+    pub fn on_daemon_step(&mut self, now: SimTime, out: &mut Vec<OsOut>) {
+        // Find the next actionable target.
+        let target = loop {
+            let Some(ep) = self.daemon_q.pop_front() else {
+                self.daemon_busy = false;
+                return;
+            };
+            match self.eps.get(&ep).map(|r| &r.state) {
+                Some(EpState::HostRo) | Some(EpState::HostRw) => break ep,
+                Some(EpState::Disk) => {
+                    // Swap in first, then the daemon resumes with it.
+                    self.eps.get_mut(&ep).unwrap().state = EpState::PagingIn;
+                    out.push(OsOut::After(self.cfg.disk_delay, OsEvent::PageInDone { ep }));
+                    return; // daemon stays busy, resumes on PageInDone
+                }
+                // Freed, already resident, or in transition: skip.
+                _ => {
+                    self.daemon_queued.remove(&ep);
+                    continue;
+                }
+            }
+        };
+        if self.nic_occupied < self.frames_total {
+            self.issue_load(now, target, out);
+        } else {
+            // All frames busy: evict a victim first. Candidate order is
+            // sorted so the random draw is a function of the seed alone
+            // (HashMap iteration order varies across process runs).
+            let mut candidates: Vec<(EpId, SimTime, u64)> = self
+                .eps
+                .iter()
+                .filter(|(e, r)| r.state == EpState::NicRw && **e != target)
+                .map(|(e, r)| (*e, r.last_activity, r.load_seq))
+                .collect();
+            candidates.sort_unstable_by_key(|c| c.0);
+            let Some(victim) = self.cfg.policy.choose(&mut self.rng, &candidates) else {
+                // Nothing evictable (all frames in transition — possible
+                // only transiently); retry shortly.
+                self.daemon_queued.remove(&target);
+                self.daemon_q.push_front(target);
+                self.daemon_queued.insert(target);
+                out.push(OsOut::After(self.cfg.daemon_op_cost, OsEvent::DaemonStep));
+                return;
+            };
+            self.eps.get_mut(&victim).unwrap().state = EpState::Unloading;
+            self.pending_after_unload = Some(target);
+            // Re-queue marker removed when the load is finally issued.
+            self.daemon_q.push_front(target);
+            let clock = self.tick(0);
+            out.push(OsOut::Nic(DriverOp::Unload { ep: victim, clock }));
+        }
+    }
+
+    /// Swap-in finished; endpoint proceeds to the load pipeline.
+    pub fn on_page_in_done(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        self.stats.page_ins.inc();
+        if let Some(rec) = self.eps.get_mut(&ep) {
+            if rec.state == EpState::PagingIn {
+                rec.state = EpState::HostRw;
+                // Wake any thread that blocked for the swap-in; it still
+                // waits for residency if it asked for that.
+            }
+        }
+        // Back of the pipeline: daemon continues with this endpoint first.
+        self.daemon_q.push_front(ep);
+        self.daemon_queued.insert(ep);
+        let _ = now;
+        out.push(OsOut::After(self.cfg.daemon_op_cost, OsEvent::DaemonStep));
+    }
+
+    fn issue_load(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        let rec = self.eps.get_mut(&ep).expect("load target exists");
+        debug_assert!(matches!(rec.state, EpState::HostRo | EpState::HostRw));
+        let image = rec.image.take().expect("host holds the image");
+        rec.state = EpState::Loading;
+        self.load_seq += 1;
+        rec.load_seq = self.load_seq;
+        rec.last_activity = now;
+        self.nic_occupied += 1;
+        self.daemon_queued.remove(&ep);
+        let clock = self.tick(0);
+        out.push(OsOut::Nic(DriverOp::Load { ep, image, clock }));
+        // The daemon waits for Loaded before taking the next request: remap
+        // traffic is serialized through the single SBUS engine anyway.
+    }
+
+    // ----------------------------------------------------------- NIC msgs
+
+    /// Handle a driver-protocol message from the NIC. `waiters_*` callbacks
+    /// are resolved by the caller (scheduler queries).
+    pub fn on_nic_msg(&mut self, now: SimTime, msg: DriverMsg, out: &mut Vec<OsOut>) {
+        match msg {
+            DriverMsg::Loaded { ep, clock } => {
+                self.tick(clock);
+                self.stats.loads.inc();
+                if let Some(rec) = self.eps.get_mut(&ep) {
+                    if let Some(t0) = rec.remap_requested_at.take() {
+                        self.stats.remap_latency_us.record(now.since(t0).as_micros_f64());
+                    }
+                    match rec.state {
+                        EpState::Freeing => {
+                            // Freed while loading: evict it again right away.
+                            rec.state = EpState::Freeing;
+                            let clock = self.tick(0);
+                            out.push(OsOut::Nic(DriverOp::Unload { ep, clock }));
+                        }
+                        _ => {
+                            rec.state = EpState::NicRw;
+                            rec.last_activity = now;
+                        }
+                    }
+                }
+                // Continue the daemon pipeline.
+                if !self.daemon_q.is_empty() {
+                    out.push(OsOut::After(self.cfg.daemon_op_cost, OsEvent::DaemonStep));
+                } else {
+                    self.daemon_busy = false;
+                }
+            }
+            DriverMsg::Unloaded { ep, image, clock } => {
+                self.tick(clock);
+                self.stats.unloads.inc();
+                self.nic_occupied = self.nic_occupied.saturating_sub(1);
+                let mut freed = false;
+                let mut nonempty = false;
+                if let Some(rec) = self.eps.get_mut(&ep) {
+                    if rec.state == EpState::Freeing {
+                        freed = true;
+                    } else {
+                        nonempty = image.has_send_work();
+                        rec.state = EpState::HostRo;
+                        rec.image = Some(image);
+                    }
+                }
+                if nonempty {
+                    // §4.2: "Eventually, the kernel makes the non-empty
+                    // endpoint resident so communication can occur." An
+                    // endpoint evicted with queued sends re-enters the
+                    // remap queue (at the back — FIFO keeps the thrash
+                    // fair); otherwise its unsent messages would deadlock
+                    // once its peer ran out of credits.
+                    self.enqueue_remap(now, ep, out);
+                }
+                if freed {
+                    self.eps.remove(&ep);
+                    let clock = self.tick(0);
+                    out.push(OsOut::Nic(DriverOp::Unregister { ep, clock }));
+                }
+                // If a target was waiting for this frame, load it now.
+                if let Some(target) = self.pending_after_unload.take() {
+                    // It sits at the front of the queue; the daemon step
+                    // will pick it up.
+                    debug_assert_eq!(self.daemon_q.front(), Some(&target));
+                    out.push(OsOut::After(self.cfg.daemon_op_cost, OsEvent::DaemonStep));
+                } else if !self.daemon_q.is_empty() {
+                    out.push(OsOut::After(self.cfg.daemon_op_cost, OsEvent::DaemonStep));
+                } else {
+                    self.daemon_busy = false;
+                }
+            }
+            DriverMsg::NeedResident { ep, clock } => {
+                self.tick(clock);
+                self.proxy_fault(now, ep, out);
+            }
+            DriverMsg::Event { ep, clock } => {
+                self.tick(clock);
+                // Thread wakeups are resolved by the composing world (it
+                // owns the scheduler); nothing to do here.
+                let _ = ep;
+            }
+        }
+    }
+
+    /// Record that a remap of `ep` completed for latency accounting *and*
+    /// return the threads to wake — used by the composing world after a
+    /// `Loaded` message (the scheduler knows who blocked).
+    pub fn note_residency_wakes(&mut self, n: u64) {
+        self.stats.residency_wakes.add(n);
+    }
+
+    /// Record event wakeups (composing world).
+    pub fn note_event_wakes(&mut self, n: u64) {
+        self.stats.event_wakes.add(n);
+    }
+
+    // ------------------------------------------------------------- pageout
+
+    /// Simulate memory pressure: move a parked endpoint to the swap area.
+    /// Returns true if the pageout happened (only HostRo endpoints are
+    /// eligible — they are "like any other cacheable memory page").
+    pub fn pageout(&mut self, ep: EpId) -> bool {
+        match self.eps.get_mut(&ep) {
+            Some(rec) if rec.state == EpState::HostRo => {
+                rec.state = EpState::Disk;
+                self.stats.page_outs.inc();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Page reclamation under memory pressure (§4.2: "Page reclamation
+    /// mechanisms may move non-resident endpoints to secondary storage
+    /// should they be the least recently used pages during periods of
+    /// acute memory deficits"): page out the least-recently-active parked
+    /// endpoint. Returns the victim, if any was eligible.
+    pub fn pageout_lru(&mut self) -> Option<EpId> {
+        let victim = self
+            .eps
+            .iter()
+            .filter(|(_, r)| r.state == EpState::HostRo)
+            .min_by_key(|(e, r)| (r.last_activity, **e))
+            .map(|(e, _)| *e)?;
+        self.pageout(victim);
+        Some(victim)
+    }
+
+    /// Number of endpoints currently in each interesting state:
+    /// `(resident, host, disk, transitioning)`.
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        let mut resident = 0;
+        let mut host = 0;
+        let mut disk = 0;
+        let mut trans = 0;
+        for r in self.eps.values() {
+            match r.state {
+                EpState::NicRw => resident += 1,
+                EpState::HostRo | EpState::HostRw => host += 1,
+                EpState::Disk => disk += 1,
+                _ => trans += 1,
+            }
+        }
+        (resident, host, disk, trans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver(frames: u32) -> SegmentDriver {
+        SegmentDriver::new(OsConfig::default(), frames, 99)
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn create_registers_and_starts_host_ro() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(5), &mut out);
+        assert_eq!(d.state(ep), Some(&EpState::HostRo));
+        assert!(matches!(out[0], OsOut::Nic(DriverOp::Register { .. })));
+        assert!(d.host_image(ep).is_some());
+    }
+
+    #[test]
+    fn write_fault_fast_path_proceeds_and_queues_remap() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(5), &mut out);
+        out.clear();
+        let o = d.touch_write(t(1), ep, &mut out);
+        assert_eq!(o, WriteOutcome::Proceed);
+        assert_eq!(d.state(ep), Some(&EpState::HostRw));
+        assert!(matches!(out[0], OsOut::After(_, OsEvent::DaemonStep)));
+        // Second write: no new fault, no new daemon kick.
+        out.clear();
+        assert_eq!(d.touch_write(t(2), ep, &mut out), WriteOutcome::Proceed);
+        assert!(out.is_empty());
+        assert_eq!(d.stats().write_faults.get(), 1);
+    }
+
+    #[test]
+    fn ablation_mode_blocks_on_write_fault() {
+        let mut cfg = OsConfig::default();
+        cfg.fast_write_fault = false;
+        let mut d = SegmentDriver::new(cfg, 8, 1);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(5), &mut out);
+        out.clear();
+        assert_eq!(d.touch_write(t(1), ep, &mut out), WriteOutcome::MustBlock);
+        assert_eq!(d.state(ep), Some(&EpState::HostRw));
+    }
+
+    #[test]
+    fn daemon_loads_into_free_frame() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(5), &mut out);
+        out.clear();
+        d.touch_write(t(1), ep, &mut out);
+        out.clear();
+        d.on_daemon_step(t(2), &mut out);
+        assert_eq!(d.state(ep), Some(&EpState::Loading));
+        assert!(matches!(out[0], OsOut::Nic(DriverOp::Load { .. })));
+        // Loaded completes the transition.
+        out.clear();
+        d.on_nic_msg(
+            t(300),
+            DriverMsg::Loaded { ep, clock: 1 },
+            &mut out,
+        );
+        assert_eq!(d.state(ep), Some(&EpState::NicRw));
+        assert_eq!(d.stats().loads.get(), 1);
+        assert!(d.stats().remap_latency_us.count() == 1);
+    }
+
+    #[test]
+    fn daemon_evicts_when_frames_full() {
+        let mut d = driver(1);
+        let mut out = vec![];
+        let a = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        let b = d.create_endpoint(t(0), ProtectionKey(2), &mut out);
+        out.clear();
+        // Load a.
+        d.touch_write(t(1), a, &mut out);
+        out.clear();
+        d.on_daemon_step(t(2), &mut out);
+        d.on_nic_msg(t(300), DriverMsg::Loaded { ep: a, clock: 1 }, &mut out);
+        out.clear();
+        // Now b needs the only frame: a must be evicted.
+        d.touch_write(t(400), b, &mut out);
+        out.clear();
+        d.on_daemon_step(t(401), &mut out);
+        assert_eq!(d.state(a), Some(&EpState::Unloading));
+        assert!(matches!(out[0], OsOut::Nic(DriverOp::Unload { .. })));
+        out.clear();
+        d.on_nic_msg(
+            t(700),
+            DriverMsg::Unloaded { ep: a, image: Box::new(EndpointImage::new(ProtectionKey(1))), clock: 2 },
+            &mut out,
+        );
+        assert_eq!(d.state(a), Some(&EpState::HostRo));
+        // Daemon continues and loads b.
+        out.clear();
+        d.on_daemon_step(t(701), &mut out);
+        assert_eq!(d.state(b), Some(&EpState::Loading));
+        d.on_nic_msg(t(1000), DriverMsg::Loaded { ep: b, clock: 3 }, &mut out);
+        assert_eq!(d.state(b), Some(&EpState::NicRw));
+        let (resident, host, _, _) = d.census();
+        assert_eq!((resident, host), (1, 1));
+    }
+
+    #[test]
+    fn need_resident_is_a_proxy_fault() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        out.clear();
+        d.on_nic_msg(t(10), DriverMsg::NeedResident { ep, clock: 4 }, &mut out);
+        assert_eq!(d.stats().proxy_faults.get(), 1);
+        assert_eq!(d.state(ep), Some(&EpState::HostRw));
+        assert!(matches!(out[0], OsOut::After(_, OsEvent::DaemonStep)));
+        assert!(d.clock() > 4, "Lamport clock must absorb the NIC's clock");
+    }
+
+    #[test]
+    fn pageout_and_pagein_cycle() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        assert!(d.pageout(ep));
+        assert_eq!(d.state(ep), Some(&EpState::Disk));
+        assert!(!d.pageout(ep), "double pageout refused");
+        out.clear();
+        // Write fault on a paged-out endpoint blocks (swap-in).
+        assert_eq!(d.touch_write(t(5), ep, &mut out), WriteOutcome::MustBlock);
+        out.clear();
+        d.on_daemon_step(t(6), &mut out);
+        assert_eq!(d.state(ep), Some(&EpState::PagingIn));
+        assert!(matches!(out[0], OsOut::After(_, OsEvent::PageInDone { .. })));
+        out.clear();
+        d.on_page_in_done(t(12_000), ep, &mut out);
+        assert_eq!(d.state(ep), Some(&EpState::HostRw));
+        assert_eq!(d.stats().page_ins.get(), 1);
+        // Daemon then loads it.
+        out.clear();
+        d.on_daemon_step(t(12_001), &mut out);
+        assert_eq!(d.state(ep), Some(&EpState::Loading));
+    }
+
+    #[test]
+    fn free_non_resident_unregisters_immediately() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        out.clear();
+        d.free_endpoint(t(1), ep, &mut out);
+        assert!(!d.exists(ep));
+        assert!(matches!(out[0], OsOut::Nic(DriverOp::Unregister { .. })));
+    }
+
+    #[test]
+    fn free_resident_synchronizes_with_nic() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        d.touch_write(t(1), ep, &mut out);
+        out.clear();
+        d.on_daemon_step(t(2), &mut out);
+        d.on_nic_msg(t(300), DriverMsg::Loaded { ep, clock: 1 }, &mut out);
+        out.clear();
+        d.free_endpoint(t(400), ep, &mut out);
+        assert_eq!(d.state(ep), Some(&EpState::Freeing));
+        assert!(matches!(out[0], OsOut::Nic(DriverOp::Unload { .. })));
+        out.clear();
+        d.on_nic_msg(
+            t(700),
+            DriverMsg::Unloaded { ep, image: Box::new(EndpointImage::new(ProtectionKey(1))), clock: 2 },
+            &mut out,
+        );
+        assert!(!d.exists(ep));
+        assert!(
+            out.iter().any(|o| matches!(o, OsOut::Nic(DriverOp::Unregister { .. }))),
+            "freed endpoint must be unregistered after the unload"
+        );
+    }
+
+    #[test]
+    fn lru_pageout_picks_stalest_parked_endpoint() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let a = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        let b = d.create_endpoint(t(0), ProtectionKey(2), &mut out);
+        let c = d.create_endpoint(t(0), ProtectionKey(3), &mut out);
+        // Touch b and c later; a is the stalest.
+        d.touch_write(t(100), b, &mut out);
+        d.touch_write(t(200), c, &mut out);
+        // b and c are HostRw (queued) — not eligible; a (HostRo) is.
+        assert_eq!(d.pageout_lru(), Some(a));
+        assert_eq!(d.state(a), Some(&EpState::Disk));
+        // Nothing else is HostRo now.
+        assert_eq!(d.pageout_lru(), None);
+    }
+
+    #[test]
+    fn remap_requests_deduplicate() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        out.clear();
+        d.touch_write(t(1), ep, &mut out);
+        d.proxy_fault(t(2), ep, &mut out);
+        d.proxy_fault(t(3), ep, &mut out);
+        assert_eq!(d.remap_queue_depth(), 1, "one queue entry per endpoint");
+    }
+}

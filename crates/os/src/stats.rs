@@ -1,0 +1,54 @@
+//! OS-side instrumentation: fault and remap counters used to report the
+//! §6.4.1 numbers ("the operating system sustains approximately 200-300
+//! endpoint re-mappings per second").
+
+use vnet_sim::stats::{Counter, Sampler};
+
+/// Per-node segment-driver counters.
+#[derive(Clone, Debug, Default)]
+pub struct OsStats {
+    /// Write faults taken on non-resident endpoints.
+    pub write_faults: Counter,
+    /// Proxy faults taken on behalf of the NIC (message arrival for a
+    /// non-resident endpoint).
+    pub proxy_faults: Counter,
+    /// Endpoint loads completed (each is one half of a "re-mapping").
+    pub loads: Counter,
+    /// Endpoint unloads completed (evictions).
+    pub unloads: Counter,
+    /// Page-ins from the swap area.
+    pub page_ins: Counter,
+    /// Pageouts to the swap area.
+    pub page_outs: Counter,
+    /// Threads woken by endpoint events.
+    pub event_wakes: Counter,
+    /// Threads woken by residency transitions.
+    pub residency_wakes: Counter,
+    /// End-to-end remap latency samples (request → loaded), µs.
+    pub remap_latency_us: Sampler,
+}
+
+impl OsStats {
+    /// Remaps per second of simulated time (loads are the unit the paper
+    /// counts).
+    pub fn remaps_per_sec(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.loads.get() as f64 / elapsed_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remap_rate() {
+        let mut s = OsStats::default();
+        s.loads.add(250);
+        assert!((s.remaps_per_sec(1.0) - 250.0).abs() < 1e-9);
+        assert_eq!(s.remaps_per_sec(0.0), 0.0);
+    }
+}

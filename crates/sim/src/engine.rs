@@ -1,0 +1,399 @@
+//! The discrete-event engine.
+//!
+//! A simulation is a [`SimWorld`] (all mutable state) plus an [`Engine`]
+//! (clock + pending-event queue). The engine pops the earliest event,
+//! advances the clock, and hands the event to the world together with a
+//! [`Ctx`] through which the handler schedules follow-up events.
+//!
+//! Ties are broken by insertion order, which makes runs bit-reproducible:
+//! two events at the same timestamp are delivered in the order they were
+//! scheduled.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// A sentinel id that never matches a live event.
+    pub const NONE: EventId = EventId(u64::MAX);
+}
+
+/// The mutable state of a simulation, with its event handler.
+pub trait SimWorld {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handle one event. `ctx.now()` is the event's timestamp; follow-up
+    /// events are scheduled through `ctx`.
+    fn handle(&mut self, ev: Self::Event, ctx: &mut Ctx<Self::Event>);
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Scheduling context passed to event handlers.
+///
+/// Buffers newly scheduled events; the engine drains the buffer after the
+/// handler returns. This keeps the handler borrow (`&mut World`) disjoint
+/// from the queue borrow.
+pub struct Ctx<E> {
+    now: SimTime,
+    next_id: u64,
+    pending: Vec<(SimTime, EventId, E)>,
+    cancelled: Vec<EventId>,
+    stop: bool,
+}
+
+impl<E> Ctx<E> {
+    /// Timestamp of the event being handled.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `ev` to fire `delay` from now. Returns an id usable with
+    /// [`Ctx::cancel`].
+    pub fn schedule(&mut self, delay: SimDuration, ev: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.pending.push((self.now + delay, id, ev));
+        id
+    }
+
+    /// Schedule `ev` at an absolute time (must not be in the past; if it is,
+    /// it fires "now").
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.pending.push((at.max(self.now), id, ev));
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling [`EventId::NONE`] or
+    /// an already-fired event is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        if id != EventId::NONE {
+            self.cancelled.push(id);
+        }
+    }
+
+    /// Request that the engine stop after this handler returns, leaving any
+    /// remaining events unprocessed.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// The event loop: a clock and a priority queue of pending events.
+pub struct Engine<W: SimWorld> {
+    now: SimTime,
+    seq: u64,
+    next_id: u64,
+    queue: BinaryHeap<Entry<W::Event>>,
+    cancelled: HashSet<EventId>,
+    events_processed: u64,
+}
+
+impl<W: SimWorld> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: SimWorld> Engine<W> {
+    /// An engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events handled so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending (possibly cancelled) entries in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event from outside a handler (initial conditions).
+    pub fn schedule(&mut self, delay: SimDuration, ev: W::Event) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.push(self.now + delay, id, ev);
+        id
+    }
+
+    fn push(&mut self, at: SimTime, id: EventId, ev: W::Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, id, ev });
+    }
+
+    /// Cancel an event scheduled via [`Engine::schedule`] (or a handler).
+    pub fn cancel(&mut self, id: EventId) {
+        if id != EventId::NONE {
+            self.cancelled.insert(id);
+        }
+    }
+
+    fn pop_live(&mut self) -> Option<Entry<W::Event>> {
+        while let Some(e) = self.queue.pop() {
+            if self.cancelled.remove(&e.id) {
+                continue;
+            }
+            return Some(e);
+        }
+        None
+    }
+
+    /// Run until the queue is empty or a handler calls [`Ctx::stop`].
+    /// Returns the number of events processed by this call.
+    pub fn run(&mut self, world: &mut W) -> u64 {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Run until the queue empties, a handler stops the engine, or the next
+    /// event lies strictly after `deadline`. The clock ends at the last
+    /// processed event (or `deadline` if that is later and the queue still
+    /// holds future events).
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> u64 {
+        let before = self.events_processed;
+        loop {
+            let Some(entry) = self.pop_live() else {
+                // Queue drained before the deadline: the clock still
+                // advances to it (callers use run_until as "sleep until").
+                if deadline != SimTime::MAX {
+                    self.now = deadline;
+                }
+                break;
+            };
+            if entry.at > deadline {
+                // Put it back; it belongs to a future epoch.
+                self.queue.push(entry);
+                self.now = deadline;
+                break;
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.events_processed += 1;
+
+            let mut ctx = Ctx {
+                now: self.now,
+                next_id: self.next_id,
+                pending: Vec::new(),
+                cancelled: Vec::new(),
+                stop: false,
+            };
+            world.handle(entry.ev, &mut ctx);
+            self.next_id = ctx.next_id;
+            for (at, id, ev) in ctx.pending {
+                self.push(at, id, ev);
+            }
+            for id in ctx.cancelled {
+                self.cancelled.insert(id);
+            }
+            if ctx.stop {
+                break;
+            }
+        }
+        self.events_processed - before
+    }
+
+    /// Process exactly one live event, if any. Returns whether one fired.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        let Some(entry) = self.pop_live() else {
+            return false;
+        };
+        self.now = entry.at;
+        self.events_processed += 1;
+        let mut ctx = Ctx {
+            now: self.now,
+            next_id: self.next_id,
+            pending: Vec::new(),
+            cancelled: Vec::new(),
+            stop: false,
+        };
+        world.handle(entry.ev, &mut ctx);
+        self.next_id = ctx.next_id;
+        for (at, id, ev) in ctx.pending {
+            self.push(at, id, ev);
+        }
+        for id in ctx.cancelled {
+            self.cancelled.insert(id);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        log: Vec<(u64, u32)>,
+        respawn: bool,
+        cancel_next: Option<EventId>,
+    }
+
+    impl SimWorld for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, ctx: &mut Ctx<u32>) {
+            self.log.push((ctx.now().as_nanos(), ev));
+            if self.respawn && ev < 5 {
+                ctx.schedule(SimDuration::from_nanos(10), ev + 1);
+            }
+            if let Some(id) = self.cancel_next.take() {
+                ctx.cancel(id);
+            }
+            if ev == 99 {
+                ctx.stop();
+            }
+        }
+    }
+
+    fn world() -> Recorder {
+        Recorder { log: vec![], respawn: false, cancel_next: None }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut w = world();
+        let mut e = Engine::new();
+        e.schedule(SimDuration::from_nanos(30), 3);
+        e.schedule(SimDuration::from_nanos(10), 1);
+        e.schedule(SimDuration::from_nanos(20), 2);
+        e.run(&mut w);
+        assert_eq!(w.log, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(e.events_processed(), 3);
+    }
+
+    #[test]
+    fn same_time_fifo_order() {
+        let mut w = world();
+        let mut e = Engine::new();
+        for i in 0..10 {
+            e.schedule(SimDuration::from_nanos(5), i);
+        }
+        e.run(&mut w);
+        let evs: Vec<u32> = w.log.iter().map(|&(_, v)| v).collect();
+        assert_eq!(evs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_chains() {
+        let mut w = world();
+        w.respawn = true;
+        let mut e = Engine::new();
+        e.schedule(SimDuration::from_nanos(0), 0);
+        e.run(&mut w);
+        assert_eq!(w.log.len(), 6); // 0..=5
+        assert_eq!(e.now().as_nanos(), 50);
+    }
+
+    #[test]
+    fn cancellation_from_engine() {
+        let mut w = world();
+        let mut e = Engine::new();
+        let id = e.schedule(SimDuration::from_nanos(10), 1);
+        e.schedule(SimDuration::from_nanos(20), 2);
+        e.cancel(id);
+        e.run(&mut w);
+        assert_eq!(w.log, vec![(20, 2)]);
+    }
+
+    #[test]
+    fn cancellation_from_handler() {
+        let mut w = world();
+        let mut e = Engine::new();
+        e.schedule(SimDuration::from_nanos(5), 7);
+        let victim = e.schedule(SimDuration::from_nanos(50), 8);
+        w.cancel_next = Some(victim);
+        e.run(&mut w);
+        assert_eq!(w.log, vec![(5, 7)]);
+    }
+
+    #[test]
+    fn cancel_none_is_noop() {
+        let mut w = world();
+        let mut e = Engine::new();
+        e.cancel(EventId::NONE);
+        e.schedule(SimDuration::from_nanos(1), 1);
+        e.run(&mut w);
+        assert_eq!(w.log.len(), 1);
+    }
+
+    #[test]
+    fn stop_leaves_queue() {
+        let mut w = world();
+        let mut e = Engine::new();
+        e.schedule(SimDuration::from_nanos(1), 99);
+        e.schedule(SimDuration::from_nanos(2), 1);
+        e.run(&mut w);
+        assert_eq!(w.log, vec![(1, 99)]);
+        assert_eq!(e.queue_len(), 1);
+        // Resume processes the remainder.
+        e.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_deadline_preserves_future_events() {
+        let mut w = world();
+        let mut e = Engine::new();
+        e.schedule(SimDuration::from_nanos(10), 1);
+        e.schedule(SimDuration::from_nanos(100), 2);
+        let n = e.run_until(&mut w, SimTime::from_nanos(50));
+        assert_eq!(n, 1);
+        assert_eq!(e.now().as_nanos(), 50);
+        e.run(&mut w);
+        assert_eq!(w.log, vec![(10, 1), (100, 2)]);
+    }
+
+    #[test]
+    fn step_single_event() {
+        let mut w = world();
+        let mut e = Engine::new();
+        e.schedule(SimDuration::from_nanos(3), 4);
+        assert!(e.step(&mut w));
+        assert!(!e.step(&mut w));
+        assert_eq!(w.log, vec![(3, 4)]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic discrete-event simulation kernel for the `vnet` stack.
+//!
+//! This crate is the foundation substrate of the PPoPP'99 *virtual networks*
+//! reproduction: every other crate (network fabric, network interface, host
+//! operating system) is expressed as event handlers driven by the [`Engine`]
+//! defined here.
+//!
+//! Design points:
+//!
+//! * **Determinism.** Events that are scheduled for the same timestamp are
+//!   delivered in scheduling order (FIFO tie-breaking on a monotone sequence
+//!   number). All randomness flows through [`rng::SimRng`], a seeded small
+//!   PRNG, so a run is a pure function of `(configuration, seed)`.
+//! * **Single-threaded worlds.** One simulation instance never migrates
+//!   across threads; parallelism in the benchmark harness is achieved by
+//!   running many independent instances, one per OS thread.
+//! * **Lazy cancellation.** Protocol code cancels timers constantly
+//!   (an acknowledgment cancels a retransmission timer), so [`Engine::cancel`]
+//!   is O(1): cancelled entries are skipped when popped.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Engine, EventId, SimWorld};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, TraceRing};

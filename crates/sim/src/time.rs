@@ -1,0 +1,272 @@
+//! Simulated time.
+//!
+//! Time is a monotone count of nanoseconds since simulation start. All
+//! protocol constants in the paper are microsecond- or millisecond-scale
+//! (switch cut-through latency ≈ 300 ns, NI loiter bound = 4 ms), so a `u64`
+//! nanosecond clock gives ~584 years of range — far beyond any run.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute simulation timestamp, in nanoseconds since time zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable timestamp (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Timestamp as fractional microseconds (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Timestamp as fractional seconds (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Elapsed time since `earlier`; saturates to zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional microseconds, rounding to the nearest
+    /// nanosecond. Negative inputs clamp to zero.
+    pub fn from_micros_f64(us: f64) -> Self {
+        SimDuration((us.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Duration needed to move `bytes` at `mb_per_s` megabytes per second
+    /// (decimal MB, matching the paper's bandwidth units).
+    pub fn for_bytes(bytes: u64, mb_per_s: f64) -> Self {
+        if mb_per_s <= 0.0 {
+            return SimDuration(u64::MAX);
+        }
+        let ns = bytes as f64 * 1_000.0 / mb_per_s; // bytes / (MB/s) -> ns
+        SimDuration(ns.round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating multiply by an integer factor (exponential backoff).
+    pub fn saturating_mul(self, factor: u64) -> Self {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Scale by a float factor (randomized jitter), clamping at zero.
+    pub fn mul_f64(self, factor: f64) -> Self {
+        SimDuration((self.0 as f64 * factor.max(0.0)).round() as u64)
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: Self) -> Self {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: Self) -> Self {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimDuration::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_micros_f64(1.5).as_nanos(), 1_500);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_micros(10);
+        assert_eq!(t.as_nanos(), 10_000);
+        let d = t - SimTime::from_nanos(4_000);
+        assert_eq!(d.as_nanos(), 6_000);
+        // Saturating: subtracting a later time yields zero, not wraparound.
+        assert_eq!((SimTime::from_nanos(5) - SimTime::from_nanos(9)).as_nanos(), 0);
+    }
+
+    #[test]
+    fn bandwidth_duration() {
+        // 46.8 MB/s over 8192 bytes: 8192 / 46.8e6 s = 175.04 us.
+        let d = SimDuration::for_bytes(8192, 46.8);
+        assert!((d.as_micros_f64() - 175.04).abs() < 0.05, "{d}");
+        // Zero bandwidth is "never".
+        assert_eq!(SimDuration::for_bytes(1, 0.0).as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn backoff_helpers() {
+        let d = SimDuration::from_micros(100);
+        assert_eq!(d.saturating_mul(4).as_nanos(), 400_000);
+        assert_eq!(d.mul_f64(1.5).as_nanos(), 150_000);
+        assert_eq!(d.mul_f64(-1.0).as_nanos(), 0);
+        assert_eq!(d.max(SimDuration::from_micros(50)), d);
+        assert_eq!(d.min(SimDuration::from_micros(50)).as_nanos(), 50_000);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(300);
+        assert_eq!(b.since(a).as_nanos(), 200);
+        assert_eq!(a.since(b).as_nanos(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_nanos(1_500)), "1.500us");
+        assert_eq!(format!("{}", SimDuration::from_micros(2)), "2.000us");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the simulation kernel: ordering, cancellation, and
+//! statistics invariants hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use vnet_sim::stats::{linear_fit, Sampler};
+use vnet_sim::{Ctx, Engine, SimDuration, SimTime, SimWorld};
+
+struct Recorder {
+    seen: Vec<(u64, u32)>,
+}
+
+impl SimWorld for Recorder {
+    type Event = u32;
+    fn handle(&mut self, ev: u32, ctx: &mut Ctx<u32>) {
+        self.seen.push((ctx.now().as_nanos(), ev));
+    }
+}
+
+proptest! {
+    /// Events fire in nondecreasing time order, FIFO among equal times.
+    #[test]
+    fn events_ordered(delays in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut w = Recorder { seen: vec![] };
+        let mut e = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            e.schedule(SimDuration::from_nanos(d), i as u32);
+        }
+        e.run(&mut w);
+        prop_assert_eq!(w.seen.len(), delays.len());
+        for win in w.seen.windows(2) {
+            prop_assert!(win[0].0 <= win[1].0, "time went backwards");
+            if win[0].0 == win[1].0 {
+                // FIFO tie-break: scheduling order == payload order here.
+                prop_assert!(win[0].1 < win[1].1, "FIFO violated at t={}", win[0].0);
+            }
+        }
+    }
+
+    /// Cancelled events never fire; everything else does.
+    #[test]
+    fn cancellation_exact(
+        delays in prop::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut w = Recorder { seen: vec![] };
+        let mut e = Engine::new();
+        let mut expect = vec![];
+        for (i, &d) in delays.iter().enumerate() {
+            let id = e.schedule(SimDuration::from_nanos(d), i as u32);
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                e.cancel(id);
+            } else {
+                expect.push(i as u32);
+            }
+        }
+        e.run(&mut w);
+        let mut got: Vec<u32> = w.seen.iter().map(|&(_, v)| v).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// run_until never processes events beyond the deadline and leaves the
+    /// clock at exactly the deadline when it stops early.
+    #[test]
+    fn run_until_respects_deadline(
+        delays in prop::collection::vec(1u64..10_000, 1..100),
+        deadline in 1u64..12_000,
+    ) {
+        let mut w = Recorder { seen: vec![] };
+        let mut e = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            e.schedule(SimDuration::from_nanos(d), i as u32);
+        }
+        e.run_until(&mut w, SimTime::from_nanos(deadline));
+        for &(t, _) in &w.seen {
+            prop_assert!(t <= deadline);
+        }
+        prop_assert!(e.now().as_nanos() <= deadline);
+        let expected = delays.iter().filter(|&&d| d <= deadline).count();
+        prop_assert_eq!(w.seen.len(), expected);
+    }
+
+    /// Sampler quantiles are bounded by min/max and monotone in q.
+    #[test]
+    fn sampler_quantiles_sane(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut s = Sampler::default();
+        for &x in &xs {
+            s.record(x);
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let v = s.quantile(q);
+            prop_assert!(v >= lo && v <= hi, "q={q} v={v} out of [{lo},{hi}]");
+            prop_assert!(v >= prev, "quantiles must be monotone");
+            prev = v;
+        }
+    }
+
+    /// linear_fit recovers arbitrary noiseless lines exactly (R² = 1).
+    #[test]
+    fn linear_fit_exact(
+        slope in -100f64..100.0,
+        intercept in -1e4f64..1e4,
+        n in 3usize..50,
+    ) {
+        let pts: Vec<(f64, f64)> =
+            (0..n).map(|i| (i as f64 * 7.0 + 1.0, slope * (i as f64 * 7.0 + 1.0) + intercept)).collect();
+        let (m, b, r2) = linear_fit(&pts);
+        prop_assert!((m - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        prop_assert!((b - intercept).abs() < 1e-5 * intercept.abs().max(1.0));
+        prop_assert!(r2 > 0.999999);
+    }
+
+    /// Duration arithmetic saturates instead of wrapping.
+    #[test]
+    fn duration_saturates(a in any::<u64>(), b in any::<u64>()) {
+        let x = SimDuration::from_nanos(a);
+        let y = SimDuration::from_nanos(b);
+        prop_assert_eq!((x + y).as_nanos(), a.saturating_add(b));
+        prop_assert_eq!((x - y).as_nanos(), a.saturating_sub(b));
+    }
+}

@@ -1,0 +1,194 @@
+//! A cluster file service over virtual networks — the paper's generality
+//! story ("high-speed communication ought to be available to all
+//! components, including file systems … parallel clients and servers").
+//!
+//! ```text
+//! cargo run --release --example file_service -- [clients]
+//! ```
+//!
+//! One storage node exports a block store under a well-known name. Client
+//! nodes resolve it through the rendezvous service, then issue a mix of
+//! 8 KB block reads (bulk replies) and small stat calls. The server is
+//! event-driven (sleeps on its endpoint mask, §3.3) and shares its node
+//! with a background compute job to show the OS keeping the network fast
+//! while the CPU is contended.
+
+use vnet::prelude::*;
+use vnet::Cluster;
+
+const OP_STAT: u16 = 1;
+const OP_READ: u16 = 2;
+
+/// Event-driven block server: replies to stats with metadata words and to
+/// reads with an 8 KB payload.
+struct BlockServer {
+    ep: EpId,
+    stats_served: u64,
+    reads_served: u64,
+    pending: Vec<DeliveredMsg>,
+}
+
+impl BlockServer {
+    fn serve(&mut self, sys: &mut Sys<'_>, m: DeliveredMsg) {
+        let r = match m.msg.handler {
+            OP_STAT => sys.reply(self.ep, &m, OP_STAT, [m.msg.args[0], 4096, 0o644, 0], 0),
+            OP_READ => sys.reply(self.ep, &m, OP_READ, [m.msg.args[0], 0, 0, 0], 8192),
+            other => panic!("unknown op {other}"),
+        };
+        match r {
+            Ok(_) => {
+                if m.msg.handler == OP_STAT {
+                    self.stats_served += 1;
+                } else {
+                    self.reads_served += 1;
+                }
+            }
+            Err(_) => self.pending.push(m), // backpressure: retry next burst
+        }
+    }
+}
+
+impl ThreadBody for BlockServer {
+    fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+        while let Some(m) = self.pending.pop() {
+            let before = self.pending.len();
+            self.serve(sys, m);
+            if self.pending.len() > before {
+                return Step::Yield;
+            }
+        }
+        while let Some(m) = sys.poll(self.ep, QueueSel::Request) {
+            self.serve(sys, m);
+        }
+        if self.pending.is_empty() {
+            Step::WaitEvent(self.ep)
+        } else {
+            Step::Yield
+        }
+    }
+}
+
+/// A compute job sharing the storage node's CPU.
+struct BackgroundJob;
+impl ThreadBody for BackgroundJob {
+    fn run(&mut self, _sys: &mut Sys<'_>) -> Step {
+        Step::Compute(SimDuration::from_millis(5))
+    }
+}
+
+/// Client: alternating stat/read workload with up to 8 outstanding ops.
+struct FsClient {
+    ep: EpId,
+    ops: u32,
+    issued: u32,
+    stats_done: u64,
+    reads_done: u64,
+    bytes_read: u64,
+    t0: Option<SimTime>,
+    t1: Option<SimTime>,
+}
+
+impl ThreadBody for FsClient {
+    fn run(&mut self, sys: &mut Sys<'_>) -> Step {
+        if self.t0.is_none() {
+            self.t0 = Some(sys.now());
+        }
+        while self.issued < self.ops && sys.outstanding(self.ep) < 8 {
+            let op = if self.issued % 4 == 0 { OP_STAT } else { OP_READ };
+            match sys.request(self.ep, 0, op, [self.issued as u64, 0, 0, 0], 0) {
+                Ok(_) => self.issued += 1,
+                Err(SendError::NoCredit) | Err(SendError::QueueFull) => break,
+                Err(SendError::WouldBlock) => return Step::WaitResident(self.ep),
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        while let Some(m) = sys.poll(self.ep, QueueSel::Reply) {
+            assert!(!m.undeliverable, "storage node vanished");
+            match m.msg.handler {
+                OP_STAT => self.stats_done += 1,
+                OP_READ => {
+                    self.reads_done += 1;
+                    self.bytes_read += m.msg.payload_bytes as u64;
+                }
+                _ => unreachable!(),
+            }
+        }
+        if self.stats_done + self.reads_done == self.ops as u64 {
+            self.t1 = Some(sys.now());
+            return Step::Exit;
+        }
+        Step::WaitEvent(self.ep)
+    }
+}
+
+fn main() {
+    let clients: u32 =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let mut cluster = Cluster::new(ClusterConfig::now(clients + 1));
+    let storage = HostId(0);
+
+    // The service registers its endpoint under a well-known name (§3.1
+    // rendezvous) and goes to sleep on its event mask.
+    let svc = cluster.create_endpoint(storage);
+    cluster.register_name("blockstore/0", svc);
+    cluster.spawn_thread(
+        storage,
+        Box::new(BlockServer { ep: svc.ep, stats_served: 0, reads_served: 0, pending: vec![] }),
+    );
+    cluster.spawn_thread(storage, Box::new(BackgroundJob));
+
+    let ops = 400u32;
+    let mut tids = Vec::new();
+    for i in 0..clients {
+        let h = HostId(i + 1);
+        let ep = cluster.create_endpoint(h);
+        assert!(cluster.connect_by_name(ep, 0, "blockstore/0"));
+        tids.push((
+            h,
+            cluster.spawn_thread(
+                h,
+                Box::new(FsClient {
+                    ep: ep.ep,
+                    ops,
+                    issued: 0,
+                    stats_done: 0,
+                    reads_done: 0,
+                    bytes_read: 0,
+                    t0: None,
+                    t1: None,
+                }),
+            ),
+        ));
+    }
+
+    cluster.run_for(SimDuration::from_secs(60));
+
+    println!("{clients} clients x {ops} ops against one event-driven storage node:\n");
+    println!("client  stats  reads  MB read  elapsed(ms)  MB/s");
+    let mut total_bytes = 0u64;
+    let mut makespan = 0.0f64;
+    for (i, &(h, t)) in tids.iter().enumerate() {
+        let c: &FsClient = cluster.body(h, t).expect("client");
+        let el = (c.t1.expect("finished") - c.t0.unwrap()).as_secs_f64();
+        total_bytes += c.bytes_read;
+        makespan = makespan.max(el);
+        println!(
+            "{i:>6}  {:>5}  {:>5}  {:>7.1}  {:>11.1}  {:>5.1}",
+            c.stats_done,
+            c.reads_done,
+            c.bytes_read as f64 / 1e6,
+            el * 1e3,
+            c.bytes_read as f64 / 1e6 / el
+        );
+    }
+    println!(
+        "\naggregate: {:.1} MB served in {:.1} ms = {:.1} MB/s (SBUS ceiling 46.8)",
+        total_bytes as f64 / 1e6,
+        makespan * 1e3,
+        total_bytes as f64 / 1e6 / makespan
+    );
+    println!(
+        "storage node also ran a compute job throughout; endpoint loads on it: {}",
+        cluster.os(storage).stats().loads.get()
+    );
+}

@@ -1,0 +1,70 @@
+//! A parallel stencil application on the BSP layer — the "traditional
+//! parallel library" use of virtual networks (the role MPICH-on-AM plays
+//! in the paper).
+//!
+//! ```text
+//! cargo run --release --example parallel_stencil -- [ranks] [iters]
+//! ```
+//!
+//! Each rank owns a slab of a 1-D domain; per iteration it computes on its
+//! slab and exchanges halo rows with both neighbours, then every 10
+//! iterations joins a reduction (modeled by its communication pattern).
+
+use vnet::apps::bsp::{launch_job, patterns, BspApp, BspRunner, SuperStep};
+use vnet::prelude::*;
+use vnet::Cluster;
+use vnet::ClusterConfig;
+
+struct Stencil {
+    iters: u64,
+    halo_bytes: u32,
+    compute_per_iter: SimDuration,
+}
+
+impl BspApp for Stencil {
+    fn step(&mut self, rank: usize, n: usize, step: u64) -> Option<SuperStep> {
+        // Every 10th step is a reduction round-set; others are halo steps.
+        let halo_steps = self.iters;
+        if step >= halo_steps {
+            return None;
+        }
+        let (l, r) = patterns::ring(rank, n);
+        Some(SuperStep {
+            compute: self.compute_per_iter,
+            sends: vec![(l, self.halo_bytes), (r, self.halo_bytes)],
+            recv_count: 2,
+        })
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let iters: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+
+    let mut cluster = Cluster::new(ClusterConfig::now(ranks));
+    let hosts: Vec<HostId> = (0..ranks).map(HostId).collect();
+    let job = launch_job(&mut cluster, &hosts, |_| Stencil {
+        iters,
+        halo_bytes: 4096,
+        compute_per_iter: SimDuration::from_micros(500),
+    });
+    cluster.run_for(SimDuration::from_secs(60));
+
+    println!("{ranks}-rank stencil, {iters} iterations, 4KB halos each way:\n");
+    println!("rank  elapsed(ms)  compute(ms)  comm+wait(ms)  msgs");
+    let mut slowest = 0.0f64;
+    for (rank, &(h, t, _)) in job.iter().enumerate() {
+        let st = &cluster.body::<BspRunner<Stencil>>(h, t).expect("rank").stats;
+        let el = st.elapsed().expect("finished").as_secs_f64() * 1e3;
+        let comp = st.compute.as_secs_f64() * 1e3;
+        println!(
+            "{rank:>4}  {el:>11.2}  {comp:>11.2}  {:>13.2}  {:>4}",
+            el - comp,
+            st.msgs_sent
+        );
+        slowest = slowest.max(el);
+    }
+    let ideal = iters as f64 * 0.5; // compute only
+    println!("\nmakespan {slowest:.2} ms vs {ideal:.2} ms pure compute: {:.1}% comm overhead", (slowest / ideal - 1.0) * 100.0);
+}

@@ -1,0 +1,32 @@
+//! # vnet — virtual networks for fast, general-purpose communication
+//!
+//! A from-scratch Rust reproduction of *Mainwaring & Culler, "Design
+//! Challenges of Virtual Networks: Fast, General-Purpose Communication"*
+//! (PPoPP 1999): the Berkeley NOW cluster's virtual-network system —
+//! Active Messages endpoints virtualized over scarce network-interface
+//! resources — rebuilt as a deterministic discrete-event simulation of the
+//! entire stack.
+//!
+//! This crate is a facade: it re-exports the workspace's layers.
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | programming interface + cluster | `vnet-core` | endpoints, virtual networks, protection, credits, thread events, [`Cluster`] |
+//! | workloads | `vnet-apps` | LogP/bandwidth microbenchmarks, client/server contention, NPB skeletons, Linpack, time-sharing |
+//! | host OS model | `vnet-os` | endpoint segment driver (4-state protocol), remap daemon, scheduler |
+//! | network interface | `vnet-nic` | endpoint frames, stop-and-wait channels, WRR service, SBUS DMA |
+//! | network fabric | `vnet-net` | cut-through fat-tree fabric, routing, faults |
+//! | simulation kernel | `vnet-sim` | event engine, deterministic RNG, statistics |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the full system inventory and experiment index.
+
+pub use vnet_apps as apps;
+pub use vnet_core as corelib;
+pub use vnet_net as net;
+pub use vnet_nic as nic;
+pub use vnet_os as os;
+pub use vnet_sim as sim;
+
+pub use vnet_core::prelude;
+pub use vnet_core::{Cluster, ClusterConfig, CostModel, Mode, SendError, Step, Sys, ThreadBody};
