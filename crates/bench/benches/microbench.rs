@@ -1,20 +1,45 @@
-//! Criterion microbenchmarks of the simulator fast paths.
+//! Microbenchmarks of the simulator fast paths (dependency-free harness).
 //!
 //! These measure the *harness itself* (events/second of host CPU), which
 //! bounds how much simulated cluster time the figure binaries can afford.
 //! One benchmark per rate-limiting stage: the event engine, the NIC
 //! small-message fast path, the end-to-end request/reply loop, and the
 //! endpoint remap pipeline.
+//!
+//! The harness is a plain `main` (`harness = false` in Cargo.toml) with a
+//! warmup + timed-sample loop, so it builds with no external crates and in
+//! offline environments. Run with `cargo bench -p vnet-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::{Duration, Instant};
+
 use vnet_core::prelude::*;
 use vnet_core::{Cluster, ClusterConfig};
 use vnet_nic::testkit::{request, Harness};
 use vnet_nic::{EpId as NEp, NicConfig, PollOutcome as NPoll, ProtectionKey, QueueSel as NSel};
 use vnet_sim::{Ctx, Engine, SimWorld};
 
+/// Run `iter` (setup handled by the closure) repeatedly: a short warmup,
+/// then timed samples, and report min/median time per iteration.
+fn bench(name: &str, mut iter: impl FnMut()) {
+    const WARMUP: u32 = 3;
+    const SAMPLES: usize = 20;
+    for _ in 0..WARMUP {
+        iter();
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        iter();
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    println!("{name:<34} min {min:>12.2?}   median {median:>12.2?}");
+}
+
 /// Engine throughput: a self-rescheduling event chain.
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     struct Chain(u64);
     impl SimWorld for Chain {
         type Event = ();
@@ -25,51 +50,36 @@ fn bench_engine(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("engine_10k_chained_events", |b| {
-        b.iter_batched(
-            || {
-                let mut e = Engine::new();
-                e.schedule(SimDuration::from_nanos(1), ());
-                (e, Chain(0))
-            },
-            |(mut e, mut w)| {
-                e.run(&mut w);
-                assert_eq!(w.0, 10_000);
-            },
-            BatchSize::SmallInput,
-        )
+    bench("engine_10k_chained_events", || {
+        let mut e = Engine::new();
+        e.schedule(SimDuration::from_nanos(1), ());
+        let mut w = Chain(0);
+        e.run(&mut w);
+        assert_eq!(w.0, 10_000);
     });
 }
 
 /// NIC-to-NIC small-message path over the raw testkit (no OS, no threads).
-fn bench_nic_path(c: &mut Criterion) {
-    c.bench_function("nic_100_small_messages", |b| {
-        b.iter_batched(
-            || {
-                let mut h = Harness::crossbar(2, NicConfig::virtual_network());
-                h.bring_up(0, NEp(0), ProtectionKey(1));
-                h.bring_up(1, NEp(0), ProtectionKey(42));
-                h
-            },
-            |mut h| {
-                let mut delivered = 0;
-                while delivered < 100 {
-                    for _ in 0..16 {
-                        h.try_post(0, NEp(0), request(1, 0, ProtectionKey(42), 0));
-                    }
-                    h.run_for(SimDuration::from_micros(400));
-                    while let NPoll::Msg(_) = h.poll(1, NEp(0), NSel::Request) {
-                        delivered += 1;
-                    }
-                }
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_nic_path() {
+    bench("nic_100_small_messages", || {
+        let mut h = Harness::crossbar(2, NicConfig::virtual_network());
+        h.bring_up(0, NEp(0), ProtectionKey(1));
+        h.bring_up(1, NEp(0), ProtectionKey(42));
+        let mut delivered = 0;
+        while delivered < 100 {
+            for _ in 0..16 {
+                h.try_post(0, NEp(0), request(1, 0, ProtectionKey(42), 0));
+            }
+            h.run_for(SimDuration::from_micros(400));
+            while let NPoll::Msg(_) = h.poll(1, NEp(0), NSel::Request) {
+                delivered += 1;
+            }
+        }
     });
 }
 
 /// Full-stack request/reply round trips through threads, OS, NIC, fabric.
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     use vnet_apps::logp::EchoServer;
 
     struct Burst {
@@ -89,52 +99,36 @@ fn bench_end_to_end(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("cluster_200_request_replies", |b| {
-        b.iter_batched(
-            || {
-                let mut cl = Cluster::new(ClusterConfig::now(2));
-                let a = cl.create_endpoint(HostId(0));
-                let bb = cl.create_endpoint(HostId(1));
-                cl.build_virtual_network(&[a, bb]);
-                cl.make_resident(a);
-                cl.make_resident(bb);
-                cl.spawn_thread(HostId(1), Box::new(EchoServer { ep: bb.ep, served: 0 }));
-                let t = cl.spawn_thread(HostId(0), Box::new(Burst { ep: a.ep, done: 0 }));
-                (cl, t)
-            },
-            |(mut cl, t)| {
-                cl.run_for(SimDuration::from_millis(50));
-                assert!(cl.body::<Burst>(HostId(0), t).unwrap().done >= 200);
-            },
-            BatchSize::SmallInput,
-        )
+    bench("cluster_200_request_replies", || {
+        let mut cl = Cluster::new(ClusterConfig::now(2));
+        let a = cl.create_endpoint(HostId(0));
+        let bb = cl.create_endpoint(HostId(1));
+        cl.build_virtual_network(&[a, bb]);
+        cl.make_resident(a);
+        cl.make_resident(bb);
+        cl.spawn_thread(HostId(1), Box::new(EchoServer { ep: bb.ep, served: 0 }));
+        let t = cl.spawn_thread(HostId(0), Box::new(Burst { ep: a.ep, done: 0 }));
+        cl.run_for(SimDuration::from_millis(50));
+        assert!(cl.body::<Burst>(HostId(0), t).unwrap().done >= 200);
     });
 }
 
 /// The endpoint remap pipeline: load/evict churn on an 8-frame NIC.
-fn bench_remap(c: &mut Criterion) {
-    c.bench_function("remap_16_endpoints_8_frames", |b| {
-        b.iter_batched(
-            || {
-                let mut cl = Cluster::new(ClusterConfig::now(2));
-                let eps: Vec<GlobalEp> =
-                    (0..16).map(|_| cl.create_endpoint(HostId(0))).collect();
-                (cl, eps)
-            },
-            |(mut cl, eps)| {
-                for &e in &eps {
-                    cl.make_resident(e);
-                }
-                assert!(cl.os(HostId(0)).stats().loads.get() >= 16);
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_remap() {
+    bench("remap_16_endpoints_8_frames", || {
+        let mut cl = Cluster::new(ClusterConfig::now(2));
+        let eps: Vec<GlobalEp> = (0..16).map(|_| cl.create_endpoint(HostId(0))).collect();
+        for &e in &eps {
+            cl.make_resident(e);
+        }
+        assert!(cl.os(HostId(0)).stats().loads.get() >= 16);
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_engine, bench_nic_path, bench_end_to_end, bench_remap
+fn main() {
+    println!("vnet microbenchmarks ({} samples each, best-of shown)\n", 20);
+    bench_engine();
+    bench_nic_path();
+    bench_end_to_end();
+    bench_remap();
 }
-criterion_main!(benches);

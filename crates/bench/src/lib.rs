@@ -116,17 +116,16 @@ where
     let jobs: Vec<(usize, F)> = jobs.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(jobs);
     let results_ref = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..par.max(1).min(n.max(1)) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let job = { queue.lock().unwrap().pop() };
                 let Some((i, f)) = job else { break };
                 let out = f();
                 results_ref.lock().unwrap()[i] = Some(out);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results.into_iter().map(|o| o.expect("job ran")).collect()
 }
 

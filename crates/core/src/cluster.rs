@@ -8,19 +8,30 @@ use crate::world::{Event, World};
 use vnet_net::HostId;
 use vnet_nic::{EpId, GlobalEp, Nic, NicOut};
 use vnet_os::{OsOut, Scheduler, SegmentDriver, Tid};
-use vnet_sim::{Engine, SimDuration, SimTime};
+use vnet_sim::{AuditHandle, Engine, SimDuration, SimTime};
 
 /// A complete simulated cluster: engine + composed world.
 pub struct Cluster {
     engine: Engine<World>,
     world: World,
     names: NameService,
+    /// Run [`Cluster::audit`] automatically at every `run_for` /
+    /// `run_until` / `settle` boundary in debug builds, panicking on the
+    /// first violation (with a trace dump). On by default; mutation tests
+    /// that *expect* violations turn it off with
+    /// [`Cluster::set_debug_audit`] and call [`Cluster::audit`] themselves.
+    debug_audit: bool,
 }
 
 impl Cluster {
     /// Build a cluster from configuration.
     pub fn new(cfg: ClusterConfig) -> Self {
-        Cluster { engine: Engine::new(), world: World::new(cfg), names: NameService::new() }
+        Cluster {
+            engine: Engine::new(),
+            world: World::new(cfg),
+            names: NameService::new(),
+            debug_audit: true,
+        }
     }
 
     /// Current simulated time.
@@ -56,7 +67,75 @@ impl Cluster {
 
     /// Render the debug trace collected so far.
     pub fn trace_text(&self) -> String {
-        self.world.trace.to_text()
+        self.world.trace.borrow().to_text()
+    }
+
+    /// Handle on the cluster-wide invariant auditor (counters, message
+    /// fates, raw violation records).
+    pub fn auditor(&self) -> AuditHandle {
+        self.world.auditor.clone()
+    }
+
+    /// Enable or disable the automatic debug-build audit at run
+    /// boundaries (see [`Cluster::audit`]). Mutation tests that provoke
+    /// violations on purpose disable it and inspect the report directly.
+    pub fn set_debug_audit(&mut self, on: bool) {
+        self.debug_audit = on;
+    }
+
+    /// Check every cross-layer invariant observed so far: exactly-once
+    /// delivery, credit conservation, stop-and-wait channel discipline,
+    /// and endpoint frame accounting. Returns `Err` with a full report —
+    /// named violations plus a trace dump — on the first check that fails.
+    ///
+    /// Also validates the *live* state (not just the event history): the
+    /// number of resident endpoints on each NIC can never exceed its frame
+    /// count.
+    pub fn audit(&self) -> Result<(), String> {
+        let a = self.world.auditor.borrow();
+        let mut report = String::new();
+        if a.has_violations() {
+            use std::fmt::Write;
+            let _ = writeln!(
+                report,
+                "invariant audit failed: {} violation(s) (showing {}):",
+                a.total_violations(),
+                a.violations().len()
+            );
+            for v in a.violations() {
+                let _ = writeln!(report, "  {v}");
+            }
+        }
+        for (h, nic) in self.world.nics.iter().enumerate() {
+            let frames = nic.config().frames;
+            let resident = nic.resident_count();
+            if resident > frames as usize {
+                use std::fmt::Write;
+                let _ = writeln!(
+                    report,
+                    "live check failed: h{h} has {resident} resident endpoints in {frames} frames"
+                );
+            }
+        }
+        if report.is_empty() {
+            return Ok(());
+        }
+        let trace = self.world.trace.borrow();
+        if trace.is_enabled() {
+            report.push_str("trace (most recent last):\n");
+            report.push_str(&trace.to_text());
+        } else {
+            report.push_str("(trace disabled; call Cluster::enable_trace for event context)\n");
+        }
+        Err(report)
+    }
+
+    fn debug_audit_check(&self) {
+        if cfg!(debug_assertions) && self.debug_audit {
+            if let Err(report) = self.audit() {
+                panic!("{report}");
+            }
+        }
     }
 
     /// The NIC of `host`.
@@ -142,6 +221,7 @@ impl Cluster {
         self.world.oses[h].free_endpoint(now, ep.ep, &mut outs);
         self.world.keys.remove(&ep);
         self.world.user[h].remove(&ep.ep);
+        self.world.auditor.borrow_mut().on_endpoint_destroyed(ep.host.0, ep.ep.0);
         self.apply_os_ext(h, outs);
     }
 
@@ -167,21 +247,29 @@ impl Cluster {
 
     // --------------------------------------------------------------- run
 
-    /// Run for `d` of simulated time.
+    /// Run for `d` of simulated time. In debug builds the invariant audit
+    /// runs at the boundary (see [`Cluster::audit`]).
     pub fn run_for(&mut self, d: SimDuration) -> u64 {
         let deadline = self.engine.now() + d;
-        self.engine.run_until(&mut self.world, deadline)
+        let n = self.engine.run_until(&mut self.world, deadline);
+        self.debug_audit_check();
+        n
     }
 
-    /// Run until `deadline`.
+    /// Run until `deadline`. Debug builds audit at the boundary.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        self.engine.run_until(&mut self.world, deadline)
+        let n = self.engine.run_until(&mut self.world, deadline);
+        self.debug_audit_check();
+        n
     }
 
     /// Run until the event queue drains (only sensible before threads with
-    /// infinite loops are spawned, or after they all exit).
+    /// infinite loops are spawned, or after they all exit). Debug builds
+    /// audit at the boundary.
     pub fn settle(&mut self) -> u64 {
-        self.engine.run(&mut self.world)
+        let n = self.engine.run(&mut self.world);
+        self.debug_audit_check();
+        n
     }
 
     // ----------------------------------------------- external effect glue

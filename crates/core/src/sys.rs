@@ -21,7 +21,7 @@ use vnet_nic::{
     QueueSel, SendRequest, UserMsg,
 };
 use vnet_os::{SegmentDriver, WriteOutcome};
-use vnet_sim::{SimDuration, SimRng, SimTime};
+use vnet_sim::{AuditHandle, Auditor, SimDuration, SimRng, SimTime};
 
 /// How a thread yields the CPU after a burst of work.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,6 +85,7 @@ pub struct Sys<'a> {
     pub(crate) elapsed: SimDuration,
     pub(crate) nic_outs: Vec<NicOut>,
     pub(crate) os_outs: Vec<vnet_os::OsOut>,
+    pub(crate) auditor: &'a AuditHandle,
 }
 
 impl<'a> Sys<'a> {
@@ -110,6 +111,10 @@ impl<'a> Sys<'a> {
 
     fn charge(&mut self, d: SimDuration) {
         self.elapsed += d;
+    }
+
+    fn audit(&self, f: impl FnOnce(&mut Auditor)) {
+        f(&mut self.auditor.borrow_mut());
     }
 
     /// Charge the endpoint mutex cost when the endpoint is marked shared
@@ -171,6 +176,8 @@ impl<'a> Sys<'a> {
         };
         let uid = self.post(ep, tr.dst, tr.key, msg)?;
         self.user.get_mut(&ep).unwrap().note_sent(uid, idx);
+        let (now, h, e) = (self.now, self.host.0, ep.0);
+        self.audit(|a| a.on_credit_acquire(now, h, e, idx, uid));
         Ok(uid)
     }
 
@@ -249,6 +256,8 @@ impl<'a> Sys<'a> {
                     nacks: 0,
                     unbind_cycles: 0,
                 });
+                let (now, h) = (self.now, self.host.0);
+                self.audit(|a| a.on_posted(now, h, uid));
                 Ok(uid)
             }
             WriteOutcome::MustBlock => Err(SendError::WouldBlock),
@@ -284,8 +293,11 @@ impl<'a> Sys<'a> {
             if !m.msg.is_request || m.undeliverable {
                 // Reply or bounced request: recover the credit.
                 let uid = if m.undeliverable { m.msg.uid } else { m.msg.corr };
-                if let Some(u) = self.user.get_mut(&ep) {
-                    u.note_completed(uid);
+                let released =
+                    self.user.get_mut(&ep).is_some_and(|u| u.note_completed(uid).is_some());
+                if released {
+                    let (now, h, e) = (self.now, self.host.0, ep.0);
+                    self.audit(|a| a.on_credit_release(now, h, e, uid));
                 }
             }
         }

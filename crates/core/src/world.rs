@@ -5,13 +5,17 @@
 use crate::config::{ClusterConfig, Mode};
 use crate::sys::{Step, Sys, ThreadBody};
 use crate::user::UserEpState;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use vnet_net::{Fabric, FaultPlan, HostId, InjectOutcome, Topology};
 use vnet_nic::{
     DriverMsg, EpId, Frame, GlobalEp, Nic, NicConfig, NicEvent, NicMode, NicOut, ProtectionKey,
 };
 use vnet_os::{BlockReason, OsEvent, OsOut, Scheduler, SegmentDriver, Tid};
-use vnet_sim::{Ctx, SimDuration, SimRng, SimTime, SimWorld, TraceRing};
+use vnet_sim::{
+    AuditHandle, Auditor, Ctx, SimDuration, SimRng, SimTime, SimWorld, TraceHandle, TraceRing,
+};
 
 /// Minimum CPU time charged per thread burst: no user-level loop runs in
 /// zero time (guards against zero-cost livelock in misbehaving bodies).
@@ -97,8 +101,14 @@ pub struct World {
     /// Protection keys of every endpoint (the rendezvous snapshot).
     pub keys: HashMap<GlobalEp, ProtectionKey>,
     /// Debug trace of residency and scheduling transitions; disabled by
-    /// default (enable via [`World::trace_mut`]).
-    pub trace: TraceRing,
+    /// default (enable via [`World::trace_mut`]). Shared with every NIC,
+    /// segment driver, and the auditor so protocol-level events land in one
+    /// causally ordered ring.
+    pub trace: TraceHandle,
+    /// Cross-layer invariant auditor; every NIC and segment driver reports
+    /// protocol events into it (delivery ledger, credit conservation,
+    /// stop-and-wait channel discipline, endpoint frame accounting).
+    pub auditor: AuditHandle,
     threads: Vec<HashMap<Tid, ThreadRec>>,
     cpu: Vec<CpuState>,
     rngs: Vec<SimRng>,
@@ -122,12 +132,31 @@ impl World {
             Mode::Gam => NicMode::Gam,
         };
         let root = SimRng::seed_from_u64(cfg.seed);
+        let trace: TraceHandle = Rc::new(RefCell::new(TraceRing::default()));
+        let auditor = Auditor::handle(cfg.credits);
+        {
+            let mut a = auditor.borrow_mut();
+            a.set_trace(trace.clone());
+            for i in 0..n {
+                a.register_host(i as u32, nic_cfg.frames);
+            }
+        }
+        let mut nics: Vec<Nic> =
+            (0..n).map(|i| Nic::new(HostId(i as u32), nic_cfg.clone(), cfg.seed)).collect();
+        let mut oses: Vec<SegmentDriver> = (0..n)
+            .map(|i| SegmentDriver::new(cfg.os.clone(), nic_cfg.frames, cfg.seed ^ (i as u64)))
+            .collect();
+        for nic in nics.iter_mut() {
+            nic.attach_auditor(auditor.clone());
+            nic.attach_trace(trace.clone());
+        }
+        for (i, os) in oses.iter_mut().enumerate() {
+            os.attach_instrumentation(i as u32, auditor.clone(), trace.clone());
+        }
         World {
             fabric,
-            nics: (0..n).map(|i| Nic::new(HostId(i as u32), nic_cfg.clone(), cfg.seed)).collect(),
-            oses: (0..n)
-                .map(|i| SegmentDriver::new(cfg.os.clone(), nic_cfg.frames, cfg.seed ^ (i as u64)))
-                .collect(),
+            nics,
+            oses,
             scheds: (0..n).map(|_| Scheduler::new(cfg.sched.clone())).collect(),
             user: (0..n).map(|_| HashMap::new()).collect(),
             keys: HashMap::new(),
@@ -137,14 +166,15 @@ impl World {
                 .collect(),
             rngs: (0..n).map(|i| root.derive(0x7000 + i as u64)).collect(),
             key_rng: root.derive(0x4B45_5953),
-            trace: TraceRing::default(),
+            trace,
+            auditor,
             cfg,
         }
     }
 
     /// Mutable access to the debug trace (call `.enable()` to record).
-    pub fn trace_mut(&mut self) -> &mut TraceRing {
-        &mut self.trace
+    pub fn trace_mut(&mut self) -> std::cell::RefMut<'_, TraceRing> {
+        self.trace.borrow_mut()
     }
 
     /// Number of hosts.
@@ -205,7 +235,9 @@ impl World {
     /// wakeups (the composing world owns the scheduler).
     fn handle_driver_msg(&mut self, host: usize, msg: DriverMsg, ctx: &mut Ctx<Event>) {
         let wake_cost = self.cfg.os.wake_cost;
-        self.trace.record_with(ctx.now(), host as u32, "driver.msg", || format!("{msg:?}"));
+        self.trace.borrow_mut().record_with(ctx.now(), host as u32, "driver.msg", || {
+            format!("{msg:?}")
+        });
         match &msg {
             DriverMsg::Loaded { ep, .. } => {
                 let ep = *ep;
@@ -323,6 +355,7 @@ impl World {
             elapsed: SimDuration::ZERO,
             nic_outs: Vec::new(),
             os_outs: Vec::new(),
+            auditor: &self.auditor,
         };
         let step = body.run(&mut sys);
         let elapsed = sys.elapsed.max(MIN_BURST);

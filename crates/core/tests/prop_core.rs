@@ -1,12 +1,15 @@
-//! Whole-stack property test: arbitrary small workloads — random host
+//! Whole-stack property test: randomized small workloads — random host
 //! counts, endpoint placements, payload sizes, fault rates, frame
 //! pressure — always complete every request exactly once, and identical
 //! seeds give identical runs.
+//!
+//! Cases are generated from [`SimRng`] seeds rather than an external
+//! property-testing crate, so the suite builds offline.
 
-use proptest::prelude::*;
 use vnet_core::prelude::*;
 use vnet_core::{Cluster, ClusterConfig};
 use vnet_sim::SimDuration as D;
+use vnet_sim::SimRng;
 
 struct Echo {
     ep: EpId,
@@ -113,33 +116,36 @@ fn run_scenario(
     (out, c.events_processed())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
-
-    #[test]
-    fn random_workloads_complete_exactly_once(
-        seed in any::<u64>(),
-        hosts in 2u32..6,
-        pairs in 1usize..10,
-        msgs in 1u32..60,
-        bytes in prop_oneof![Just(0u32), Just(64u32), Just(2048u32), Just(8192u32)],
-        drop in prop_oneof![Just(0.0f64), 0.0f64..0.08],
-    ) {
+#[test]
+fn random_workloads_complete_exactly_once() {
+    for case in 0..10u64 {
+        let mut rng = SimRng::seed_from_u64(0xC0DE + case);
+        let seed = rng.below(u64::MAX);
+        let hosts = 2 + rng.below(4) as u32;
+        let pairs = 1 + rng.index(9);
+        let msgs = 1 + rng.below(59) as u32;
+        let bytes = [0u32, 64, 2048, 8192][rng.index(4)];
+        let drop = if rng.chance(0.5) { 0.0 } else { rng.unit() * 0.08 };
         let (results, _) = run_scenario(seed, hosts, pairs, msgs, bytes, drop);
         for (i, (replies, dup)) in results.iter().enumerate() {
-            prop_assert_eq!(*replies, msgs, "conversation {} incomplete", i);
-            prop_assert!(!dup, "conversation {} saw a duplicate reply", i);
+            assert_eq!(
+                *replies, msgs,
+                "case {case}: conversation {i} incomplete (hosts={hosts} pairs={pairs} drop={drop})"
+            );
+            assert!(!dup, "case {case}: conversation {i} saw a duplicate reply");
         }
     }
+}
 
-    #[test]
-    fn identical_seeds_identical_runs(
-        seed in any::<u64>(),
-        hosts in 2u32..5,
-        pairs in 1usize..6,
-    ) {
+#[test]
+fn identical_seeds_identical_runs() {
+    for case in 0..6u64 {
+        let mut rng = SimRng::seed_from_u64(0x5EED + case);
+        let seed = rng.below(u64::MAX);
+        let hosts = 2 + rng.below(3) as u32;
+        let pairs = 1 + rng.index(5);
         let a = run_scenario(seed, hosts, pairs, 20, 64, 0.02);
         let b = run_scenario(seed, hosts, pairs, 20, 64, 0.02);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

@@ -24,7 +24,7 @@ use crate::sched::WrrScheduler;
 use crate::stats::NicStats;
 use std::collections::{HashMap, HashSet, VecDeque};
 use vnet_net::{HostId, Packet};
-use vnet_sim::{SimDuration, SimRng, SimTime};
+use vnet_sim::{AuditHandle, Auditor, SimDuration, SimRng, SimTime, TraceHandle};
 
 /// Events delivered to a NIC by the simulation engine.
 #[derive(Clone, Debug)]
@@ -181,6 +181,10 @@ pub struct Nic {
     ack_flush_gen: HashMap<HostId, u64>,
     rng: SimRng,
     stats: NicStats,
+    /// Cross-layer invariant auditor (hooks are no-ops when detached).
+    auditor: Option<AuditHandle>,
+    /// Shared causal trace ring (records are no-ops when detached).
+    trace: Option<TraceHandle>,
 }
 
 impl Nic {
@@ -217,7 +221,33 @@ impl Nic {
             ack_flush_gen: HashMap::new(),
             rng: SimRng::seed_from_u64(seed).derive(host.0 as u64),
             stats: NicStats::default(),
+            auditor: None,
+            trace: None,
             cfg,
+        }
+    }
+
+    /// Attach the cluster-wide invariant auditor; protocol hooks (post,
+    /// bind, retransmit, unbind, deliver, bounce) become live.
+    pub fn attach_auditor(&mut self, auditor: AuditHandle) {
+        self.auditor = Some(auditor);
+    }
+
+    /// Attach the shared trace ring; retransmit/unbind/abort paths record
+    /// causal entries into it (no-ops while the ring is disabled).
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    fn audit(&self, f: impl FnOnce(&mut Auditor)) {
+        if let Some(a) = &self.auditor {
+            f(&mut a.borrow_mut());
+        }
+    }
+
+    fn trace_with(&self, at: SimTime, tag: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record_with(at, self.host.0, tag, detail);
         }
     }
 
@@ -377,6 +407,8 @@ impl Nic {
             nacks: 0,
             unbind_cycles: 0,
         });
+        let h = self.host.0;
+        self.audit(|a| a.on_posted(now, h, uid));
         self.kick(now, out);
         Ok(uid)
     }
@@ -471,6 +503,9 @@ impl Nic {
                 if live {
                     self.inbox.push_back(FwWork::Retx(key));
                     self.kick(now, out);
+                } else {
+                    let h = self.host.0;
+                    self.audit(|a| a.on_stale_timer(now, h));
                 }
             }
             NicEvent::DmaDone(tag) => {
@@ -545,6 +580,8 @@ impl Nic {
         }
         if self.dedup.contains(msg.uid) {
             self.stats.duplicates.inc();
+            let h = self.host.0;
+            self.audit(|a| a.on_duplicate_filtered(now, h, msg.uid));
             self.emit_ack_now(now, src, &frame, None, out);
             return;
         }
@@ -781,6 +818,8 @@ impl Nic {
         self.emit(pkt, out);
         out.push(NicOut::After(rto, NicEvent::Retx { key: chan, gen }));
         self.stats.data_sent.inc();
+        let h = self.host.0;
+        self.audit(|a| a.on_channel_bind(now, h, chan.peer.0, chan.idx, ps.uid, _seq));
     }
 
     fn gam_send(
@@ -865,6 +904,8 @@ impl Nic {
         // Duplicate? Ack again, deliver nothing.
         if self.dedup.contains(msg.uid) {
             self.stats.duplicates.inc();
+            let h = self.host.0;
+            self.audit(|a| a.on_duplicate_filtered(now, h, msg.uid));
             self.send_ack(now, src, &frame, None, out);
             return self.cfg.costs.recv_small;
         }
@@ -872,6 +913,8 @@ impl Nic {
         // the SBUS: drop it silently — the staged copy will ack on deposit.
         if self.staging_in.contains_key(&msg.uid) {
             self.stats.duplicates.inc();
+            let h = self.host.0;
+            self.audit(|a| a.on_duplicate_filtered(now, h, msg.uid));
             return self.cfg.costs.recv_small;
         }
         // Admission checks (fast, before any DMA).
@@ -990,6 +1033,7 @@ impl Nic {
         undeliverable: bool,
         out: &mut Vec<NicOut>,
     ) -> Result<(), NackReason> {
+        let uid = msg.uid;
         let Some(&fi) = self.ep_frame.get(&ep) else { return Err(NackReason::NotResident) };
         if !self.frames[fi].is_active() {
             return Err(NackReason::NotResident);
@@ -1016,6 +1060,10 @@ impl Nic {
         if was_idle && image.notify_on_arrival {
             let clock = self.tick_clock(0);
             out.push(NicOut::Driver(DriverMsg::Event { ep, clock }));
+        }
+        if !undeliverable {
+            let h = self.host.0;
+            self.audit(|a| a.on_delivered(now, h, uid));
         }
         Ok(())
     }
@@ -1108,6 +1156,8 @@ impl Nic {
         let Some(inf) = completed else {
             return; // stale ack of an unbound copy
         };
+        let h = self.host.0;
+        self.audit(|a| a.on_channel_complete(now, h, src.0, chan, ack_uid));
         self.dec_in_flight(now, inf.src_ep, out);
         // Observed RTT via the reflected timestamp. Because the receiver
         // echoes the timestamp of the specific copy it saw, the sample is
@@ -1187,18 +1237,26 @@ impl Nic {
         ps: PendingSend,
         out: &mut Vec<NicOut>,
     ) {
-        let _ = now;
         let _ = &out;
         if let Some(&fi) = self.ep_frame.get(&ep) {
             if let Some(image) = self.frames[fi].image_mut() {
                 image.send_q.push_front(ps);
+                return;
             }
         }
+        // Endpoint gone mid-flight (freed): teardown discards its traffic.
+        let h = self.host.0;
+        self.audit(|a| a.on_send_aborted(now, h, ps.uid));
+        self.trace_with(now, "nic.abort", || format!("uid {} dropped: {ep} gone", ps.uid));
     }
 
     /// Deliver `msg` back to its source endpoint marked undeliverable.
     fn return_to_sender(&mut self, now: SimTime, ep: EpId, msg: UserMsg, out: &mut Vec<NicOut>) {
         self.stats.returned_to_sender.inc();
+        let h = self.host.0;
+        let uid = msg.uid;
+        self.audit(|a| a.on_bounced(now, h, uid));
+        self.trace_with(now, "nic.bounce", || format!("uid {uid} returned to sender ({ep})"));
         if self.deposit(now, ep, msg.clone(), true, out).is_err() {
             // Not resident or queue full: hold and flush later.
             self.pending_returns.entry(ep).or_default().push_back(DeliveredMsg {
@@ -1238,6 +1296,9 @@ impl Nic {
             // Unbind so the shared channel can be reused (§5.1).
             let inf = ch.unbind(self.cfg.rto_base).unwrap();
             self.stats.unbinds.inc();
+            let h = self.host.0;
+            let uid = inf.uid;
+            self.audit(|a| a.on_channel_unbind(now, h, key.peer.0, key.idx, uid));
             self.dec_in_flight(now, inf.src_ep, out);
             let meta = self.pending_meta.remove(&inf.uid);
             let (nacks, unbind_cycles, dst, pkey) = meta.unwrap_or((
@@ -1246,6 +1307,15 @@ impl Nic {
                 GlobalEp::new(key.peer, inf.frame.dst_ep),
                 inf.frame.key,
             ));
+            self.trace_with(now, "nic.unbind", || {
+                format!(
+                    "uid {uid} → h{}#{} after {} retx (unbind cycle {})",
+                    key.peer.0,
+                    key.idx,
+                    inf.retx,
+                    unbind_cycles + 1
+                )
+            });
             let msg = match inf.frame.kind {
                 FrameKind::Data(m) => m,
                 _ => unreachable!(),
@@ -1284,6 +1354,8 @@ impl Nic {
             payload: inf.frame.clone(),
         };
         let gen = inf.gen;
+        let uid = inf.uid;
+        let n_retx = inf.retx;
         let payload_bytes = match &inf.frame.kind {
             FrameKind::Data(m) => m.payload_bytes,
             _ => 0,
@@ -1293,6 +1365,17 @@ impl Nic {
         self.emit(pkt, out);
         out.push(NicOut::After(rto, NicEvent::Retx { key, gen }));
         self.stats.retransmits.inc();
+        let h = self.host.0;
+        self.audit(|a| a.on_channel_retransmit(now, h, key.peer.0, key.idx, uid));
+        self.trace_with(now, "nic.retx", || {
+            format!(
+                "uid {uid} → h{}#{} retx {} next rto {:.1}us",
+                key.peer.0,
+                key.idx,
+                n_retx,
+                rto.as_micros_f64()
+            )
+        });
         self.cfg.costs.retransmit
     }
 
@@ -1432,6 +1515,29 @@ impl Nic {
                 self.registered.remove(&ep);
                 self.need_resident_pending.remove(&ep);
                 self.pending_returns.remove(&ep);
+                // Abort any bulk sends still staging over the SBUS for the
+                // departing endpoint and release their reserved channels, so
+                // teardown cannot leak a lane (the later SendStaged DMA
+                // completion finds no staging entry and is a no-op).
+                let doomed: Vec<u64> = self
+                    .staging_out
+                    .iter()
+                    .filter(|(_, s)| s.src_ep == ep)
+                    .map(|(&uid, _)| uid)
+                    .collect();
+                for uid in doomed {
+                    let st = self.staging_out.remove(&uid).expect("collected above");
+                    if let Some(ch) = self.tx.get_mut(&st.chan) {
+                        ch.reserved = false;
+                    }
+                    self.pending_meta.remove(&uid);
+                    self.dec_in_flight(now, ep, out);
+                    let h = self.host.0;
+                    self.audit(|a| a.on_send_aborted(now, h, uid));
+                    self.trace_with(now, "nic.abort", || {
+                        format!("uid {uid} staged DMA aborted: {ep} unregistered")
+                    });
+                }
                 self.cfg.costs.driver_op / 10
             }
         }
@@ -1509,5 +1615,16 @@ impl Nic {
     /// Number of free frames.
     pub fn free_frames(&self) -> usize {
         self.frames.iter().filter(|s| matches!(s, FrameSlot::Free)).count()
+    }
+
+    /// Number of bulk sends currently staging host→NI over the SBUS.
+    pub fn staging_count(&self) -> usize {
+        self.staging_out.len()
+    }
+
+    /// Number of transmit channels currently occupied — bound to an
+    /// in-flight frame or reserved by a staging bulk send.
+    pub fn busy_channel_count(&self) -> usize {
+        self.tx.values().filter(|c| !c.is_free()).count()
     }
 }

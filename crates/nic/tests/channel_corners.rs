@@ -1,0 +1,157 @@
+//! Channel-protocol corner cases (§5.1): sequence resynchronization after
+//! a forced unbind, and reserved-channel release when a staged bulk DMA is
+//! aborted by endpoint teardown.
+
+use vnet_nic::channel::{ChannelState, InFlight, RxChannel, SeqClass};
+use vnet_nic::testkit::{request, Harness};
+use vnet_nic::{
+    DriverOp, EpId, Frame, FrameKind, GlobalEp, NicConfig, PollOutcome, ProtectionKey, QueueSel,
+    UserMsg,
+};
+use vnet_net::{Fabric, FaultPlan, HostId, NetConfig, Topology, TopologySpec};
+use vnet_sim::{SimDuration, SimTime};
+
+const RTO: SimDuration = SimDuration::from_micros(100);
+const RTO_MAX: SimDuration = SimDuration::from_millis(8);
+
+fn inflight(uid: u64) -> InFlight {
+    let msg = UserMsg {
+        uid,
+        is_request: true,
+        handler: 0,
+        args: [0; 4],
+        payload_bytes: 0,
+        src_ep: GlobalEp::new(HostId(0), EpId(0)),
+        reply_key: ProtectionKey::OPEN,
+        corr: 0,
+    };
+    InFlight {
+        uid,
+        src_ep: EpId(0),
+        frame: Frame {
+            kind: FrameKind::Data(msg),
+            dst_ep: EpId(0),
+            key: ProtectionKey::OPEN,
+            chan: 0,
+            seq: 0,
+            ack_uid: 0,
+            timestamp: 0,
+        },
+        bytes: 48,
+        last_tx: SimTime::ZERO,
+        retx: 0,
+        gen: 0,
+    }
+}
+
+/// The §5.1 unbind/reacquire cycle consumes sequence numbers the receiver
+/// never sees; the receiver must adopt the gap (`Resync`) instead of
+/// wedging, and in-order flow must resume afterwards.
+#[test]
+fn rx_resyncs_after_sender_unbind() {
+    let mut tx = ChannelState::new(RTO);
+    let mut rx = RxChannel::default();
+
+    // uid 1 binds at seq 0, every copy is lost, and after the retransmit
+    // budget the NI unbinds it so the channel can serve other traffic.
+    let s0 = tx.bind(inflight(1));
+    assert_eq!(s0, 0);
+    for _ in 0..3 {
+        tx.on_retransmit(RTO_MAX);
+    }
+    let evicted = tx.unbind(RTO).expect("uid 1 was bound");
+    assert_eq!(evicted.uid, 1);
+    assert!(tx.is_free());
+
+    // uid 2 takes the channel at seq 1. The receiver — who never saw
+    // seq 0 — must resynchronize, not drop the frame as out of order.
+    let s1 = tx.bind(inflight(2));
+    assert_eq!(s1, 1);
+    assert_eq!(rx.accept(s1), SeqClass::Resync);
+
+    // uid 1 reacquires after uid 2 completes; plain in-order flow resumes.
+    assert!(tx.complete(2, RTO).is_some());
+    let s2 = tx.bind(inflight(1));
+    assert_eq!(s2, 2);
+    assert_eq!(rx.accept(s2), SeqClass::InOrder);
+    // A late duplicate of uid 2's frame is still recognized as such.
+    assert_eq!(rx.accept(s1), SeqClass::Duplicate);
+}
+
+/// End-to-end over a lossy fabric: unbind cycles happen (the retransmit
+/// budget is 1), yet every message is delivered exactly once — the
+/// receiver-side resync plus uid dedup absorb the churn.
+#[test]
+fn lossy_link_with_unbinds_delivers_exactly_once() {
+    let mut cfg = NicConfig::virtual_network();
+    cfg.max_retx_before_unbind = 1; // unbind aggressively
+    cfg.channels_per_peer = 2;
+    let fabric = Fabric::new(
+        NetConfig::default(),
+        Topology::build(TopologySpec::Crossbar { hosts: 2 }),
+        FaultPlan::with_errors(42, 0.4, 0.0),
+    );
+    let mut h = Harness::with_fabric(2, cfg, fabric);
+    let key = ProtectionKey(9);
+    h.bring_up(0, EpId(0), ProtectionKey(1));
+    h.bring_up(1, EpId(0), key);
+
+    const N: u64 = 12;
+    for _ in 0..N {
+        h.post(0, EpId(0), request(1, 0, key, 0));
+        h.run_for(SimDuration::from_micros(50));
+    }
+    h.settle();
+
+    let mut delivered = 0u64;
+    while let PollOutcome::Msg(m) = h.poll(1, EpId(0), QueueSel::Request) {
+        assert!(!m.undeliverable);
+        delivered += 1;
+    }
+    assert_eq!(delivered, N, "every message exactly once despite 40% loss");
+    assert!(
+        h.world.nics[0].stats().unbinds.get() > 0,
+        "the aggressive retransmit budget must have forced unbind cycles"
+    );
+    assert_eq!(h.world.nics[0].busy_channel_count(), 0, "all channels drained");
+}
+
+/// Unregistering an endpoint while one of its bulk sends is still staging
+/// over the SBUS must release the reserved channel; the late DMA
+/// completion is a no-op and the lane is immediately reusable by another
+/// endpoint.
+#[test]
+fn unregister_mid_staging_releases_reserved_channel() {
+    let mut cfg = NicConfig::virtual_network();
+    cfg.channels_per_peer = 1; // a leaked reservation would wedge the lane
+    let mut h = Harness::crossbar(2, cfg);
+    let key = ProtectionKey(9);
+    h.bring_up(0, EpId(0), ProtectionKey(1));
+    h.bring_up(0, EpId(1), ProtectionKey(2));
+    h.bring_up(1, EpId(0), key);
+
+    // Bulk payload (over pio_threshold) → the firmware reserves the only
+    // channel to host 1 and starts an SBUS DMA (~130 µs for 8 KB).
+    h.post(0, EpId(0), request(1, 0, key, 8 * 1024));
+    h.run_for(SimDuration::from_micros(40));
+    assert_eq!(h.world.nics[0].staging_count(), 1, "bulk send must be mid-staging");
+    assert_eq!(h.world.nics[0].busy_channel_count(), 1, "channel reserved during DMA");
+
+    // Teardown races the DMA: the reservation must not leak. The driver op
+    // goes through the firmware inbox, so give it a few microseconds of
+    // processing time — still well short of the ~130 µs DMA completion.
+    h.driver(0, DriverOp::Unregister { ep: EpId(0), clock: 1 });
+    h.run_for(SimDuration::from_micros(30));
+    assert_eq!(h.world.nics[0].staging_count(), 0, "staging entry aborted");
+    assert_eq!(h.world.nics[0].busy_channel_count(), 0, "reservation released");
+
+    // The lane is reusable right away: a send from the surviving endpoint
+    // goes through even though the aborted DMA completion is still queued.
+    h.post(0, EpId(1), request(1, 0, key, 0));
+    h.settle();
+    match h.poll(1, EpId(0), QueueSel::Request) {
+        PollOutcome::Msg(m) => assert!(!m.undeliverable),
+        other => panic!("expected delivery on the reused channel, got {other:?}"),
+    }
+    assert_eq!(h.world.nics[0].busy_channel_count(), 0);
+}

@@ -17,12 +17,12 @@ fn run_incast_sized(cfg: NicConfig, senders: u32, msgs_each: u32, bytes: u32) ->
     let mut posted = vec![0u32; senders as usize];
     let mut delivered = 0;
     while delivered < senders * msgs_each {
-        for s in 0..senders as usize {
-            while posted[s] < msgs_each {
+        for (s, p) in posted.iter_mut().enumerate() {
+            while *p < msgs_each {
                 if !h.try_post(s, EpId(0), request(senders, 0, KEY, bytes)) {
                     break;
                 }
-                posted[s] += 1;
+                *p += 1;
             }
         }
         h.run_for(SimDuration::from_micros(500));

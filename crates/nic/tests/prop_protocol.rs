@@ -1,8 +1,10 @@
 //! Property tests for the NIC protocol machinery: stop-and-wait channel
-//! invariants under arbitrary operation sequences, WRR non-starvation, and
+//! invariants under randomized operation sequences, WRR non-starvation, and
 //! end-to-end exactly-once delivery under randomized loss.
+//!
+//! Cases are generated from [`SimRng`] seeds rather than an external
+//! property-testing crate, so the suite builds offline.
 
-use proptest::prelude::*;
 use vnet_net::{Fabric, FaultPlan, HostId, NetConfig, Topology, TopologySpec};
 use vnet_nic::channel::{ChannelState, InFlight};
 use vnet_nic::sched::WrrScheduler;
@@ -10,7 +12,7 @@ use vnet_nic::testkit::{request, Harness};
 use vnet_nic::{
     EpId, Frame, FrameKind, GlobalEp, NicConfig, PollOutcome, ProtectionKey, QueueSel, UserMsg,
 };
-use vnet_sim::{SimDuration, SimTime};
+use vnet_sim::{SimDuration, SimRng, SimTime};
 
 fn inflight(uid: u64) -> InFlight {
     InFlight {
@@ -49,33 +51,36 @@ enum ChanOp {
     Unbind,
 }
 
-fn chan_op() -> impl Strategy<Value = ChanOp> {
-    prop_oneof![
-        (0u64..8).prop_map(ChanOp::Bind),
-        (0u64..8).prop_map(ChanOp::Ack),
-        Just(ChanOp::Retransmit),
-        Just(ChanOp::Unbind),
-    ]
+fn random_op(rng: &mut SimRng) -> ChanOp {
+    match rng.below(4) {
+        0 => ChanOp::Bind(rng.below(8)),
+        1 => ChanOp::Ack(rng.below(8)),
+        2 => ChanOp::Retransmit,
+        _ => ChanOp::Unbind,
+    }
 }
 
-proptest! {
-    /// Arbitrary legal op sequences keep the stop-and-wait invariants:
-    /// sequence numbers strictly increase per binding, the generation
-    /// counter is monotone, and at most one frame is in flight.
-    #[test]
-    fn channel_state_machine(ops in prop::collection::vec(chan_op(), 0..200)) {
+/// Randomized legal op sequences keep the stop-and-wait invariants:
+/// sequence numbers strictly increase per binding, the generation
+/// counter is monotone, and at most one frame is in flight.
+#[test]
+fn channel_state_machine() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed_from_u64(0xC4A7 + case);
+        let n_ops = rng.index(200);
         let rto = SimDuration::from_micros(100);
         let rto_max = SimDuration::from_millis(8);
         let mut c = ChannelState::new(rto);
         let mut last_seq: Option<u64> = None;
         let mut last_gen = 0u64;
-        for op in ops {
+        for _ in 0..n_ops {
+            let op = random_op(&mut rng);
             match op {
                 ChanOp::Bind(uid) => {
                     if c.is_free() {
                         let seq = c.bind(inflight(uid));
                         if let Some(prev) = last_seq {
-                            prop_assert!(seq > prev, "sequence must increase");
+                            assert!(seq > prev, "case {case}: sequence must increase");
                         }
                         last_seq = Some(seq);
                     }
@@ -83,35 +88,41 @@ proptest! {
                 ChanOp::Ack(uid) => {
                     let was_busy = c.in_flight.is_some();
                     let done = c.complete(uid, rto);
-                    if done.is_some() {
-                        prop_assert!(was_busy);
-                        prop_assert_eq!(done.unwrap().uid, uid);
-                        prop_assert_eq!(c.rto, rto, "ack resets backoff");
+                    if let Some(done) = done {
+                        assert!(was_busy, "case {case}");
+                        assert_eq!(done.uid, uid, "case {case}");
+                        assert_eq!(c.rto, rto, "case {case}: ack resets backoff");
                     }
                 }
                 ChanOp::Retransmit => {
                     if c.in_flight.is_some() {
                         c.on_retransmit(rto_max);
-                        prop_assert!(c.rto <= rto_max, "backoff is capped");
+                        assert!(c.rto <= rto_max, "case {case}: backoff is capped");
                     }
                 }
                 ChanOp::Unbind => {
                     let _ = c.unbind(rto);
-                    prop_assert!(c.in_flight.is_none());
+                    assert!(c.in_flight.is_none(), "case {case}");
                 }
             }
-            prop_assert!(c.gen >= last_gen, "generation must be monotone");
+            assert!(c.gen >= last_gen, "case {case}: generation must be monotone");
             last_gen = c.gen;
         }
     }
+}
 
-    /// WRR never starves a frame with persistent work: over any work
-    /// pattern, every busy frame is selected within (frames x budget)
-    /// selections.
-    #[test]
-    fn wrr_no_starvation(busy in prop::collection::vec(any::<bool>(), 2..32)) {
-        prop_assume!(busy.iter().any(|&b| b));
-        let n = busy.len();
+/// WRR never starves a frame with persistent work: over any work
+/// pattern, every busy frame is selected within (frames x budget)
+/// selections.
+#[test]
+fn wrr_no_starvation() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed_from_u64(0x3A2 + case);
+        let n = 2 + rng.index(30);
+        let busy: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+        if !busy.iter().any(|&b| b) {
+            continue;
+        }
         let mut s = WrrScheduler::with_bounds(n, 4, SimDuration::from_secs(1));
         let mut hits = vec![0u32; n];
         for _ in 0..n as u32 * 4 * 3 {
@@ -122,26 +133,25 @@ proptest! {
         }
         for (i, &b) in busy.iter().enumerate() {
             if b {
-                prop_assert!(hits[i] > 0, "frame {} starved: {:?}", i, hits);
+                assert!(hits[i] > 0, "case {case}: frame {i} starved: {hits:?}");
             } else {
-                prop_assert_eq!(hits[i], 0, "idle frame {} serviced", i);
+                assert_eq!(hits[i], 0, "case {case}: idle frame {i} serviced");
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+/// End-to-end exactly-once: randomized loss/corruption rates and message
+/// counts deliver every message exactly once.
+#[test]
+fn exactly_once_under_arbitrary_loss() {
+    for case in 0..8u64 {
+        let mut rng = SimRng::seed_from_u64(0x10E5 + case);
+        let seed = rng.below(u64::MAX);
+        let drop = rng.unit() * 0.25;
+        let corrupt = rng.unit() * 0.15;
+        let n = 5 + rng.index(35);
 
-    /// End-to-end exactly-once: arbitrary loss/corruption rates and message
-    /// counts deliver every message exactly once.
-    #[test]
-    fn exactly_once_under_arbitrary_loss(
-        seed in any::<u64>(),
-        drop in 0.0f64..0.25,
-        corrupt in 0.0f64..0.15,
-        n in 5usize..40,
-    ) {
         let topo = Topology::build(TopologySpec::Crossbar { hosts: 2 });
         let fabric =
             Fabric::new(NetConfig::default(), topo, FaultPlan::with_errors(seed, drop, corrupt));
@@ -166,8 +176,8 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(got.len(), n, "all messages deliver (drop={} corrupt={})", drop, corrupt);
+        assert_eq!(got.len(), n, "case {case}: all messages deliver (drop={drop} corrupt={corrupt})");
         let unique: std::collections::HashSet<_> = got.iter().collect();
-        prop_assert_eq!(unique.len(), n, "duplicate delivery detected");
+        assert_eq!(unique.len(), n, "case {case}: duplicate delivery detected");
     }
 }

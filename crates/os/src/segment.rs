@@ -10,7 +10,7 @@ use crate::sched::Tid;
 use crate::stats::OsStats;
 use std::collections::{HashMap, HashSet, VecDeque};
 use vnet_nic::{DriverMsg, DriverOp, EndpointImage, EpId, ProtectionKey};
-use vnet_sim::{SimDuration, SimRng, SimTime};
+use vnet_sim::{AuditHandle, Auditor, EpPhase, SimDuration, SimRng, SimTime, TraceHandle};
 
 /// Residency state of an endpoint (Figure 2 of the paper, plus the
 /// transition states the driver needs for bookkeeping).
@@ -98,6 +98,15 @@ pub struct SegmentDriver {
     load_seq: u64,
     rng: SimRng,
     stats: OsStats,
+    /// Host index for audit/trace records (set by the composing world).
+    host_idx: u32,
+    /// Cross-layer invariant auditor (hooks are no-ops when detached).
+    auditor: Option<AuditHandle>,
+    /// Shared causal trace ring (records are no-ops when detached).
+    trace: Option<TraceHandle>,
+    /// Latest simulated time seen by any timed entry point; stands in for
+    /// `now` on untimed calls like [`SegmentDriver::pageout`].
+    now_hint: SimTime,
 }
 
 impl SegmentDriver {
@@ -117,7 +126,38 @@ impl SegmentDriver {
             load_seq: 0,
             rng: SimRng::seed_from_u64(seed),
             stats: OsStats::default(),
+            host_idx: 0,
+            auditor: None,
+            trace: None,
+            now_hint: SimTime::ZERO,
         }
+    }
+
+    /// Attach the cluster-wide invariant auditor and shared trace ring;
+    /// residency transitions are mirrored into the auditor and the
+    /// load/unload/pageout paths record causal trace entries. `host` is
+    /// this node's index in the composing world.
+    pub fn attach_instrumentation(&mut self, host: u32, auditor: AuditHandle, trace: TraceHandle) {
+        self.host_idx = host;
+        self.auditor = Some(auditor);
+        self.trace = Some(trace);
+    }
+
+    fn audit(&self, f: impl FnOnce(&mut Auditor)) {
+        if let Some(a) = &self.auditor {
+            f(&mut a.borrow_mut());
+        }
+    }
+
+    fn trace_with(&self, at: SimTime, tag: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record_with(at, self.host_idx, tag, detail);
+        }
+    }
+
+    fn audit_phase(&self, at: SimTime, ep: EpId, to: EpPhase) {
+        let h = self.host_idx;
+        self.audit(|a| a.os_transition(at, h, ep.0, to));
     }
 
     /// Instrumentation counters.
@@ -151,6 +191,7 @@ impl SegmentDriver {
         key: ProtectionKey,
         out: &mut Vec<OsOut>,
     ) -> EpId {
+        self.now_hint = self.now_hint.max(now);
         let ep = EpId(self.next_ep);
         self.next_ep += 1;
         self.eps.insert(
@@ -165,13 +206,16 @@ impl SegmentDriver {
         );
         let clock = self.tick(0);
         out.push(OsOut::Nic(DriverOp::Register { ep, clock }));
+        let h = self.host_idx;
+        self.audit(|a| a.os_created(now, h, ep.0));
         ep
     }
 
     /// Destroy an endpoint (process termination frees its segments, §4.2).
     /// If resident, the NIC quiesces and unloads it first; the image is
     /// discarded when it comes back.
-    pub fn free_endpoint(&mut self, _now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+    pub fn free_endpoint(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        self.now_hint = self.now_hint.max(now);
         let Some(rec) = self.eps.get_mut(&ep) else { return };
         match rec.state {
             EpState::NicRw => {
@@ -179,6 +223,8 @@ impl SegmentDriver {
                 let clock = self.tick(0);
                 out.push(OsOut::Nic(DriverOp::Unload { ep, clock }));
                 // Unregister happens when the unload completes.
+                self.audit_phase(now, ep, EpPhase::Unloading);
+                self.trace_with(now, "os.unload", || format!("{ep} unloading (freed)"));
             }
             EpState::Loading | EpState::Unloading => {
                 // In transition: mark; the completion handler finishes it.
@@ -188,6 +234,9 @@ impl SegmentDriver {
                 self.eps.remove(&ep);
                 let clock = self.tick(0);
                 out.push(OsOut::Nic(DriverOp::Unregister { ep, clock }));
+                let h = self.host_idx;
+                self.audit(|a| a.os_destroyed(now, h, ep.0));
+                self.trace_with(now, "os.free", || format!("{ep} freed while parked"));
             }
         }
     }
@@ -217,6 +266,7 @@ impl SegmentDriver {
     /// Application wrote into the endpoint (posting a send). Classifies the
     /// access per the four-state protocol and schedules remaps as needed.
     pub fn touch_write(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) -> WriteOutcome {
+        self.now_hint = self.now_hint.max(now);
         let Some(rec) = self.eps.get_mut(&ep) else { return WriteOutcome::MustBlock };
         rec.last_activity = now;
         match rec.state {
@@ -248,6 +298,7 @@ impl SegmentDriver {
     /// endpoint (§4.2 — "the segment driver spawns a kernel thread which
     /// performs proxy operations on behalf of the NI").
     pub fn proxy_fault(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        self.now_hint = self.now_hint.max(now);
         let Some(rec) = self.eps.get_mut(&ep) else { return };
         rec.last_activity = now;
         match rec.state {
@@ -282,6 +333,7 @@ impl SegmentDriver {
 
     /// One pass of the background remap thread.
     pub fn on_daemon_step(&mut self, now: SimTime, out: &mut Vec<OsOut>) {
+        self.now_hint = self.now_hint.max(now);
         // Find the next actionable target.
         let target = loop {
             let Some(ep) = self.daemon_q.pop_front() else {
@@ -294,6 +346,8 @@ impl SegmentDriver {
                     // Swap in first, then the daemon resumes with it.
                     self.eps.get_mut(&ep).unwrap().state = EpState::PagingIn;
                     out.push(OsOut::After(self.cfg.disk_delay, OsEvent::PageInDone { ep }));
+                    self.audit_phase(now, ep, EpPhase::PagingIn);
+                    self.trace_with(now, "os.pagein", || format!("{ep} swap-in started"));
                     return; // daemon stays busy, resumes on PageInDone
                 }
                 // Freed, already resident, or in transition: skip.
@@ -326,6 +380,10 @@ impl SegmentDriver {
                 return;
             };
             self.eps.get_mut(&victim).unwrap().state = EpState::Unloading;
+            self.audit_phase(now, victim, EpPhase::Unloading);
+            self.trace_with(now, "os.unload", || {
+                format!("{victim} evicted to make room for {target}")
+            });
             self.pending_after_unload = Some(target);
             // Re-queue marker removed when the load is finally issued.
             self.daemon_q.push_front(target);
@@ -336,13 +394,20 @@ impl SegmentDriver {
 
     /// Swap-in finished; endpoint proceeds to the load pipeline.
     pub fn on_page_in_done(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        self.now_hint = self.now_hint.max(now);
         self.stats.page_ins.inc();
+        let mut swapped_in = false;
         if let Some(rec) = self.eps.get_mut(&ep) {
             if rec.state == EpState::PagingIn {
                 rec.state = EpState::HostRw;
+                swapped_in = true;
                 // Wake any thread that blocked for the swap-in; it still
                 // waits for residency if it asked for that.
             }
+        }
+        if swapped_in {
+            self.audit_phase(now, ep, EpPhase::Host);
+            self.trace_with(now, "os.pagein", || format!("{ep} swap-in done"));
         }
         // Back of the pipeline: daemon continues with this endpoint first.
         self.daemon_q.push_front(ep);
@@ -363,6 +428,10 @@ impl SegmentDriver {
         self.daemon_queued.remove(&ep);
         let clock = self.tick(0);
         out.push(OsOut::Nic(DriverOp::Load { ep, image, clock }));
+        self.audit_phase(now, ep, EpPhase::Loading);
+        self.trace_with(now, "os.load", || {
+            format!("{ep} load issued ({}/{} frames)", self.nic_occupied, self.frames_total)
+        });
         // The daemon waits for Loaded before taking the next request: remap
         // traffic is serialized through the single SBUS engine anyway.
     }
@@ -372,10 +441,12 @@ impl SegmentDriver {
     /// Handle a driver-protocol message from the NIC. `waiters_*` callbacks
     /// are resolved by the caller (scheduler queries).
     pub fn on_nic_msg(&mut self, now: SimTime, msg: DriverMsg, out: &mut Vec<OsOut>) {
+        self.now_hint = self.now_hint.max(now);
         match msg {
             DriverMsg::Loaded { ep, clock } => {
                 self.tick(clock);
                 self.stats.loads.inc();
+                let mut loaded_phase = None;
                 if let Some(rec) = self.eps.get_mut(&ep) {
                     if let Some(t0) = rec.remap_requested_at.take() {
                         self.stats.remap_latency_us.record(now.since(t0).as_micros_f64());
@@ -386,12 +457,21 @@ impl SegmentDriver {
                             rec.state = EpState::Freeing;
                             let clock = self.tick(0);
                             out.push(OsOut::Nic(DriverOp::Unload { ep, clock }));
+                            loaded_phase = Some(EpPhase::Unloading);
                         }
                         _ => {
                             rec.state = EpState::NicRw;
                             rec.last_activity = now;
+                            loaded_phase = Some(EpPhase::Resident);
                         }
                     }
+                }
+                if let Some(phase) = loaded_phase {
+                    self.audit_phase(now, ep, phase);
+                    self.trace_with(now, "os.load", || match phase {
+                        EpPhase::Unloading => format!("{ep} loaded but freed; unloading"),
+                        _ => format!("{ep} resident"),
+                    });
                 }
                 // Continue the daemon pipeline.
                 if !self.daemon_q.is_empty() {
@@ -406,6 +486,7 @@ impl SegmentDriver {
                 self.nic_occupied = self.nic_occupied.saturating_sub(1);
                 let mut freed = false;
                 let mut nonempty = false;
+                let mut parked = false;
                 if let Some(rec) = self.eps.get_mut(&ep) {
                     if rec.state == EpState::Freeing {
                         freed = true;
@@ -413,7 +494,14 @@ impl SegmentDriver {
                         nonempty = image.has_send_work();
                         rec.state = EpState::HostRo;
                         rec.image = Some(image);
+                        parked = true;
                     }
+                }
+                if parked {
+                    self.audit_phase(now, ep, EpPhase::Host);
+                    self.trace_with(now, "os.unload", || {
+                        format!("{ep} parked on host (queued sends: {nonempty})")
+                    });
                 }
                 if nonempty {
                     // §4.2: "Eventually, the kernel makes the non-empty
@@ -428,6 +516,9 @@ impl SegmentDriver {
                     self.eps.remove(&ep);
                     let clock = self.tick(0);
                     out.push(OsOut::Nic(DriverOp::Unregister { ep, clock }));
+                    let h = self.host_idx;
+                    self.audit(|a| a.os_destroyed(now, h, ep.0));
+                    self.trace_with(now, "os.free", || format!("{ep} unloaded and freed"));
                 }
                 // If a target was waiting for this frame, load it now.
                 if let Some(target) = self.pending_after_unload.take() {
@@ -476,6 +567,9 @@ impl SegmentDriver {
             Some(rec) if rec.state == EpState::HostRo => {
                 rec.state = EpState::Disk;
                 self.stats.page_outs.inc();
+                let at = self.now_hint;
+                self.audit_phase(at, ep, EpPhase::Disk);
+                self.trace_with(at, "os.pageout", || format!("{ep} paged out to swap"));
                 true
             }
             _ => false,
@@ -558,8 +652,7 @@ mod tests {
 
     #[test]
     fn ablation_mode_blocks_on_write_fault() {
-        let mut cfg = OsConfig::default();
-        cfg.fast_write_fault = false;
+        let cfg = OsConfig { fast_write_fault: false, ..Default::default() };
         let mut d = SegmentDriver::new(cfg, 8, 1);
         let mut out = vec![];
         let ep = d.create_endpoint(t(0), ProtectionKey(5), &mut out);

@@ -1,13 +1,15 @@
-//! Property tests for the endpoint segment driver: under arbitrary fault
+//! Property tests for the endpoint segment driver: under randomized fault
 //! sequences — with a faithful mock NIC answering the driver protocol —
 //! the four-state machine never overcommits frames and every requested
 //! endpoint eventually becomes resident.
+//!
+//! Cases are generated from [`SimRng`] seeds rather than an external
+//! property-testing crate, so the suite builds offline.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use vnet_nic::{DriverMsg, DriverOp, EndpointImage, EpId, ProtectionKey};
-use vnet_os::{EpState, OsConfig, OsEvent, OsOut, SegmentDriver};
-use vnet_sim::{SimDuration, SimTime};
+use vnet_os::{OsConfig, OsEvent, OsOut, SegmentDriver};
+use vnet_sim::{SimDuration, SimRng, SimTime};
 
 /// A mock NIC + event queue that drives the segment driver's effects to
 /// completion, mimicking the real pipeline's causality.
@@ -109,35 +111,36 @@ enum FaultOp {
     Pageout(usize),
 }
 
-fn fault_op(n: usize) -> impl Strategy<Value = FaultOp> {
-    prop_oneof![
-        (0..n).prop_map(FaultOp::Write),
-        (0..n).prop_map(FaultOp::Proxy),
-        (0..n).prop_map(FaultOp::Pageout),
-    ]
+fn random_fault(rng: &mut SimRng, n: usize) -> FaultOp {
+    match rng.below(3) {
+        0 => FaultOp::Write(rng.index(n)),
+        1 => FaultOp::Proxy(rng.index(n)),
+        _ => FaultOp::Pageout(rng.index(n)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Any interleaving of write faults, proxy faults, and pageouts over
+/// more endpoints than frames drives every touched endpoint resident
+/// (or parked) without ever overcommitting the NIC, and the driver
+/// reaches quiescence.
+#[test]
+fn segment_driver_never_overcommits() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x5E9 + case);
+        let frames = 1 + rng.below(5) as u32;
+        let n_eps = 1 + rng.index(11);
+        let n_ops = 1 + rng.index(59);
 
-    /// Any interleaving of write faults, proxy faults, and pageouts over
-    /// more endpoints than frames drives every touched endpoint resident
-    /// (or parked) without ever overcommitting the NIC, and the driver
-    /// reaches quiescence.
-    #[test]
-    fn segment_driver_never_overcommits(
-        frames in 1u32..6,
-        n_eps in 1usize..12,
-        ops in prop::collection::vec(fault_op(12), 1..60),
-    ) {
         let mut d = SegmentDriver::new(OsConfig::default(), frames, 7);
         let mut pipe = MockPipeline::new(frames);
         let mut outs = Vec::new();
-        let eps: Vec<EpId> =
-            (0..n_eps).map(|_| d.create_endpoint(SimTime::ZERO, ProtectionKey(1), &mut outs)).collect();
+        let eps: Vec<EpId> = (0..n_eps)
+            .map(|_| d.create_endpoint(SimTime::ZERO, ProtectionKey(1), &mut outs))
+            .collect();
         pipe.absorb(std::mem::take(&mut outs));
 
-        for op in ops {
+        for _ in 0..n_ops {
+            let op = random_fault(&mut rng, 12);
             let mut outs = Vec::new();
             match op {
                 FaultOp::Write(i) if i < n_eps => {
@@ -159,14 +162,14 @@ proptest! {
         let mut steps = 0;
         while pipe.step(&mut d) {
             steps += 1;
-            prop_assert!(steps < 100_000, "remap pipeline diverged");
+            assert!(steps < 100_000, "case {case}: remap pipeline diverged");
         }
         // Invariants at rest: occupancy within frames; no endpoint stuck in
         // a transition state; every endpoint accounted for.
         let (resident, host, disk, trans) = d.census();
-        prop_assert!(resident as u32 <= frames);
-        prop_assert_eq!(trans, 0, "no endpoint may be stuck mid-transition");
-        prop_assert_eq!(resident + host + disk, n_eps);
-        prop_assert_eq!(d.remap_queue_depth(), 0);
+        assert!(resident as u32 <= frames, "case {case}");
+        assert_eq!(trans, 0, "case {case}: no endpoint may be stuck mid-transition");
+        assert_eq!(resident + host + disk, n_eps, "case {case}");
+        assert_eq!(d.remap_queue_depth(), 0, "case {case}");
     }
 }

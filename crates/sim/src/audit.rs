@@ -1,0 +1,729 @@
+//! Cross-layer invariant auditor for composed simulations.
+//!
+//! The stack's correctness claims — exactly-once delivery through the
+//! dedup window, the stop-and-wait channel discipline, credit-based flow
+//! control, and endpoint frame accounting across load/unload/pageout —
+//! each live in a different crate. The [`Auditor`] is a passive observer
+//! that mirrors all of them at once: components report protocol events
+//! through cheap hooks (`on_*`/`os_*`), the auditor replays them against
+//! an independent model, and any divergence is recorded as a named
+//! [`Violation`].
+//!
+//! The auditor is deliberately defined in `vnet-sim` (below every stack
+//! crate) in terms of raw integers — host indices, endpoint indices,
+//! channel lanes, message uids — so `vnet-nic`, `vnet-os`, and
+//! `vnet-core` can all hold an [`AuditHandle`] without dependency cycles.
+//! Like the simulation itself, it is single-threaded: the handle is an
+//! `Rc<RefCell<_>>`, and hooks never re-enter the components.
+//!
+//! Invariants checked (names appear verbatim in violations):
+//!
+//! * `audit.exactly-once` — a message uid is delivered into a receive
+//!   queue at most once, and never both delivered and returned to its
+//!   sender (bounced), cluster-wide.
+//! * `audit.stop-and-wait` — at most one frame in flight per channel;
+//!   binds/completes/unbinds pair up.
+//! * `audit.seq-monotone` — sequence numbers assigned on a channel
+//!   strictly increase across bindings.
+//! * `audit.stale-retx` — a retransmission only ever re-sends the frame
+//!   currently bound to the channel (a stale-generation timer must never
+//!   cause action).
+//! * `audit.credit-conservation` — per-endpoint request credits: no
+//!   double-consume of a uid, no release of a credit that was never
+//!   held, and never more than the window outstanding per destination.
+//! * `audit.residency` — endpoint residency transitions in the OS layer
+//!   follow the four-state protocol's legal edges.
+//! * `audit.frame-accounting` — endpoints in NI-occupying phases
+//!   (loading / resident / unloading) never exceed the host's endpoint
+//!   frame count, and the occupancy counter never underflows.
+
+use crate::time::SimTime;
+use crate::trace::TraceRing;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared, single-threaded handle to an [`Auditor`].
+pub type AuditHandle = Rc<RefCell<Auditor>>;
+
+/// Shared, single-threaded handle to a [`TraceRing`] (so instrumented
+/// components on every layer can record into one causal log).
+pub type TraceHandle = Rc<RefCell<TraceRing>>;
+
+/// One recorded invariant breach.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Stable invariant name (e.g. `"audit.exactly-once"`).
+    pub invariant: &'static str,
+    /// Simulated time of the offending event.
+    pub at: SimTime,
+    /// Host index where it was observed (`u32::MAX` when cluster-wide).
+    pub host: u32,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] t={} h{}: {}", self.invariant, self.at, self.host, self.detail)
+    }
+}
+
+/// Terminal/live state of a message uid in the delivery ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgFate {
+    /// Posted by a host; not yet resolved.
+    Posted,
+    /// Deposited into a receive queue (exactly-once point).
+    Delivered,
+    /// Returned to its sender as undeliverable.
+    Bounced,
+    /// Discarded before resolution (owning endpoint torn down).
+    Aborted,
+}
+
+/// Residency phase of an endpoint as mirrored from the OS layer.
+/// `Loading`, `Resident`, and `Unloading` occupy an NI endpoint frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpPhase {
+    /// Parked in host memory (r/o or r/w — the auditor does not care).
+    Host,
+    /// Image handed to the NIC; load DMA in progress.
+    Loading,
+    /// Serviceable in an NI frame.
+    Resident,
+    /// Quiescing + unload DMA in progress.
+    Unloading,
+    /// Paged out to the swap area.
+    Disk,
+    /// Swap-in in progress.
+    PagingIn,
+}
+
+impl EpPhase {
+    fn occupies_frame(self) -> bool {
+        matches!(self, EpPhase::Loading | EpPhase::Resident | EpPhase::Unloading)
+    }
+}
+
+#[derive(Default)]
+struct ChanAudit {
+    in_flight: Option<u64>,
+    last_seq: Option<u64>,
+}
+
+struct HostAudit {
+    frames_total: u32,
+    occupied: u32,
+    phases: HashMap<u32, EpPhase>,
+}
+
+#[derive(Default)]
+struct CreditAudit {
+    /// uid → translation index it consumed a credit for.
+    held: HashMap<u64, usize>,
+    /// outstanding count per translation index.
+    per_idx: HashMap<usize, u32>,
+}
+
+/// Aggregate hook counters (useful for sanity checks and reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditCounters {
+    /// Messages entered into the ledger.
+    pub posted: u64,
+    /// Deliveries into receive queues.
+    pub delivered: u64,
+    /// Returns-to-sender.
+    pub bounced: u64,
+    /// Messages discarded on teardown.
+    pub aborted: u64,
+    /// Duplicate copies suppressed by the dedup window.
+    pub duplicates_filtered: u64,
+    /// Channel retransmissions observed.
+    pub retransmits: u64,
+    /// Channel unbinds observed.
+    pub unbinds: u64,
+    /// Stale-generation retransmit timers correctly suppressed.
+    pub stale_timers_suppressed: u64,
+}
+
+/// How many violations are kept verbatim; later ones only bump the count.
+const MAX_KEPT_VIOLATIONS: usize = 64;
+
+/// The cross-layer invariant auditor. See the module docs for the
+/// invariant list; see `vnet_core::Cluster::audit` for the cluster-level
+/// entry point that turns recorded violations into a report.
+pub struct Auditor {
+    credit_limit: u32,
+    violations: Vec<Violation>,
+    total_violations: u64,
+    ledger: HashMap<u64, MsgFate>,
+    channels: HashMap<(u32, u32, u8), ChanAudit>,
+    hosts: HashMap<u32, HostAudit>,
+    credits: HashMap<(u32, u32), CreditAudit>,
+    counters: AuditCounters,
+    trace: Option<TraceHandle>,
+}
+
+impl Default for Auditor {
+    fn default() -> Self {
+        Auditor::new(32)
+    }
+}
+
+impl Auditor {
+    /// An auditor expecting at most `credit_limit` outstanding requests
+    /// per (endpoint, destination) pair.
+    pub fn new(credit_limit: u32) -> Self {
+        Auditor {
+            credit_limit,
+            violations: Vec::new(),
+            total_violations: 0,
+            ledger: HashMap::new(),
+            channels: HashMap::new(),
+            hosts: HashMap::new(),
+            credits: HashMap::new(),
+            counters: AuditCounters::default(),
+            trace: None,
+        }
+    }
+
+    /// Wrap a fresh auditor in a shareable handle.
+    pub fn handle(credit_limit: u32) -> AuditHandle {
+        Rc::new(RefCell::new(Auditor::new(credit_limit)))
+    }
+
+    /// Attach the shared trace ring; every violation is also recorded
+    /// there (tag `audit.violation`) so the causal dump shows where in
+    /// the event stream the invariant broke.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Declare a host and its NI endpoint frame budget.
+    pub fn register_host(&mut self, host: u32, frames_total: u32) {
+        self.hosts
+            .entry(host)
+            .or_insert(HostAudit { frames_total, occupied: 0, phases: HashMap::new() });
+    }
+
+    fn violate(&mut self, invariant: &'static str, at: SimTime, host: u32, detail: String) {
+        self.total_violations += 1;
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record_with(at, host, "audit.violation", || {
+                format!("{invariant}: {detail}")
+            });
+        }
+        if self.violations.len() < MAX_KEPT_VIOLATIONS {
+            self.violations.push(Violation { invariant, at, host, detail });
+        }
+    }
+
+    // -------------------------------------------------------- delivery ledger
+
+    /// A message uid entered a send queue (request or reply, resident or
+    /// host-image path).
+    pub fn on_posted(&mut self, at: SimTime, host: u32, uid: u64) {
+        self.counters.posted += 1;
+        if self.ledger.insert(uid, MsgFate::Posted).is_some() {
+            self.violate(
+                "audit.exactly-once",
+                at,
+                host,
+                format!("uid {uid} posted twice (uid reuse)"),
+            );
+        }
+    }
+
+    /// A message was deposited into a receive queue. Exactly-once point:
+    /// a second delivery, or a delivery after a bounce, is a violation.
+    /// Unknown uids are adopted (partial instrumentation stays usable).
+    pub fn on_delivered(&mut self, at: SimTime, host: u32, uid: u64) {
+        self.counters.delivered += 1;
+        match self.ledger.insert(uid, MsgFate::Delivered) {
+            None | Some(MsgFate::Posted) => {}
+            Some(prev) => self.violate(
+                "audit.exactly-once",
+                at,
+                host,
+                format!("uid {uid} delivered but was already {prev:?}"),
+            ),
+        }
+    }
+
+    /// A message was returned to its sender as undeliverable.
+    pub fn on_bounced(&mut self, at: SimTime, host: u32, uid: u64) {
+        self.counters.bounced += 1;
+        match self.ledger.insert(uid, MsgFate::Bounced) {
+            None | Some(MsgFate::Posted) => {}
+            Some(prev) => self.violate(
+                "audit.exactly-once",
+                at,
+                host,
+                format!("uid {uid} bounced but was already {prev:?}"),
+            ),
+        }
+    }
+
+    /// A message was discarded unresolved (owning endpoint torn down or
+    /// its staged DMA aborted). Resolved fates are left untouched.
+    pub fn on_send_aborted(&mut self, _at: SimTime, _host: u32, uid: u64) {
+        self.counters.aborted += 1;
+        if self.ledger.get(&uid) == Some(&MsgFate::Posted) {
+            self.ledger.insert(uid, MsgFate::Aborted);
+        }
+    }
+
+    /// The dedup window suppressed a duplicate copy (the mechanism
+    /// working as intended — counted, never a violation).
+    pub fn on_duplicate_filtered(&mut self, _at: SimTime, _host: u32, _uid: u64) {
+        self.counters.duplicates_filtered += 1;
+    }
+
+    // ------------------------------------------------------ stop-and-wait
+
+    /// A frame was bound to channel `(host → peer, idx)` with `seq`.
+    pub fn on_channel_bind(
+        &mut self,
+        at: SimTime,
+        host: u32,
+        peer: u32,
+        idx: u8,
+        uid: u64,
+        seq: u64,
+    ) {
+        let (prev_uid, prev_seq) = {
+            let ch = self.channels.entry((host, peer, idx)).or_default();
+            (ch.in_flight, ch.last_seq)
+        };
+        if let Some(prev) = prev_uid {
+            let detail =
+                format!("bind uid {uid} on h{host}→h{peer}#{idx} with uid {prev} in flight");
+            self.violate("audit.stop-and-wait", at, host, detail);
+        }
+        if let Some(last) = prev_seq {
+            if seq <= last {
+                let detail =
+                    format!("seq {seq} after {last} on h{host}→h{peer}#{idx} (uid {uid})");
+                self.violate("audit.seq-monotone", at, host, detail);
+            }
+        }
+        let ch = self.channels.entry((host, peer, idx)).or_default();
+        ch.in_flight = Some(uid);
+        ch.last_seq = Some(seq);
+    }
+
+    /// The in-flight frame of a channel was acknowledged.
+    pub fn on_channel_complete(&mut self, at: SimTime, host: u32, peer: u32, idx: u8, uid: u64) {
+        let cur = self.channels.entry((host, peer, idx)).or_default().in_flight;
+        if cur != Some(uid) {
+            let detail =
+                format!("complete uid {uid} on h{host}→h{peer}#{idx} but {cur:?} in flight");
+            self.violate("audit.stop-and-wait", at, host, detail);
+        }
+        self.channels.entry((host, peer, idx)).or_default().in_flight = None;
+    }
+
+    /// A channel forcibly evicted its in-flight frame (reuse, §5.1).
+    pub fn on_channel_unbind(&mut self, at: SimTime, host: u32, peer: u32, idx: u8, uid: u64) {
+        self.counters.unbinds += 1;
+        let cur = self.channels.entry((host, peer, idx)).or_default().in_flight;
+        if cur != Some(uid) {
+            let detail =
+                format!("unbind uid {uid} on h{host}→h{peer}#{idx} but {cur:?} in flight");
+            self.violate("audit.stop-and-wait", at, host, detail);
+        }
+        self.channels.entry((host, peer, idx)).or_default().in_flight = None;
+    }
+
+    /// A channel retransmitted. Must re-send exactly the bound frame.
+    pub fn on_channel_retransmit(
+        &mut self,
+        at: SimTime,
+        host: u32,
+        peer: u32,
+        idx: u8,
+        uid: u64,
+    ) {
+        self.counters.retransmits += 1;
+        let cur = self.channels.entry((host, peer, idx)).or_default().in_flight;
+        if cur != Some(uid) {
+            let detail =
+                format!("retransmit uid {uid} on h{host}→h{peer}#{idx} but {cur:?} in flight");
+            self.violate("audit.stale-retx", at, host, detail);
+        }
+    }
+
+    /// A retransmit timer with a stale generation fired and was correctly
+    /// ignored (counted — the guard working as intended).
+    pub fn on_stale_timer(&mut self, _at: SimTime, _host: u32) {
+        self.counters.stale_timers_suppressed += 1;
+    }
+
+    // ------------------------------------------------------------- credits
+
+    /// Request `uid` from `(host, ep)` consumed a credit toward
+    /// translation `idx`.
+    pub fn on_credit_acquire(&mut self, at: SimTime, host: u32, ep: u32, idx: usize, uid: u64) {
+        let limit = self.credit_limit;
+        let c = self.credits.entry((host, ep)).or_default();
+        if c.held.insert(uid, idx).is_some() {
+            let detail = format!("uid {uid} consumed a credit twice on h{host} ep{ep}");
+            self.violate("audit.credit-conservation", at, host, detail);
+            return;
+        }
+        let n = c.per_idx.entry(idx).or_insert(0);
+        *n += 1;
+        let n = *n;
+        if n > limit {
+            let detail =
+                format!("h{host} ep{ep} idx{idx}: {n} credits outstanding (window {limit})");
+            self.violate("audit.credit-conservation", at, host, detail);
+        }
+    }
+
+    /// The reply (or undeliverable return) for `uid` recovered its credit.
+    pub fn on_credit_release(&mut self, at: SimTime, host: u32, ep: u32, uid: u64) {
+        let Some(c) = self.credits.get_mut(&(host, ep)) else {
+            let detail = format!("credit release for uid {uid} on unknown h{host} ep{ep}");
+            self.violate("audit.credit-conservation", at, host, detail);
+            return;
+        };
+        match c.held.remove(&uid) {
+            Some(idx) => {
+                let n = c.per_idx.entry(idx).or_insert(0);
+                if *n == 0 {
+                    let detail = format!("h{host} ep{ep} idx{idx}: credit count underflow");
+                    self.violate("audit.credit-conservation", at, host, detail);
+                } else {
+                    *n -= 1;
+                }
+            }
+            None => {
+                let detail = format!("uid {uid} released a credit it never held (h{host} ep{ep})");
+                self.violate("audit.credit-conservation", at, host, detail);
+            }
+        }
+    }
+
+    /// Endpoint teardown: outstanding credits die with the user state.
+    pub fn on_endpoint_destroyed(&mut self, host: u32, ep: u32) {
+        self.credits.remove(&(host, ep));
+    }
+
+    // ----------------------------------------------- OS residency mirror
+
+    /// The segment driver allocated an endpoint (starts parked on host).
+    pub fn os_created(&mut self, at: SimTime, host: u32, ep: u32) {
+        let h = self.hosts.entry(host).or_insert(HostAudit {
+            frames_total: u32::MAX,
+            occupied: 0,
+            phases: HashMap::new(),
+        });
+        if h.phases.insert(ep, EpPhase::Host).is_some() {
+            self.violate("audit.residency", at, host, format!("ep{ep} created twice"));
+        }
+    }
+
+    /// The segment driver moved `ep` to `to`. Legal edges follow the
+    /// four-state protocol (plus the freed-while-loading unload):
+    /// Host→Loading→Resident→Unloading→Host and Host→Disk→PagingIn→Host,
+    /// with Loading→Unloading for endpoints freed mid-load.
+    pub fn os_transition(&mut self, at: SimTime, host: u32, ep: u32, to: EpPhase) {
+        use EpPhase::*;
+        let from = match self.hosts.get(&host).and_then(|h| h.phases.get(&ep)) {
+            Some(&f) => f,
+            None => {
+                let detail = if self.hosts.contains_key(&host) {
+                    format!("ep{ep} transitioned to {to:?} but was never created")
+                } else {
+                    format!("ep{ep} on unknown host")
+                };
+                self.violate("audit.residency", at, host, detail);
+                return;
+            }
+        };
+        let legal = matches!(
+            (from, to),
+            (Host, Loading)
+                | (Loading, Resident)
+                | (Loading, Unloading)
+                | (Resident, Unloading)
+                | (Unloading, Host)
+                | (Host, Disk)
+                | (Disk, PagingIn)
+                | (PagingIn, Host)
+        );
+        if !legal {
+            self.violate(
+                "audit.residency",
+                at,
+                host,
+                format!("ep{ep}: illegal transition {from:?} → {to:?}"),
+            );
+        }
+        let h = self.hosts.get_mut(&host).expect("checked above");
+        h.phases.insert(ep, to);
+        let mut overcommit = None;
+        let mut underflow = false;
+        match (from.occupies_frame(), to.occupies_frame()) {
+            (false, true) => {
+                h.occupied += 1;
+                if h.occupied > h.frames_total {
+                    overcommit = Some((h.occupied, h.frames_total));
+                }
+            }
+            (true, false) => {
+                if h.occupied == 0 {
+                    underflow = true;
+                } else {
+                    h.occupied -= 1;
+                }
+            }
+            _ => {}
+        }
+        if let Some((occ, total)) = overcommit {
+            self.violate(
+                "audit.frame-accounting",
+                at,
+                host,
+                format!("{occ} endpoints occupy {total} frames"),
+            );
+        }
+        if underflow {
+            self.violate(
+                "audit.frame-accounting",
+                at,
+                host,
+                format!("ep{ep}: frame occupancy underflow"),
+            );
+        }
+    }
+
+    /// The segment driver freed `ep` (its record is gone).
+    pub fn os_destroyed(&mut self, at: SimTime, host: u32, ep: u32) {
+        let Some(h) = self.hosts.get_mut(&host) else { return };
+        let removed = h.phases.remove(&ep);
+        match removed {
+            None => {
+                self.violate("audit.residency", at, host, format!("ep{ep} destroyed twice"));
+            }
+            Some(phase) if phase.occupies_frame() => {
+                if h.occupied == 0 {
+                    self.violate(
+                        "audit.frame-accounting",
+                        at,
+                        host,
+                        format!("ep{ep}: frame occupancy underflow on destroy"),
+                    );
+                } else {
+                    h.occupied -= 1;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    // ------------------------------------------------------------ reading
+
+    /// Whether any invariant has been violated.
+    pub fn has_violations(&self) -> bool {
+        self.total_violations > 0
+    }
+
+    /// Violations recorded so far (first [`MAX_KEPT_VIOLATIONS`] kept
+    /// verbatim; see [`Auditor::total_violations`] for the full count).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations observed, including any beyond the kept window.
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// Aggregate hook counters.
+    pub fn counters(&self) -> AuditCounters {
+        self.counters
+    }
+
+    /// Ledger fate of a message uid, if known.
+    pub fn fate(&self, uid: u64) -> Option<MsgFate> {
+        self.ledger.get(&uid).copied()
+    }
+
+    /// Number of ledger entries still unresolved (posted, neither
+    /// delivered nor bounced nor aborted).
+    pub fn unresolved(&self) -> usize {
+        self.ledger.values().filter(|f| **f == MsgFate::Posted).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    fn named(a: &Auditor) -> Vec<&'static str> {
+        a.violations().iter().map(|v| v.invariant).collect()
+    }
+
+    #[test]
+    fn clean_request_reply_flow_is_clean() {
+        let mut a = Auditor::new(32);
+        a.register_host(0, 8);
+        a.register_host(1, 8);
+        a.os_created(t(0), 0, 0);
+        a.os_transition(t(1), 0, 0, EpPhase::Loading);
+        a.os_transition(t(2), 0, 0, EpPhase::Resident);
+        a.on_posted(t(3), 0, 100);
+        a.on_credit_acquire(t(3), 0, 0, 0, 100);
+        a.on_channel_bind(t(4), 0, 1, 0, 100, 0);
+        a.on_channel_retransmit(t(5), 0, 1, 0, 100);
+        a.on_delivered(t(6), 1, 100);
+        a.on_duplicate_filtered(t(7), 1, 100);
+        a.on_channel_complete(t(8), 0, 1, 0, 100);
+        a.on_credit_release(t(9), 0, 0, 100);
+        assert!(!a.has_violations(), "{:?}", a.violations());
+        assert_eq!(a.counters().delivered, 1);
+        assert_eq!(a.counters().duplicates_filtered, 1);
+        assert_eq!(a.unresolved(), 0);
+    }
+
+    #[test]
+    fn double_delivery_is_caught() {
+        let mut a = Auditor::new(32);
+        a.on_posted(t(0), 0, 7);
+        a.on_delivered(t(1), 1, 7);
+        a.on_delivered(t(2), 1, 7);
+        assert_eq!(named(&a), vec!["audit.exactly-once"]);
+    }
+
+    #[test]
+    fn bounce_after_delivery_is_caught() {
+        let mut a = Auditor::new(32);
+        a.on_posted(t(0), 0, 7);
+        a.on_delivered(t(1), 1, 7);
+        a.on_bounced(t(2), 0, 7);
+        assert_eq!(named(&a), vec!["audit.exactly-once"]);
+    }
+
+    #[test]
+    fn double_bind_and_seq_regression_are_caught() {
+        let mut a = Auditor::new(32);
+        a.on_channel_bind(t(0), 0, 1, 0, 1, 0);
+        a.on_channel_bind(t(1), 0, 1, 0, 2, 1); // uid 1 still in flight
+        assert_eq!(named(&a), vec!["audit.stop-and-wait"]);
+        a.on_channel_complete(t(2), 0, 1, 0, 2);
+        a.on_channel_bind(t(3), 0, 1, 0, 3, 1); // seq goes backwards
+        assert_eq!(named(&a), vec!["audit.stop-and-wait", "audit.seq-monotone"]);
+    }
+
+    #[test]
+    fn stale_retransmit_is_caught() {
+        let mut a = Auditor::new(32);
+        a.on_channel_bind(t(0), 0, 1, 0, 1, 0);
+        a.on_channel_complete(t(1), 0, 1, 0, 1);
+        a.on_channel_retransmit(t(2), 0, 1, 0, 1);
+        assert_eq!(named(&a), vec!["audit.stale-retx"]);
+    }
+
+    #[test]
+    fn credit_leak_overflows_window() {
+        let mut a = Auditor::new(4);
+        for uid in 0..4 {
+            a.on_credit_acquire(t(uid), 0, 0, 0, uid);
+        }
+        assert!(!a.has_violations());
+        // The leak: a fifth acquire with none of the four ever released.
+        a.on_credit_acquire(t(9), 0, 0, 0, 99);
+        assert_eq!(named(&a), vec!["audit.credit-conservation"]);
+    }
+
+    #[test]
+    fn credit_double_acquire_and_bogus_release_are_caught() {
+        let mut a = Auditor::new(32);
+        a.on_credit_acquire(t(0), 0, 0, 0, 5);
+        a.on_credit_acquire(t(1), 0, 0, 0, 5);
+        a.on_credit_release(t(2), 0, 0, 5);
+        a.on_credit_release(t(3), 0, 0, 5);
+        assert_eq!(
+            named(&a),
+            vec!["audit.credit-conservation", "audit.credit-conservation"]
+        );
+    }
+
+    #[test]
+    fn residency_cycle_is_clean_and_bad_edges_are_caught() {
+        let mut a = Auditor::new(32);
+        a.register_host(0, 1);
+        a.os_created(t(0), 0, 3);
+        a.os_transition(t(1), 0, 3, EpPhase::Loading);
+        a.os_transition(t(2), 0, 3, EpPhase::Resident);
+        a.os_transition(t(3), 0, 3, EpPhase::Unloading);
+        a.os_transition(t(4), 0, 3, EpPhase::Host);
+        a.os_transition(t(5), 0, 3, EpPhase::Disk);
+        a.os_transition(t(6), 0, 3, EpPhase::PagingIn);
+        a.os_transition(t(7), 0, 3, EpPhase::Host);
+        assert!(!a.has_violations(), "{:?}", a.violations());
+        // Disk → Resident skips the load pipeline entirely.
+        a.os_transition(t(8), 0, 3, EpPhase::Disk);
+        a.os_transition(t(9), 0, 3, EpPhase::Resident);
+        assert_eq!(named(&a), vec!["audit.residency"]);
+    }
+
+    #[test]
+    fn frame_overcommit_is_caught() {
+        let mut a = Auditor::new(32);
+        a.register_host(0, 1);
+        a.os_created(t(0), 0, 0);
+        a.os_created(t(0), 0, 1);
+        a.os_transition(t(1), 0, 0, EpPhase::Loading);
+        a.os_transition(t(2), 0, 1, EpPhase::Loading); // second ep, one frame
+        assert_eq!(named(&a), vec!["audit.frame-accounting"]);
+    }
+
+    #[test]
+    fn destroy_releases_frame_and_double_destroy_is_caught() {
+        let mut a = Auditor::new(32);
+        a.register_host(0, 1);
+        a.os_created(t(0), 0, 0);
+        a.os_transition(t(1), 0, 0, EpPhase::Loading);
+        a.os_transition(t(2), 0, 0, EpPhase::Unloading); // freed mid-load
+        a.os_destroyed(t(3), 0, 0);
+        assert!(!a.has_violations(), "{:?}", a.violations());
+        // The frame is free again: another endpoint can take it.
+        a.os_created(t(4), 0, 1);
+        a.os_transition(t(5), 0, 1, EpPhase::Loading);
+        assert!(!a.has_violations(), "{:?}", a.violations());
+        a.os_destroyed(t(6), 0, 0);
+        assert_eq!(named(&a), vec!["audit.residency"]);
+    }
+
+    #[test]
+    fn violations_record_into_attached_trace() {
+        let mut a = Auditor::new(32);
+        let trace: TraceHandle = Rc::new(RefCell::new(TraceRing::new(16)));
+        trace.borrow_mut().enable();
+        a.set_trace(trace.clone());
+        a.on_delivered(t(1), 1, 7);
+        a.on_delivered(t(2), 1, 7);
+        let text = trace.borrow().to_text();
+        assert!(text.contains("audit.violation"), "{text}");
+        assert!(text.contains("audit.exactly-once"), "{text}");
+    }
+
+    #[test]
+    fn violation_window_caps_but_counts_all() {
+        let mut a = Auditor::new(32);
+        for i in 0..(MAX_KEPT_VIOLATIONS as u64 + 10) {
+            a.on_credit_release(t(i), 0, 0, i); // never held
+        }
+        assert_eq!(a.violations().len(), MAX_KEPT_VIOLATIONS);
+        assert_eq!(a.total_violations(), MAX_KEPT_VIOLATIONS as u64 + 10);
+    }
+}

@@ -20,12 +20,14 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use audit::{AuditCounters, AuditHandle, Auditor, EpPhase, MsgFate, TraceHandle, Violation};
 pub use engine::{Ctx, Engine, EventId, SimWorld};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -4,20 +4,54 @@
 //! (§5.1 "randomized exponential back-off"), the random endpoint replacement
 //! policy (§4.1), workload think times — draws from a [`SimRng`] seeded from
 //! the run configuration, keeping whole-cluster runs reproducible.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm by
+//! Blackman & Vigna) seeded through a SplitMix64 expansion, so the simulator
+//! has no external RNG dependency and builds in offline environments.
 
 /// A seeded small-state PRNG with simulation-flavoured helpers.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro requires a nonzero state; splitmix64 output over four words
+        // is never all-zero for any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
+    }
+
+    /// xoshiro256++ next step.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent stream for a sub-component. Streams derived
@@ -33,22 +67,34 @@ impl SimRng {
 
     fn base_seed(&self) -> u64 {
         // Clone so derivation does not advance this stream.
-        self.inner.clone().gen()
+        self.clone().next_u64()
     }
 
     /// Uniform in `[0, n)`. `n` must be nonzero.
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.gen_range(0..n)
+        debug_assert!(n > 0, "SimRng::below(0)");
+        // Lemire's multiply-shift with rejection for exact uniformity.
+        let mut m = (self.next_u64() as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                m = (self.next_u64() as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform usize in `[0, n)`. `n` must be nonzero.
     pub fn index(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -58,7 +104,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -67,12 +113,12 @@ impl SimRng {
     /// Used for randomized exponential backoff: the paper's NI firmware
     /// randomizes retransmission timers to de-synchronize colliding senders.
     pub fn jitter(&mut self, frac: f64) -> f64 {
-        1.0 + (self.inner.gen::<f64>() * 2.0 - 1.0) * frac
+        1.0 + (self.unit() * 2.0 - 1.0) * frac
     }
 
     /// Exponentially distributed value with the given mean.
     pub fn expovariate(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = self.unit().max(f64::MIN_POSITIVE);
         -mean * u.ln()
     }
 }
@@ -143,6 +189,27 @@ mod tests {
         let mut r = SimRng::seed_from_u64(13);
         for _ in 0..1_000 {
             assert!(r.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::seed_from_u64(17);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::seed_from_u64(19);
+        let mut buckets = [0usize; 8];
+        for _ in 0..80_000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((9_000..11_000).contains(&b), "bucket {i}: {b}");
         }
     }
 }

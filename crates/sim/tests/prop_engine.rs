@@ -1,9 +1,13 @@
 //! Property tests for the simulation kernel: ordering, cancellation, and
-//! statistics invariants hold for arbitrary inputs.
+//! statistics invariants hold for randomized inputs.
+//!
+//! Cases are generated from [`SimRng`] seeds rather than an external
+//! property-testing crate, so the suite builds offline; every assertion
+//! message carries the case number, and re-running the named test replays
+//! the identical sequence.
 
-use proptest::prelude::*;
 use vnet_sim::stats::{linear_fit, Sampler};
-use vnet_sim::{Ctx, Engine, SimDuration, SimTime, SimWorld};
+use vnet_sim::{Ctx, Engine, SimDuration, SimRng, SimTime, SimWorld};
 
 struct Recorder {
     seen: Vec<(u64, u32)>,
@@ -16,38 +20,44 @@ impl SimWorld for Recorder {
     }
 }
 
-proptest! {
-    /// Events fire in nondecreasing time order, FIFO among equal times.
-    #[test]
-    fn events_ordered(delays in prop::collection::vec(0u64..10_000, 1..200)) {
+/// Events fire in nondecreasing time order, FIFO among equal times.
+#[test]
+fn events_ordered() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(0xE0E0 + case);
+        let n = 1 + rng.index(199);
+        let delays: Vec<u64> = (0..n).map(|_| rng.below(10_000)).collect();
         let mut w = Recorder { seen: vec![] };
         let mut e = Engine::new();
         for (i, &d) in delays.iter().enumerate() {
             e.schedule(SimDuration::from_nanos(d), i as u32);
         }
         e.run(&mut w);
-        prop_assert_eq!(w.seen.len(), delays.len());
+        assert_eq!(w.seen.len(), delays.len(), "case {case}");
         for win in w.seen.windows(2) {
-            prop_assert!(win[0].0 <= win[1].0, "time went backwards");
+            assert!(win[0].0 <= win[1].0, "case {case}: time went backwards");
             if win[0].0 == win[1].0 {
                 // FIFO tie-break: scheduling order == payload order here.
-                prop_assert!(win[0].1 < win[1].1, "FIFO violated at t={}", win[0].0);
+                assert!(win[0].1 < win[1].1, "case {case}: FIFO violated at t={}", win[0].0);
             }
         }
     }
+}
 
-    /// Cancelled events never fire; everything else does.
-    #[test]
-    fn cancellation_exact(
-        delays in prop::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelled events never fire; everything else does.
+#[test]
+fn cancellation_exact() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(0xCA4C + case);
+        let n = 1 + rng.index(99);
+        let delays: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut w = Recorder { seen: vec![] };
         let mut e = Engine::new();
         let mut expect = vec![];
         for (i, &d) in delays.iter().enumerate() {
             let id = e.schedule(SimDuration::from_nanos(d), i as u32);
-            if *cancel_mask.get(i).unwrap_or(&false) {
+            if cancel_mask[i] {
                 e.cancel(id);
             } else {
                 expect.push(i as u32);
@@ -57,16 +67,19 @@ proptest! {
         let mut got: Vec<u32> = w.seen.iter().map(|&(_, v)| v).collect();
         got.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// run_until never processes events beyond the deadline and leaves the
-    /// clock at exactly the deadline when it stops early.
-    #[test]
-    fn run_until_respects_deadline(
-        delays in prop::collection::vec(1u64..10_000, 1..100),
-        deadline in 1u64..12_000,
-    ) {
+/// run_until never processes events beyond the deadline and leaves the
+/// clock at exactly the deadline when it stops early.
+#[test]
+fn run_until_respects_deadline() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(0xD3AD + case);
+        let n = 1 + rng.index(99);
+        let delays: Vec<u64> = (0..n).map(|_| 1 + rng.below(9_999)).collect();
+        let deadline = 1 + rng.below(11_999);
         let mut w = Recorder { seen: vec![] };
         let mut e = Engine::new();
         for (i, &d) in delays.iter().enumerate() {
@@ -74,16 +87,21 @@ proptest! {
         }
         e.run_until(&mut w, SimTime::from_nanos(deadline));
         for &(t, _) in &w.seen {
-            prop_assert!(t <= deadline);
+            assert!(t <= deadline, "case {case}");
         }
-        prop_assert!(e.now().as_nanos() <= deadline);
+        assert!(e.now().as_nanos() <= deadline, "case {case}");
         let expected = delays.iter().filter(|&&d| d <= deadline).count();
-        prop_assert_eq!(w.seen.len(), expected);
+        assert_eq!(w.seen.len(), expected, "case {case}");
     }
+}
 
-    /// Sampler quantiles are bounded by min/max and monotone in q.
-    #[test]
-    fn sampler_quantiles_sane(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+/// Sampler quantiles are bounded by min/max and monotone in q.
+#[test]
+fn sampler_quantiles_sane() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(0x5A9A + case);
+        let n = 1 + rng.index(299);
+        let xs: Vec<f64> = (0..n).map(|_| (rng.unit() - 0.5) * 2e6).collect();
         let mut s = Sampler::default();
         for &x in &xs {
             s.record(x);
@@ -93,33 +111,50 @@ proptest! {
         let mut prev = f64::NEG_INFINITY;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
             let v = s.quantile(q);
-            prop_assert!(v >= lo && v <= hi, "q={q} v={v} out of [{lo},{hi}]");
-            prop_assert!(v >= prev, "quantiles must be monotone");
+            assert!(v >= lo && v <= hi, "case {case}: q={q} v={v} out of [{lo},{hi}]");
+            assert!(v >= prev, "case {case}: quantiles must be monotone");
             prev = v;
         }
     }
+}
 
-    /// linear_fit recovers arbitrary noiseless lines exactly (R² = 1).
-    #[test]
-    fn linear_fit_exact(
-        slope in -100f64..100.0,
-        intercept in -1e4f64..1e4,
-        n in 3usize..50,
-    ) {
-        let pts: Vec<(f64, f64)> =
-            (0..n).map(|i| (i as f64 * 7.0 + 1.0, slope * (i as f64 * 7.0 + 1.0) + intercept)).collect();
+/// linear_fit recovers randomized noiseless lines exactly (R² = 1).
+#[test]
+fn linear_fit_exact() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(0xF17 + case);
+        let slope = (rng.unit() - 0.5) * 200.0;
+        let intercept = (rng.unit() - 0.5) * 2e4;
+        let n = 3 + rng.index(47);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| (i as f64 * 7.0 + 1.0, slope * (i as f64 * 7.0 + 1.0) + intercept))
+            .collect();
         let (m, b, r2) = linear_fit(&pts);
-        prop_assert!((m - slope).abs() < 1e-6 * slope.abs().max(1.0));
-        prop_assert!((b - intercept).abs() < 1e-5 * intercept.abs().max(1.0));
-        prop_assert!(r2 > 0.999999);
+        assert!((m - slope).abs() < 1e-6 * slope.abs().max(1.0), "case {case}");
+        assert!((b - intercept).abs() < 1e-5 * intercept.abs().max(1.0), "case {case}");
+        assert!(r2 > 0.999999, "case {case}: r2={r2}");
     }
+}
 
-    /// Duration arithmetic saturates instead of wrapping.
-    #[test]
-    fn duration_saturates(a in any::<u64>(), b in any::<u64>()) {
+/// Duration arithmetic saturates instead of wrapping.
+#[test]
+fn duration_saturates() {
+    let mut rng = SimRng::seed_from_u64(0xD07);
+    for case in 0..512 {
+        // Mix full-range draws with values near the extremes so saturation
+        // actually triggers.
+        let a = match case % 4 {
+            0 => u64::MAX - rng.below(1 << 20),
+            1 => rng.below(1 << 20),
+            _ => rng.below(u64::MAX),
+        };
+        let b = match case % 3 {
+            0 => u64::MAX - rng.below(1 << 20),
+            _ => rng.below(u64::MAX),
+        };
         let x = SimDuration::from_nanos(a);
         let y = SimDuration::from_nanos(b);
-        prop_assert_eq!((x + y).as_nanos(), a.saturating_add(b));
-        prop_assert_eq!((x - y).as_nanos(), a.saturating_sub(b));
+        assert_eq!((x + y).as_nanos(), a.saturating_add(b), "case {case}");
+        assert_eq!((x - y).as_nanos(), a.saturating_sub(b), "case {case}");
     }
 }

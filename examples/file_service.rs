@@ -94,7 +94,7 @@ impl ThreadBody for FsClient {
             self.t0 = Some(sys.now());
         }
         while self.issued < self.ops && sys.outstanding(self.ep) < 8 {
-            let op = if self.issued % 4 == 0 { OP_STAT } else { OP_READ };
+            let op = if self.issued.is_multiple_of(4) { OP_STAT } else { OP_READ };
             match sys.request(self.ep, 0, op, [self.issued as u64, 0, 0, 0], 0) {
                 Ok(_) => self.issued += 1,
                 Err(SendError::NoCredit) | Err(SendError::QueueFull) => break,
