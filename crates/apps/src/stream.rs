@@ -198,7 +198,7 @@ mod tests {
         use vnet_nic::{DeliveredMsg, GlobalEp, ProtectionKey, UserMsg};
         use vnet_sim::SimTime;
         let mk = |seq: u64, bytes: u32| DeliveredMsg {
-            msg: UserMsg {
+            msg: std::rc::Rc::new(UserMsg {
                 uid: seq,
                 is_request: true,
                 handler: STREAM_HANDLER,
@@ -207,7 +207,7 @@ mod tests {
                 src_ep: GlobalEp::new(HostId(0), EpId(0)),
                 reply_key: ProtectionKey::OPEN,
                 corr: 0,
-            },
+            }),
             undeliverable: false,
             deposited_at: SimTime::ZERO,
         };

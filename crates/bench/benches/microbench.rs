@@ -43,7 +43,7 @@ fn bench_engine() {
     struct Chain(u64);
     impl SimWorld for Chain {
         type Event = ();
-        fn handle(&mut self, _: (), ctx: &mut Ctx<()>) {
+        fn handle(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
             self.0 += 1;
             if self.0 < 10_000 {
                 ctx.schedule(SimDuration::from_nanos(10), ());

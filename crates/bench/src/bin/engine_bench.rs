@@ -1,0 +1,341 @@
+//! `engine_bench` — wall-clock benchmark of the simulation engine hot path.
+//!
+//! Three workloads:
+//!
+//! 1. **timer-churn** — the retransmit-timer pattern that motivated the
+//!    timing-wheel scheduler: a fixed population of armed timers where
+//!    every fire re-arms its slot and most fires also cancel-and-re-arm a
+//!    random other slot (an ack landing before the timeout). Run through
+//!    both the production [`TimingWheel`] and the reference
+//!    BinaryHeap+tombstone scheduler ([`RefHeap`] — the pre-wheel
+//!    algorithm, kept for differential testing) so the speedup is measured
+//!    on the same machine in the same process.
+//! 2. **all-to-all-8** — 8 hosts exchanging small messages through the full
+//!    NIC/OS/fabric stack (BSP all-to-all supersteps).
+//! 3. **bulk-32** — 32 hosts streaming 64 KB per pair per superstep.
+//!
+//! The cluster workloads also measure the cross-layer auditor's overhead
+//! (hooks attached vs. detached) since release builds default to detached.
+//!
+//! Results print as tables and are written to `BENCH_engine.json` at the
+//! repo root. Flags: `--quick` shrinks every workload for CI smoke runs;
+//! `--check` additionally compares the freshly measured wheel-vs-heap
+//! speedup against the committed `BENCH_engine.json` and exits non-zero on
+//! a >25% regression (a machine-neutral ratio, unlike absolute events/s).
+
+use std::time::Instant;
+use vnet_apps::bsp::{launch_job, BspApp, BspRunner, SuperStep};
+use vnet_apps::collectives;
+use vnet_bench::{f1, f2, quick_mode, Table};
+use vnet_core::prelude::*;
+use vnet_sim::{Due, RefHeap, SimRng, TimingWheel};
+
+// ------------------------------------------------------------ timer churn
+
+/// The two scheduler implementations behind one face, so the churn driver
+/// is byte-for-byte the same workload for both.
+trait TimerQueue {
+    type Id: Copy;
+    fn schedule(&mut self, at: SimTime, ev: u64) -> Self::Id;
+    fn cancel(&mut self, id: Self::Id) -> bool;
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+impl TimerQueue for TimingWheel<u64> {
+    type Id = vnet_sim::EventId;
+    fn schedule(&mut self, at: SimTime, ev: u64) -> Self::Id {
+        TimingWheel::schedule(self, at, ev)
+    }
+    fn cancel(&mut self, id: Self::Id) -> bool {
+        TimingWheel::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        match self.pop_due(SimTime::MAX) {
+            Due::Event { at, ev } => Some((at, ev)),
+            _ => None,
+        }
+    }
+}
+
+impl TimerQueue for RefHeap<u64> {
+    type Id = u64;
+    fn schedule(&mut self, at: SimTime, ev: u64) -> Self::Id {
+        RefHeap::schedule(self, at, ev)
+    }
+    fn cancel(&mut self, id: Self::Id) -> bool {
+        RefHeap::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        match self.pop_due(SimTime::MAX) {
+            Due::Event { at, ev } => Some((at, ev)),
+            _ => None,
+        }
+    }
+}
+
+/// Armed-timer population for the churn loop. 4096 timers matches a
+/// 32-host cluster with ~128 bound channels each.
+const CHURN_LIVE: usize = 4096;
+
+/// Fire `events` timers: each fire re-arms its slot at a pseudo-random
+/// future delay, and a random other slot gets its timer cancelled and
+/// re-armed (the ack-cancels-retransmit pattern, which on the old
+/// scheduler leaked a tombstone per cancel). Returns a checksum of the
+/// fired sequence (to pin both implementations to identical behavior and
+/// keep the optimizer honest) and the wall time of the measured loop.
+fn churn<Q: TimerQueue>(q: &mut Q, events: u64, seed: u64) -> (u64, std::time::Duration) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut ids: Vec<Q::Id> = Vec::with_capacity(CHURN_LIVE);
+    for slot in 0..CHURN_LIVE as u64 {
+        let at = SimTime::from_nanos(1 + rng.below(1_000_000));
+        ids.push(q.schedule(at, slot));
+    }
+    let start = Instant::now();
+    let mut sum = 0u64;
+    for _ in 0..events {
+        let (at, slot) = q.pop().expect("population never drains");
+        sum = sum.wrapping_mul(31).wrapping_add(at.as_nanos() ^ slot);
+        let rearm = at + SimDuration::from_nanos(1_000 + rng.below(200_000));
+        ids[slot as usize] = q.schedule(rearm, slot);
+        // Most fires are acks for someone else's pending retransmit timer.
+        if rng.chance(0.75) {
+            let v = rng.index(CHURN_LIVE);
+            q.cancel(ids[v]);
+            let at2 = at + SimDuration::from_nanos(1_000 + rng.below(200_000));
+            ids[v] = q.schedule(at2, v as u64);
+        }
+    }
+    (sum, start.elapsed())
+}
+
+struct Rate {
+    events: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+}
+
+fn rate(events: u64, wall: std::time::Duration) -> Rate {
+    let secs = wall.as_secs_f64().max(1e-12);
+    Rate { events, events_per_sec: events as f64 / secs, ns_per_event: wall.as_nanos() as f64 / events as f64 }
+}
+
+fn bench_timer_churn(events: u64, seed: u64) -> (Rate, Rate) {
+    // Warm up both (page in, size the slab/heap), then measure.
+    let warm = (events / 10).max(10_000);
+    let mut wheel = TimingWheel::new();
+    let _ = churn(&mut wheel, warm, seed);
+    let mut wheel = TimingWheel::new();
+    let (ws, wt) = churn(&mut wheel, events, seed);
+
+    let mut heap = RefHeap::new();
+    let _ = churn(&mut heap, warm, seed);
+    let mut heap = RefHeap::new();
+    let (hs, ht) = churn(&mut heap, events, seed);
+
+    assert_eq!(ws, hs, "wheel and reference heap must fire the identical sequence");
+    (rate(events, wt), rate(events, ht))
+}
+
+// -------------------------------------------------------- cluster drives
+
+/// A rank replaying a precomputed superstep schedule.
+struct PrebuiltApp {
+    sched: Vec<SuperStep>,
+}
+
+impl BspApp for PrebuiltApp {
+    fn step(&mut self, _rank: usize, _nranks: usize, step: u64) -> Option<SuperStep> {
+        self.sched.get(step as usize).cloned()
+    }
+}
+
+/// Build `rounds` of all-to-all exchanges (`per_pair` bytes to every peer
+/// per round) for every rank of a `p`-host job.
+fn alltoall_schedules(p: usize, rounds: u32, per_pair: u64, mtu: u64) -> Vec<Vec<SuperStep>> {
+    (0..p)
+        .map(|rank| {
+            let mut s = Vec::new();
+            for _ in 0..rounds {
+                collectives::alltoall(&mut s, rank, p, per_pair, mtu);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Run the schedules on a fresh cluster; returns (engine events, wall
+/// seconds, simulated seconds). Walks time in 10 ms slices until every
+/// rank finishes so idle ticks past completion are not measured.
+fn run_cluster(cfg: ClusterConfig, scheds: &[Vec<SuperStep>]) -> (u64, f64, f64) {
+    let p = scheds.len();
+    let mut c = Cluster::new(cfg);
+    let hosts: Vec<HostId> = (0..p as u32).map(HostId).collect();
+    let ranks = launch_job(&mut c, &hosts, |r| PrebuiltApp { sched: scheds[r].clone() });
+    let start = Instant::now();
+    let slice = SimDuration::from_millis(10);
+    loop {
+        c.run_for(slice);
+        let done = ranks
+            .iter()
+            .all(|&(h, t, _)| c.body::<BspRunner<PrebuiltApp>>(h, t).expect("runner").is_done());
+        if done {
+            break;
+        }
+        assert!(c.now().as_secs_f64() < 300.0, "cluster workload wedged");
+    }
+    (c.events_processed(), start.elapsed().as_secs_f64(), c.now().as_secs_f64())
+}
+
+fn bench_cluster(name: &str, cfg: ClusterConfig, scheds: &[Vec<SuperStep>]) -> Rate {
+    // Warm-up run (fault-in code paths), then the measured run.
+    let (_, _, _) = run_cluster(cfg.clone(), scheds);
+    let (events, wall, sim) = run_cluster(cfg, scheds);
+    eprintln!("  [{name}] {events} events over {sim:.3} simulated s");
+    rate(events, std::time::Duration::from_secs_f64(wall))
+}
+
+// --------------------------------------------------------------- output
+
+/// The workspace root. This binary is built both from `crates/bench` and
+/// from the root package, so walk up from the manifest dir to the first
+/// ancestor holding the workspace `ROADMAP.md`.
+fn repo_root() -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .find(|d| d.join("ROADMAP.md").is_file())
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+struct Report {
+    quick: bool,
+    churn_wheel: Rate,
+    churn_heap: Rate,
+    all_to_all_8: Rate,
+    bulk_32: Rate,
+    audit_on_events_per_sec: f64,
+    audit_off_events_per_sec: f64,
+}
+
+impl Report {
+    fn speedup(&self) -> f64 {
+        self.churn_wheel.events_per_sec / self.churn_heap.events_per_sec
+    }
+
+    fn audit_overhead_pct(&self) -> f64 {
+        (self.audit_off_events_per_sec / self.audit_on_events_per_sec - 1.0) * 100.0
+    }
+
+    fn json(&self) -> String {
+        fn workload(r: &Rate) -> String {
+            format!(
+                "{{ \"events\": {}, \"events_per_sec\": {:.1}, \"ns_per_event\": {:.2} }}",
+                r.events, r.events_per_sec, r.ns_per_event
+            )
+        }
+        format!(
+            "{{\n  \"schema\": 1,\n  \"quick\": {},\n  \"workloads\": {{\n    \"timer_churn\": {{\n      \"wheel\": {},\n      \"ref_heap\": {},\n      \"speedup_vs_heap\": {:.3}\n    }},\n    \"all_to_all_8\": {},\n    \"bulk_32\": {}\n  }},\n  \"audit_overhead\": {{\n    \"workload\": \"all_to_all_8\",\n    \"audit_on_events_per_sec\": {:.1},\n    \"audit_off_events_per_sec\": {:.1},\n    \"overhead_pct\": {:.2}\n  }}\n}}\n",
+            self.quick,
+            workload(&self.churn_wheel),
+            workload(&self.churn_heap),
+            self.speedup(),
+            workload(&self.all_to_all_8),
+            workload(&self.bulk_32),
+            self.audit_on_events_per_sec,
+            self.audit_off_events_per_sec,
+            self.audit_overhead_pct(),
+        )
+    }
+}
+
+/// Pull `"key": <number>` out of the committed JSON without a parser
+/// dependency (the file is machine-written by this binary).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let check = std::env::args().any(|a| a == "--check");
+    let json_path = repo_root().join("BENCH_engine.json");
+
+    // In --check mode read the committed baseline *before* overwriting it.
+    let baseline_speedup = if check {
+        let text = std::fs::read_to_string(&json_path)
+            .unwrap_or_else(|e| panic!("--check needs committed {}: {e}", json_path.display()));
+        json_number(&text, "speedup_vs_heap")
+            .expect("committed BENCH_engine.json has no speedup_vs_heap")
+    } else {
+        0.0
+    };
+
+    let churn_events: u64 = if quick { 400_000 } else { 4_000_000 };
+    eprintln!("timer-churn: {churn_events} events on wheel and reference heap...");
+    let (churn_wheel, churn_heap) = bench_timer_churn(churn_events, 0xC0FFEE);
+
+    let rounds = if quick { 30 } else { 480 };
+    eprintln!("all-to-all-8: {rounds} rounds of 64 B per pair...");
+    let a2a = alltoall_schedules(8, rounds, 64, 8192);
+    let all_to_all_8 = bench_cluster("a2a-8", ClusterConfig::now(8).with_audit(false), &a2a);
+
+    eprintln!("audit overhead: same workload with auditor hooks attached...");
+    let (ae, aw, _) = run_cluster(ClusterConfig::now(8).with_audit(true), &a2a);
+    let audit_on = rate(ae, std::time::Duration::from_secs_f64(aw));
+
+    let bulk_rounds = if quick { 2 } else { 8 };
+    eprintln!("bulk-32: {bulk_rounds} rounds of 64 KB per pair...");
+    let bulk = alltoall_schedules(32, bulk_rounds, 65_536, 8192);
+    let bulk_32 = bench_cluster("bulk-32", ClusterConfig::now(32).with_audit(false), &bulk);
+
+    let audit_off_events_per_sec = all_to_all_8.events_per_sec;
+    let report = Report {
+        quick,
+        churn_wheel,
+        churn_heap,
+        all_to_all_8,
+        bulk_32,
+        audit_on_events_per_sec: audit_on.events_per_sec,
+        audit_off_events_per_sec,
+    };
+
+    let mut t = Table::new(
+        "Engine hot-path benchmark (wall clock)",
+        &["workload", "events", "events/s", "ns/event"],
+    );
+    for (name, r) in [
+        ("timer-churn (wheel)", &report.churn_wheel),
+        ("timer-churn (ref heap)", &report.churn_heap),
+        ("all-to-all 8 hosts", &report.all_to_all_8),
+        ("bulk 32 hosts", &report.bulk_32),
+    ] {
+        t.row(vec![name.into(), r.events.to_string(), f1(r.events_per_sec), f2(r.ns_per_event)]);
+    }
+    println!("{}", t.render());
+    println!("wheel speedup vs heap on timer-churn: {:.2}x", report.speedup());
+    println!(
+        "auditor overhead on all-to-all-8: {:.1}% (hooks detached {} ev/s vs attached {} ev/s)",
+        report.audit_overhead_pct(),
+        f1(report.audit_off_events_per_sec),
+        f1(report.audit_on_events_per_sec),
+    );
+
+    std::fs::write(&json_path, report.json()).expect("write BENCH_engine.json");
+    println!("wrote {}", json_path.display());
+
+    if check {
+        let current = report.speedup();
+        let floor = baseline_speedup * 0.75;
+        println!(
+            "--check: speedup_vs_heap {current:.2}x vs committed {baseline_speedup:.2}x (floor {floor:.2}x)"
+        );
+        if current < floor {
+            eprintln!("REGRESSION: wheel speedup dropped more than 25% below the committed baseline");
+            std::process::exit(1);
+        }
+    }
+}

@@ -92,6 +92,11 @@ pub struct ClusterConfig {
     /// User-level request credits per destination endpoint (§6.4.1: 32,
     /// matching the request receive queue depth).
     pub credits: u32,
+    /// Whether the cross-layer invariant auditor's hooks are attached.
+    /// Defaults to debug builds only: with hooks detached, the simulation
+    /// fast path performs no auditor hash lookups at all (the auditor is
+    /// a passive observer, so results are identical either way).
+    pub audit: bool,
 }
 
 impl ClusterConfig {
@@ -116,6 +121,7 @@ impl ClusterConfig {
             corrupt_prob: 0.0,
             seed: 0x5EED,
             credits: 32,
+            audit: cfg!(debug_assertions),
         }
     }
 
@@ -144,6 +150,13 @@ impl ClusterConfig {
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style auditor-hook override (force on for release-mode
+    /// invariant sweeps, or off to measure debug-audit overhead).
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
         self
     }
 

@@ -85,7 +85,11 @@ pub struct Sys<'a> {
     pub(crate) elapsed: SimDuration,
     pub(crate) nic_outs: Vec<NicOut>,
     pub(crate) os_outs: Vec<vnet_os::OsOut>,
-    pub(crate) auditor: &'a AuditHandle,
+    /// `None` when audit hooks are detached ([`ClusterConfig::audit`]
+    /// off): the fast path then performs no auditor work at all.
+    ///
+    /// [`ClusterConfig::audit`]: crate::config::ClusterConfig::audit
+    pub(crate) auditor: Option<&'a AuditHandle>,
 }
 
 impl<'a> Sys<'a> {
@@ -114,7 +118,9 @@ impl<'a> Sys<'a> {
     }
 
     fn audit(&self, f: impl FnOnce(&mut Auditor)) {
-        f(&mut self.auditor.borrow_mut());
+        if let Some(a) = self.auditor {
+            f(&mut a.borrow_mut());
+        }
     }
 
     /// Charge the endpoint mutex cost when the endpoint is marked shared
@@ -251,7 +257,7 @@ impl<'a> Sys<'a> {
                     uid,
                     dst,
                     key,
-                    msg,
+                    msg: std::rc::Rc::new(msg),
                     not_before: ready_at,
                     nacks: 0,
                     unbind_cycles: 0,

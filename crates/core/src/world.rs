@@ -146,12 +146,14 @@ impl World {
         let mut oses: Vec<SegmentDriver> = (0..n)
             .map(|i| SegmentDriver::new(cfg.os.clone(), nic_cfg.frames, cfg.seed ^ (i as u64)))
             .collect();
-        for nic in nics.iter_mut() {
-            nic.attach_auditor(auditor.clone());
-            nic.attach_trace(trace.clone());
-        }
-        for (i, os) in oses.iter_mut().enumerate() {
-            os.attach_instrumentation(i as u32, auditor.clone(), trace.clone());
+        if cfg.audit {
+            for nic in nics.iter_mut() {
+                nic.attach_auditor(auditor.clone());
+                nic.attach_trace(trace.clone());
+            }
+            for (i, os) in oses.iter_mut().enumerate() {
+                os.attach_instrumentation(i as u32, auditor.clone(), trace.clone());
+            }
         }
         World {
             fabric,
@@ -185,7 +187,7 @@ impl World {
     // ------------------------------------------------------------ effects
 
     /// Apply NIC effects inside an event handler.
-    pub(crate) fn apply_nic(&mut self, host: usize, outs: Vec<NicOut>, ctx: &mut Ctx<Event>) {
+    pub(crate) fn apply_nic(&mut self, host: usize, outs: Vec<NicOut>, ctx: &mut Ctx<'_, Event>) {
         for o in outs {
             match o {
                 NicOut::After(d, ev) => {
@@ -211,7 +213,7 @@ impl World {
     }
 
     /// Apply OS effects inside an event handler.
-    pub(crate) fn apply_os(&mut self, host: usize, outs: Vec<OsOut>, ctx: &mut Ctx<Event>) {
+    pub(crate) fn apply_os(&mut self, host: usize, outs: Vec<OsOut>, ctx: &mut Ctx<'_, Event>) {
         for o in outs {
             match o {
                 OsOut::Nic(op) => {
@@ -233,7 +235,7 @@ impl World {
 
     /// Route a NIC→driver message: segment-driver bookkeeping plus thread
     /// wakeups (the composing world owns the scheduler).
-    fn handle_driver_msg(&mut self, host: usize, msg: DriverMsg, ctx: &mut Ctx<Event>) {
+    fn handle_driver_msg(&mut self, host: usize, msg: DriverMsg, ctx: &mut Ctx<'_, Event>) {
         let wake_cost = self.cfg.os.wake_cost;
         self.trace.borrow_mut().record_with(ctx.now(), host as u32, "driver.msg", || {
             format!("{msg:?}")
@@ -275,7 +277,7 @@ impl World {
     // ---------------------------------------------------------------- CPU
 
     /// Ensure a CPU step is scheduled no later than the CPU's ready time.
-    pub(crate) fn kick_cpu(&mut self, host: usize, ctx: &mut Ctx<Event>) {
+    pub(crate) fn kick_cpu(&mut self, host: usize, ctx: &mut Ctx<'_, Event>) {
         let ready = ctx.now().max(self.cpu[host].busy_until);
         if self.cpu[host].sched_at <= ready {
             return;
@@ -286,7 +288,7 @@ impl World {
         ctx.schedule(ready - ctx.now(), Event::Cpu { host: host as u32, gen });
     }
 
-    fn on_cpu(&mut self, host: usize, gen: u64, ctx: &mut Ctx<Event>) {
+    fn on_cpu(&mut self, host: usize, gen: u64, ctx: &mut Ctx<'_, Event>) {
         if gen != self.cpu[host].gen {
             return;
         }
@@ -355,7 +357,7 @@ impl World {
             elapsed: SimDuration::ZERO,
             nic_outs: Vec::new(),
             os_outs: Vec::new(),
-            auditor: &self.auditor,
+            auditor: if self.cfg.audit { Some(&self.auditor) } else { None },
         };
         let step = body.run(&mut sys);
         let elapsed = sys.elapsed.max(MIN_BURST);
@@ -481,7 +483,7 @@ impl World {
 impl SimWorld for World {
     type Event = Event;
 
-    fn handle(&mut self, ev: Event, ctx: &mut Ctx<Event>) {
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_, Event>) {
         match ev {
             Event::Nic { host, ev } => {
                 let mut outs = Vec::new();

@@ -9,6 +9,7 @@
 use crate::ids::{GlobalEp, ProtectionKey};
 use crate::msg::{DeliveredMsg, UserMsg};
 use std::collections::VecDeque;
+use std::rc::Rc;
 use vnet_sim::SimTime;
 
 /// A send descriptor waiting in an endpoint's send queue (or parked there
@@ -21,8 +22,8 @@ pub struct PendingSend {
     pub dst: GlobalEp,
     /// Protection key for the destination.
     pub key: ProtectionKey,
-    /// The message.
-    pub msg: UserMsg,
+    /// The message (shared with any wire frame currently carrying it).
+    pub msg: Rc<UserMsg>,
     /// Earliest time the NI may (re)transmit it — backoff after transient
     /// NACKs and channel unbinds.
     pub not_before: SimTime,
@@ -165,7 +166,7 @@ mod tests {
             uid,
             dst: GlobalEp::new(HostId(1), EpId(0)),
             key: ProtectionKey::OPEN,
-            msg: UserMsg {
+            msg: Rc::new(UserMsg {
                 uid,
                 is_request: true,
                 handler: 0,
@@ -174,7 +175,7 @@ mod tests {
                 src_ep: GlobalEp::new(HostId(0), EpId(0)),
                 reply_key: ProtectionKey::OPEN,
                 corr: 0,
-            },
+            }),
             not_before,
             nacks: 0,
             unbind_cycles: 0,

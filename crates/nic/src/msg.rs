@@ -3,6 +3,7 @@
 
 use crate::endpoint::EndpointImage;
 use crate::ids::{EpId, GlobalEp, ProtectionKey};
+use std::rc::Rc;
 use vnet_sim::SimTime;
 
 /// An Active Message as the user level sees it: a split-phase remote
@@ -71,8 +72,9 @@ impl NackReason {
 /// Frame kinds on the wire.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FrameKind {
-    /// User data (a [`UserMsg`]).
-    Data(UserMsg),
+    /// User data (a [`UserMsg`]). Reference-counted so retransmission,
+    /// deposit, and staged-DMA paths clone a pointer, not the body.
+    Data(Rc<UserMsg>),
     /// Positive acknowledgment: the message was deposited.
     Ack,
     /// Negative acknowledgment with reason.
@@ -121,8 +123,9 @@ pub struct Frame {
 /// A message as handed to the user on poll, plus delivery metadata.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeliveredMsg {
-    /// The message.
-    pub msg: UserMsg,
+    /// The message (shared with the wire frame that carried it — the
+    /// deposit clones a reference, never the body).
+    pub msg: Rc<UserMsg>,
     /// True when this is the sender's own message coming back — the
     /// "return to sender" error model of §3.2. The undeliverable handler
     /// runs instead of the addressed handler.

@@ -23,6 +23,7 @@ use crate::msg::{
 use crate::sched::WrrScheduler;
 use crate::stats::NicStats;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 use vnet_net::{HostId, Packet};
 use vnet_sim::{AuditHandle, Auditor, SimDuration, SimRng, SimTime, TraceHandle};
 
@@ -181,6 +182,12 @@ pub struct Nic {
     ack_flush_gen: HashMap<HostId, u64>,
     rng: SimRng,
     stats: NicStats,
+    /// Reusable output buffer for one firmware step (capacity retained
+    /// across steps; the event loop allocates nothing in steady state).
+    scratch_step: Vec<NicOut>,
+    /// Reusable output buffer for immediate ack emission (disjoint from
+    /// `scratch_step`: acks are built while a step is in progress).
+    scratch_ack: Vec<NicOut>,
     /// Cross-layer invariant auditor (hooks are no-ops when detached).
     auditor: Option<AuditHandle>,
     /// Shared causal trace ring (records are no-ops when detached).
@@ -221,6 +228,8 @@ impl Nic {
             ack_flush_gen: HashMap::new(),
             rng: SimRng::seed_from_u64(seed).derive(host.0 as u64),
             stats: NicStats::default(),
+            scratch_step: Vec::new(),
+            scratch_ack: Vec::new(),
             auditor: None,
             trace: None,
             cfg,
@@ -402,7 +411,7 @@ impl Nic {
             uid,
             dst: req.dst,
             key: req.key,
-            msg,
+            msg: Rc::new(msg),
             not_before: ready_at.max(now),
             nacks: 0,
             unbind_cycles: 0,
@@ -610,9 +619,9 @@ impl Nic {
         nack: Option<NackReason>,
         out: &mut Vec<NicOut>,
     ) {
-        let mut tmp = Vec::new();
+        let mut tmp = std::mem::take(&mut self.scratch_ack);
         self.send_ack(now, to, data_frame, nack, &mut tmp);
-        for o in tmp {
+        for o in tmp.drain(..) {
             match o {
                 NicOut::Inject(p) if p.dst == self.host => {
                     self.inbox.push_back(FwWork::Rx { src: self.host, frame: p.payload });
@@ -621,6 +630,7 @@ impl Nic {
                 other => out.push(other),
             }
         }
+        self.scratch_ack = tmp;
     }
 
     // -------------------------------------------------------- firmware loop
@@ -640,8 +650,8 @@ impl Nic {
     /// Shift a firmware step's outward effects to the step's completion:
     /// packets leave and driver messages land after the processing time,
     /// and follow-up timers are measured from completion.
-    fn defer(cost: SimDuration, tmp: Vec<NicOut>, out: &mut Vec<NicOut>) {
-        for o in tmp {
+    fn defer(cost: SimDuration, tmp: &mut Vec<NicOut>, out: &mut Vec<NicOut>) {
+        for o in tmp.drain(..) {
             match o {
                 NicOut::Inject(p) => {
                     out.push(NicOut::After(cost, NicEvent::EmitPkt(Box::new(p))));
@@ -660,7 +670,7 @@ impl Nic {
             return;
         }
         if let Some(work) = self.inbox.pop_front() {
-            let mut tmp = Vec::new();
+            let mut tmp = std::mem::take(&mut self.scratch_step);
             let cost = match work {
                 FwWork::Rx { src, frame } => self.process_rx(now, src, frame, &mut tmp),
                 FwWork::Retx(key) => self.process_retx(now, key, &mut tmp),
@@ -668,7 +678,8 @@ impl Nic {
                 FwWork::Driver(op) => self.process_driver(now, op, &mut tmp),
             };
             self.fw_busy_until = now + cost;
-            Self::defer(cost, tmp, out);
+            Self::defer(cost, &mut tmp, out);
+            self.scratch_step = tmp;
             self.kick(now, out);
             return;
         }
@@ -692,10 +703,11 @@ impl Nic {
         });
         if let Some(fi) = pick {
             self.sched.served();
-            let mut tmp = Vec::new();
+            let mut tmp = std::mem::take(&mut self.scratch_step);
             let cost = self.process_send(now, fi, &mut tmp);
             self.fw_busy_until = now + cost;
-            Self::defer(cost, tmp, out);
+            Self::defer(cost, &mut tmp, out);
+            self.scratch_step = tmp;
             self.kick(now, out);
             return;
         }
@@ -870,8 +882,11 @@ impl Nic {
         frame: Frame,
         out: &mut Vec<NicOut>,
     ) -> SimDuration {
-        match frame.kind.clone() {
-            FrameKind::Data(msg) => self.process_data(now, src, frame, msg, out),
+        match frame.kind {
+            FrameKind::Data(ref m) => {
+                let msg = Rc::clone(m);
+                self.process_data(now, src, frame, msg, out)
+            }
             FrameKind::Ack => self.process_ack(now, src, frame, None, out),
             FrameKind::Nack(r) => self.process_ack(now, src, frame, Some(r), out),
             FrameKind::AckBatch(entries) => {
@@ -889,7 +904,7 @@ impl Nic {
         now: SimTime,
         src: HostId,
         frame: Frame,
-        msg: UserMsg,
+        msg: Rc<UserMsg>,
         out: &mut Vec<NicOut>,
     ) -> SimDuration {
         let bulk = msg.is_bulk(self.cfg.pio_threshold);
@@ -992,7 +1007,7 @@ impl Nic {
         now: SimTime,
         _src: HostId,
         frame: Frame,
-        msg: UserMsg,
+        msg: Rc<UserMsg>,
         bulk: bool,
         out: &mut Vec<NicOut>,
     ) -> SimDuration {
@@ -1029,7 +1044,7 @@ impl Nic {
         &mut self,
         now: SimTime,
         ep: EpId,
-        msg: UserMsg,
+        msg: Rc<UserMsg>,
         undeliverable: bool,
         out: &mut Vec<NicOut>,
     ) -> Result<(), NackReason> {
@@ -1251,7 +1266,7 @@ impl Nic {
     }
 
     /// Deliver `msg` back to its source endpoint marked undeliverable.
-    fn return_to_sender(&mut self, now: SimTime, ep: EpId, msg: UserMsg, out: &mut Vec<NicOut>) {
+    fn return_to_sender(&mut self, now: SimTime, ep: EpId, msg: Rc<UserMsg>, out: &mut Vec<NicOut>) {
         self.stats.returned_to_sender.inc();
         let h = self.host.0;
         let uid = msg.uid;

@@ -43,7 +43,7 @@ pub struct TkWorld {
 
 impl TkWorld {
     /// Apply a NIC's effects, scheduling follow-ups through `ctx`.
-    pub fn apply(&mut self, host: usize, outs: Vec<NicOut>, ctx: &mut Ctx<TkEvent>) {
+    pub fn apply(&mut self, host: usize, outs: Vec<NicOut>, ctx: &mut Ctx<'_, TkEvent>) {
         for o in outs {
             match o {
                 NicOut::After(d, ev) => {
@@ -72,7 +72,7 @@ impl TkWorld {
 impl SimWorld for TkWorld {
     type Event = TkEvent;
 
-    fn handle(&mut self, ev: TkEvent, ctx: &mut Ctx<TkEvent>) {
+    fn handle(&mut self, ev: TkEvent, ctx: &mut Ctx<'_, TkEvent>) {
         let mut outs = Vec::new();
         match ev {
             TkEvent::Nic(h, ev) => {

@@ -19,7 +19,7 @@ fn inflight(uid: u64) -> InFlight {
         uid,
         src_ep: EpId(0),
         frame: Frame {
-            kind: FrameKind::Data(UserMsg {
+            kind: FrameKind::Data(std::rc::Rc::new(UserMsg {
                 uid,
                 is_request: true,
                 handler: 0,
@@ -28,7 +28,7 @@ fn inflight(uid: u64) -> InFlight {
                 src_ep: GlobalEp::new(HostId(0), EpId(0)),
                 reply_key: ProtectionKey::OPEN,
                 corr: 0,
-            }),
+            })),
             dst_ep: EpId(0),
             key: ProtectionKey::OPEN,
             chan: 0,

@@ -8,19 +8,16 @@
 //! Ties are broken by insertion order, which makes runs bit-reproducible:
 //! two events at the same timestamp are delivered in the order they were
 //! scheduled.
+//!
+//! The queue is a hierarchical [`TimingWheel`](crate::wheel::TimingWheel)
+//! (see that module for the design); the per-event loop performs no heap
+//! allocation — [`Ctx`] borrows the engine's wheel and writes scheduled
+//! events straight into it.
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use crate::wheel::{Due, TimingWheel};
 
-/// Identifier of a scheduled event, usable for cancellation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventId(u64);
-
-impl EventId {
-    /// A sentinel id that never matches a live event.
-    pub const NONE: EventId = EventId(u64::MAX);
-}
+pub use crate::wheel::EventId;
 
 /// The mutable state of a simulation, with its event handler.
 pub trait SimWorld {
@@ -29,48 +26,23 @@ pub trait SimWorld {
 
     /// Handle one event. `ctx.now()` is the event's timestamp; follow-up
     /// events are scheduled through `ctx`.
-    fn handle(&mut self, ev: Self::Event, ctx: &mut Ctx<Self::Event>);
-}
-
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    id: EventId,
-    ev: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+    fn handle(&mut self, ev: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
 }
 
 /// Scheduling context passed to event handlers.
 ///
-/// Buffers newly scheduled events; the engine drains the buffer after the
-/// handler returns. This keeps the handler borrow (`&mut World`) disjoint
-/// from the queue borrow.
-pub struct Ctx<E> {
+/// Borrows the engine's timing wheel for the duration of one handler
+/// call, so scheduling and cancellation write directly into the queue —
+/// no per-event buffers, no allocation. The handler borrow
+/// (`&mut World`) stays disjoint because the world and the wheel are
+/// separate structures.
+pub struct Ctx<'a, E> {
     now: SimTime,
-    next_id: u64,
-    pending: Vec<(SimTime, EventId, E)>,
-    cancelled: Vec<EventId>,
     stop: bool,
+    wheel: &'a mut TimingWheel<E>,
 }
 
-impl<E> Ctx<E> {
+impl<E> Ctx<'_, E> {
     /// Timestamp of the event being handled.
     pub fn now(&self) -> SimTime {
         self.now
@@ -79,27 +51,19 @@ impl<E> Ctx<E> {
     /// Schedule `ev` to fire `delay` from now. Returns an id usable with
     /// [`Ctx::cancel`].
     pub fn schedule(&mut self, delay: SimDuration, ev: E) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.pending.push((self.now + delay, id, ev));
-        id
+        self.wheel.schedule(self.now + delay, ev)
     }
 
     /// Schedule `ev` at an absolute time (must not be in the past; if it is,
     /// it fires "now").
     pub fn schedule_at(&mut self, at: SimTime, ev: E) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.pending.push((at.max(self.now), id, ev));
-        id
+        self.wheel.schedule(at.max(self.now), ev)
     }
 
     /// Cancel a previously scheduled event. Cancelling [`EventId::NONE`] or
     /// an already-fired event is a harmless no-op.
     pub fn cancel(&mut self, id: EventId) {
-        if id != EventId::NONE {
-            self.cancelled.push(id);
-        }
+        self.wheel.cancel(id);
     }
 
     /// Request that the engine stop after this handler returns, leaving any
@@ -109,13 +73,10 @@ impl<E> Ctx<E> {
     }
 }
 
-/// The event loop: a clock and a priority queue of pending events.
+/// The event loop: a clock and a timing wheel of pending events.
 pub struct Engine<W: SimWorld> {
     now: SimTime,
-    seq: u64,
-    next_id: u64,
-    queue: BinaryHeap<Entry<W::Event>>,
-    cancelled: HashSet<EventId>,
+    wheel: TimingWheel<W::Event>,
     events_processed: u64,
 }
 
@@ -128,14 +89,7 @@ impl<W: SimWorld> Default for Engine<W> {
 impl<W: SimWorld> Engine<W> {
     /// An engine at time zero with an empty queue.
     pub fn new() -> Self {
-        Engine {
-            now: SimTime::ZERO,
-            seq: 0,
-            next_id: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            events_processed: 0,
-        }
+        Engine { now: SimTime::ZERO, wheel: TimingWheel::new(), events_processed: 0 }
     }
 
     /// Current simulated time.
@@ -148,40 +102,19 @@ impl<W: SimWorld> Engine<W> {
         self.events_processed
     }
 
-    /// Number of pending (possibly cancelled) entries in the queue.
+    /// Number of live pending events (cancelled events are excluded).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.wheel.len()
     }
 
     /// Schedule an event from outside a handler (initial conditions).
     pub fn schedule(&mut self, delay: SimDuration, ev: W::Event) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.push(self.now + delay, id, ev);
-        id
-    }
-
-    fn push(&mut self, at: SimTime, id: EventId, ev: W::Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Entry { at, seq, id, ev });
+        self.wheel.schedule(self.now + delay, ev)
     }
 
     /// Cancel an event scheduled via [`Engine::schedule`] (or a handler).
     pub fn cancel(&mut self, id: EventId) {
-        if id != EventId::NONE {
-            self.cancelled.insert(id);
-        }
-    }
-
-    fn pop_live(&mut self) -> Option<Entry<W::Event>> {
-        while let Some(e) = self.queue.pop() {
-            if self.cancelled.remove(&e.id) {
-                continue;
-            }
-            return Some(e);
-        }
-        None
+        self.wheel.cancel(id);
     }
 
     /// Run until the queue is empty or a handler calls [`Ctx::stop`].
@@ -197,41 +130,29 @@ impl<W: SimWorld> Engine<W> {
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> u64 {
         let before = self.events_processed;
         loop {
-            let Some(entry) = self.pop_live() else {
-                // Queue drained before the deadline: the clock still
-                // advances to it (callers use run_until as "sleep until").
-                if deadline != SimTime::MAX {
-                    self.now = deadline;
+            match self.wheel.pop_due(deadline) {
+                Due::Empty => {
+                    // Queue drained before the deadline: the clock still
+                    // advances to it (callers use run_until as "sleep until").
+                    if deadline != SimTime::MAX {
+                        self.now = deadline;
+                    }
+                    break;
                 }
-                break;
-            };
-            if entry.at > deadline {
-                // Put it back; it belongs to a future epoch.
-                self.queue.push(entry);
-                self.now = deadline;
-                break;
-            }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
-            self.events_processed += 1;
-
-            let mut ctx = Ctx {
-                now: self.now,
-                next_id: self.next_id,
-                pending: Vec::new(),
-                cancelled: Vec::new(),
-                stop: false,
-            };
-            world.handle(entry.ev, &mut ctx);
-            self.next_id = ctx.next_id;
-            for (at, id, ev) in ctx.pending {
-                self.push(at, id, ev);
-            }
-            for id in ctx.cancelled {
-                self.cancelled.insert(id);
-            }
-            if ctx.stop {
-                break;
+                Due::AfterDeadline => {
+                    self.now = deadline;
+                    break;
+                }
+                Due::Event { at, ev } => {
+                    debug_assert!(at >= self.now, "time went backwards");
+                    self.now = at;
+                    self.events_processed += 1;
+                    let mut ctx = Ctx { now: at, stop: false, wheel: &mut self.wheel };
+                    world.handle(ev, &mut ctx);
+                    if ctx.stop {
+                        break;
+                    }
+                }
             }
         }
         self.events_processed - before
@@ -239,27 +160,16 @@ impl<W: SimWorld> Engine<W> {
 
     /// Process exactly one live event, if any. Returns whether one fired.
     pub fn step(&mut self, world: &mut W) -> bool {
-        let Some(entry) = self.pop_live() else {
-            return false;
-        };
-        self.now = entry.at;
-        self.events_processed += 1;
-        let mut ctx = Ctx {
-            now: self.now,
-            next_id: self.next_id,
-            pending: Vec::new(),
-            cancelled: Vec::new(),
-            stop: false,
-        };
-        world.handle(entry.ev, &mut ctx);
-        self.next_id = ctx.next_id;
-        for (at, id, ev) in ctx.pending {
-            self.push(at, id, ev);
+        match self.wheel.pop_due(SimTime::MAX) {
+            Due::Event { at, ev } => {
+                self.now = at;
+                self.events_processed += 1;
+                let mut ctx = Ctx { now: at, stop: false, wheel: &mut self.wheel };
+                world.handle(ev, &mut ctx);
+                true
+            }
+            _ => false,
         }
-        for id in ctx.cancelled {
-            self.cancelled.insert(id);
-        }
-        true
     }
 }
 
@@ -275,7 +185,7 @@ mod tests {
 
     impl SimWorld for Recorder {
         type Event = u32;
-        fn handle(&mut self, ev: u32, ctx: &mut Ctx<u32>) {
+        fn handle(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
             self.log.push((ctx.now().as_nanos(), ev));
             if self.respawn && ev < 5 {
                 ctx.schedule(SimDuration::from_nanos(10), ev + 1);
@@ -395,5 +305,20 @@ mod tests {
         assert!(e.step(&mut w));
         assert!(!e.step(&mut w));
         assert_eq!(w.log, vec![(3, 4)]);
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_touch_reused_slot() {
+        // The fired event's slab slot is recycled for event 2; the stale
+        // id's generation no longer matches, so cancelling it must not
+        // kill the new event.
+        let mut w = world();
+        let mut e = Engine::new();
+        let stale = e.schedule(SimDuration::from_nanos(1), 1);
+        e.run(&mut w);
+        e.schedule(SimDuration::from_nanos(1), 2);
+        e.cancel(stale);
+        e.run(&mut w);
+        assert_eq!(w.log, vec![(1, 1), (2, 2)]);
     }
 }

@@ -14,9 +14,11 @@
 //! * **Single-threaded worlds.** One simulation instance never migrates
 //!   across threads; parallelism in the benchmark harness is achieved by
 //!   running many independent instances, one per OS thread.
-//! * **Lazy cancellation.** Protocol code cancels timers constantly
-//!   (an acknowledgment cancels a retransmission timer), so [`Engine::cancel`]
-//!   is O(1): cancelled entries are skipped when popped.
+//! * **O(1) timers.** Protocol code cancels timers constantly (an
+//!   acknowledgment cancels a retransmission timer), so the queue is a
+//!   hierarchical timing wheel ([`wheel`]) with O(1) schedule and O(1)
+//!   generation-checked cancellation; the per-event loop allocates
+//!   nothing.
 
 #![warn(missing_docs)]
 
@@ -26,9 +28,11 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use audit::{AuditCounters, AuditHandle, Auditor, EpPhase, MsgFate, TraceHandle, Violation};
 pub use engine::{Ctx, Engine, EventId, SimWorld};
+pub use wheel::{Due, RefHeap, TimingWheel};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceRing};

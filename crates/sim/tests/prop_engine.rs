@@ -15,7 +15,7 @@ struct Recorder {
 
 impl SimWorld for Recorder {
     type Event = u32;
-    fn handle(&mut self, ev: u32, ctx: &mut Ctx<u32>) {
+    fn handle(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
         self.seen.push((ctx.now().as_nanos(), ev));
     }
 }
