@@ -15,7 +15,6 @@
 
 use std::collections::HashMap;
 use vnet_core::prelude::*;
-use vnet_net::LinkId;
 use vnet_sim::stats::Sampler;
 use vnet_sim::SimTime;
 
@@ -51,6 +50,13 @@ pub struct CsConfig {
     pub adaptive_rto: bool,
     /// Enable the §8 ack-coalescing extension (30 µs window).
     pub ack_coalesce: bool,
+    /// Attach telemetry hooks (metric registry + span log) to every
+    /// component; export via [`vnet_core::Cluster::telemetry`].
+    pub telemetry: bool,
+    /// Per-frame drop probability on the fabric (0.0 = lossless). Lossy
+    /// runs exercise the retransmission/unbind machinery so their span
+    /// logs carry complete recovery episodes.
+    pub drop_prob: f64,
 }
 
 impl CsConfig {
@@ -66,6 +72,8 @@ impl CsConfig {
             seed: 0xC5,
             adaptive_rto: false,
             ack_coalesce: false,
+            telemetry: false,
+            drop_prob: 0.0,
         }
     }
 
@@ -274,10 +282,21 @@ impl ThreadBody for MtServerThread {
 
 /// Run one client/server configuration end to end.
 pub fn run_client_server(cs: &CsConfig) -> CsResult {
+    run_client_server_cluster(cs).0
+}
+
+/// Like [`run_client_server`] but also hands back the finished cluster,
+/// so callers can export telemetry artifacts (snapshot, Perfetto trace)
+/// from the very run that produced the numbers.
+pub fn run_client_server_cluster(cs: &CsConfig) -> (CsResult, Cluster) {
     let n = cs.clients;
-    let mut cfg = ClusterConfig::now(n + 1).with_frames(cs.frames).with_seed(cs.seed);
+    let mut cfg = ClusterConfig::now(n + 1)
+        .with_frames(cs.frames)
+        .with_seed(cs.seed)
+        .with_telemetry(cs.telemetry);
     cfg.nic.frames = cs.frames;
     cfg.nic.adaptive_rto = cs.adaptive_rto;
+    cfg.drop_prob = cs.drop_prob;
     if cs.ack_coalesce {
         cfg.nic.ack_coalesce = Some(SimDuration::from_micros(30));
     }
@@ -331,19 +350,7 @@ pub fn run_client_server(cs: &CsConfig) -> CsResult {
         .iter()
         .map(|&(h, t)| c.body::<CsClient>(h, t).unwrap().completed)
         .collect();
-    let loads0 = c.os(server_host).stats().loads.get();
-    let nacks_nr0: u64 = (0..=n)
-        .map(|h| c.nic(HostId(h)).stats().nacks_rx_not_resident.get())
-        .sum();
-    let nacks_qf0: u64 =
-        (0..=n).map(|h| c.nic(HostId(h)).stats().nacks_rx_queue_full.get()).sum();
-    let retx0: u64 = (0..=n).map(|h| c.nic(HostId(h)).stats().retransmits.get()).sum();
-    let frames0: u64 = {
-        let f = &c.world().fabric;
-        (0..f.topology().link_count())
-            .map(|l| f.link_stats(LinkId(l)).packets)
-            .sum()
-    };
+    let tel0 = c.telemetry().snapshot();
 
     c.run_for(cs.measure);
 
@@ -362,31 +369,25 @@ pub fn run_client_server(cs: &CsConfig) -> CsResult {
         }
     }
     let aggregate: f64 = per_client.iter().sum();
-    let loads1 = c.os(server_host).stats().loads.get();
-    let nacks_nr1: u64 = (0..=n)
-        .map(|h| c.nic(HostId(h)).stats().nacks_rx_not_resident.get())
-        .sum();
-    let nacks_qf1: u64 =
-        (0..=n).map(|h| c.nic(HostId(h)).stats().nacks_rx_queue_full.get()).sum();
-    let retx1: u64 = (0..=n).map(|h| c.nic(HostId(h)).stats().retransmits.get()).sum();
-    let frames1: u64 = {
-        let f = &c.world().fabric;
-        (0..f.topology().link_count())
-            .map(|l| f.link_stats(LinkId(l)).packets)
-            .sum()
-    };
+    // What happened during the measurement window, via the unified
+    // telemetry snapshot delta (counters subtract; `net.packets` is the
+    // fabric-wide frame total).
+    let delta = c.telemetry().delta_since(&tel0);
+    let nic_sum =
+        |m: &str| -> u64 { (0..=n).map(|h| delta.counter(&format!("host{h}.nic.{m}"))).sum() };
 
-    CsResult {
+    let result = CsResult {
         aggregate,
         aggregate_mb_s: aggregate * cs.bytes as f64 / 1e6,
         per_client,
-        remaps_per_sec: (loads1 - loads0) as f64 / secs,
+        remaps_per_sec: delta.counter(&format!("host{}.os.loads", server_host.0)) as f64 / secs,
         rtt_us: rtt_pool,
-        nacks_not_resident: nacks_nr1 - nacks_nr0,
-        nacks_queue_full: nacks_qf1 - nacks_qf0,
-        retransmits: retx1 - retx0,
-        wire_frames: frames1 - frames0,
-    }
+        nacks_not_resident: nic_sum("nacks_rx_not_resident"),
+        nacks_queue_full: nic_sum("nacks_rx_queue_full"),
+        retransmits: nic_sum("retransmits"),
+        wire_frames: delta.counter("net.packets"),
+    };
+    (result, c)
 }
 
 #[cfg(test)]

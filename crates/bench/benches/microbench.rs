@@ -121,7 +121,7 @@ fn bench_remap() {
         for &e in &eps {
             cl.make_resident(e);
         }
-        assert!(cl.os(HostId(0)).stats().loads.get() >= 16);
+        assert!(cl.telemetry().snapshot().counter("host0.os.loads") >= 16);
     });
 }
 

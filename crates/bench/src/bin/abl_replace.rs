@@ -39,14 +39,15 @@ fn run(policy: ReplacementPolicy, clients: u32, measure: SimDuration) -> (f64, f
     c.run_for(SimDuration::from_millis(500));
     let snap: Vec<u64> =
         tids.iter().map(|&(h, t)| c.body::<CsClient>(h, t).unwrap().completed).collect();
-    let loads0 = c.os(server).stats().loads.get();
+    let loads_key = format!("host{}.os.loads", server.0);
+    let loads0 = c.telemetry().snapshot().counter(&loads_key);
     c.run_for(measure);
     let total: u64 = tids
         .iter()
         .zip(&snap)
         .map(|(&(h, t), &s)| c.body::<CsClient>(h, t).unwrap().completed - s)
         .sum();
-    let loads1 = c.os(server).stats().loads.get();
+    let loads1 = c.telemetry().snapshot().counter(&loads_key);
     let secs = measure.as_secs_f64();
     (total as f64 / secs, (loads1 - loads0) as f64 / secs)
 }

@@ -7,8 +7,10 @@
 //! receive-queue-overrun NACKs (the 75K→60K drop from 2→3 clients on
 //! OneVN), and the strongly bimodal client round-trip times.
 
-use vnet_apps::clientserver::{run_client_server, CsConfig, CsMode, CsResult};
-use vnet_bench::{default_par, f1, par_run, quick_mode, Table};
+use vnet_apps::clientserver::{
+    run_client_server, run_client_server_cluster, CsConfig, CsMode, CsResult,
+};
+use vnet_bench::{default_par, emit_telemetry, f1, par_run, quick_mode, telemetry_dir, Table};
 use vnet_sim::SimDuration;
 
 fn configs() -> Vec<(&'static str, CsMode, u32)> {
@@ -83,4 +85,17 @@ fn main() {
     agg.emit("fig6_aggregate");
     per.emit("fig6_per_client");
     diag.emit("fig6_diagnostics");
+
+    // With --telemetry <dir>: one extra instrumented pass through the
+    // thrash regime (10 clients on an 8-frame interface, lossy fabric) so
+    // the exported span log carries complete retransmit/backoff/unbind and
+    // endpoint-residency episodes alongside the metric snapshot.
+    if telemetry_dir().is_some() {
+        let mut cs = CsConfig::small(10, CsMode::St, 8);
+        cs.measure = SimDuration::from_secs(1);
+        cs.telemetry = true;
+        cs.drop_prob = 0.02;
+        let (_, cluster) = run_client_server_cluster(&cs);
+        emit_telemetry("fig6_small", &cluster);
+    }
 }

@@ -6,8 +6,10 @@
 //! single SBUS engine); ST-96/MT-96 surpass OneVN because one-to-one
 //! "connections" avoid the shared receive queue's overruns.
 
-use vnet_apps::clientserver::{run_client_server, CsConfig, CsMode, CsResult};
-use vnet_bench::{default_par, f1, f2, par_run, quick_mode, Table};
+use vnet_apps::clientserver::{
+    run_client_server, run_client_server_cluster, CsConfig, CsMode, CsResult,
+};
+use vnet_bench::{default_par, emit_telemetry, f1, f2, par_run, quick_mode, telemetry_dir, Table};
 use vnet_sim::SimDuration;
 
 fn configs() -> Vec<(&'static str, CsMode, u32)> {
@@ -81,4 +83,15 @@ fn main() {
     agg.emit("fig7_aggregate");
     per.emit("fig7_per_client");
     diag.emit("fig7_diagnostics");
+
+    // With --telemetry <dir>: instrumented bulk pass (10 clients, 8
+    // frames) so the span log shows bulk DMA staging interleaved with
+    // remap DMA on the shared engine.
+    if telemetry_dir().is_some() {
+        let mut cs = CsConfig::bulk(10, CsMode::St, 8);
+        cs.measure = SimDuration::from_secs(1);
+        cs.telemetry = true;
+        let (_, cluster) = run_client_server_cluster(&cs);
+        emit_telemetry("fig7_bulk", &cluster);
+    }
 }

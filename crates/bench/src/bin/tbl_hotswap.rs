@@ -90,7 +90,7 @@ fn run_outage(outage_ms: u64) -> (u32, u32, u64, f64) {
     c.world_mut().fabric.faults_mut().link_up(down);
     c.run_until(SimTime::ZERO + SimDuration::from_secs(120));
     let cl: &Client = c.body(HostId(0), t).expect("client");
-    let retx = c.nic(HostId(0)).stats().retransmits.get();
+    let retx = c.telemetry().snapshot().counter("host0.nic.retransmits");
     (cl.replies, cl.bounces, retx, c.now().as_secs_f64())
 }
 

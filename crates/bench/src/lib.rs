@@ -100,6 +100,45 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// The directory passed via `--telemetry <dir>`, if any. When present,
+/// bench binaries run an instrumented pass and emit telemetry artifacts
+/// there (see [`emit_telemetry`]).
+pub fn telemetry_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--telemetry").map(|i| {
+        PathBuf::from(
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--telemetry requires a directory argument")),
+        )
+    })
+}
+
+/// Write the cluster's telemetry artifacts to the `--telemetry` directory:
+///
+/// * `<name>.metrics.json` — flat metrics snapshot (dotted names);
+/// * `<name>.metrics.txt` — the same snapshot as an aligned text table;
+/// * `<name>.perfetto.json` — Chrome trace-event span log, loadable at
+///   <https://ui.perfetto.dev>.
+///
+/// No-op unless `--telemetry <dir>` was passed.
+pub fn emit_telemetry(name: &str, cluster: &vnet_core::Cluster) {
+    let Some(dir) = telemetry_dir() else { return };
+    let _ = fs::create_dir_all(&dir);
+    let tel = cluster.telemetry();
+    let snap = tel.snapshot();
+    for (suffix, body) in [
+        ("metrics.json", snap.to_json()),
+        ("metrics.txt", snap.to_table()),
+        ("perfetto.json", tel.export_perfetto()),
+    ] {
+        let path = dir.join(format!("{name}.{suffix}"));
+        match fs::write(&path, body) {
+            Ok(()) => println!("[telemetry written {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
 /// A boxed sweep job for [`par_run`].
 pub type Job<T> = Box<dyn FnOnce() -> T + Send>;
 

@@ -1,10 +1,13 @@
 //! The `Cluster` facade: build a simulated cluster, create endpoints and
 //! virtual networks, spawn application threads, and run.
 
+use crate::builder::ClusterBuilder;
 use crate::config::ClusterConfig;
 use crate::names::NameService;
+use crate::observe::ClusterTelemetry;
 use crate::sys::ThreadBody;
 use crate::world::{Event, World};
+use std::cell::Cell;
 use vnet_net::HostId;
 use vnet_nic::{EpId, GlobalEp, Nic, NicOut};
 use vnet_os::{OsOut, Scheduler, SegmentDriver, Tid};
@@ -18,9 +21,11 @@ pub struct Cluster {
     /// Run [`Cluster::audit`] automatically at every `run_for` /
     /// `run_until` / `settle` boundary in debug builds, panicking on the
     /// first violation (with a trace dump). On by default; mutation tests
-    /// that *expect* violations turn it off with
-    /// [`Cluster::set_debug_audit`] and call [`Cluster::audit`] themselves.
-    debug_audit: bool,
+    /// that *expect* violations turn it off through
+    /// `cluster.telemetry().set_debug_audit(false)` and call
+    /// [`Cluster::audit`] themselves. A `Cell` so the shared-borrow
+    /// [`ClusterTelemetry`] facade can flip it.
+    debug_audit: Cell<bool>,
 }
 
 impl Cluster {
@@ -30,8 +35,22 @@ impl Cluster {
             engine: Engine::new(),
             world: World::new(cfg),
             names: NameService::new(),
-            debug_audit: true,
+            debug_audit: Cell::new(true),
         }
+    }
+
+    /// Fluent construction: `Cluster::builder().hosts(32).telemetry(true)
+    /// .build()`. See [`ClusterBuilder`].
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
+    /// The unified observability handle: metrics snapshots and deltas,
+    /// Perfetto span export, trace-ring control, and the invariant audit
+    /// — one facade over what used to be scattered across `enable_trace`,
+    /// `trace_text`, `set_debug_audit`, and per-component stats access.
+    pub fn telemetry(&self) -> ClusterTelemetry<'_> {
+        ClusterTelemetry::new(self)
     }
 
     /// Current simulated time.
@@ -59,15 +78,16 @@ impl Cluster {
         &mut self.world
     }
 
-    /// Enable the residency/scheduling debug trace; dump with
-    /// [`Cluster::trace_text`].
+    /// Enable the residency/scheduling debug trace.
+    #[deprecated(since = "0.2.0", note = "use cluster.telemetry().trace_enable()")]
     pub fn enable_trace(&mut self) {
-        self.world.trace_mut().enable();
+        self.telemetry().trace_enable();
     }
 
     /// Render the debug trace collected so far.
+    #[deprecated(since = "0.2.0", note = "use cluster.telemetry().trace_text()")]
     pub fn trace_text(&self) -> String {
-        self.world.trace.borrow().to_text()
+        self.telemetry().trace_text()
     }
 
     /// Handle on the cluster-wide invariant auditor (counters, message
@@ -79,8 +99,13 @@ impl Cluster {
     /// Enable or disable the automatic debug-build audit at run
     /// boundaries (see [`Cluster::audit`]). Mutation tests that provoke
     /// violations on purpose disable it and inspect the report directly.
+    #[deprecated(since = "0.2.0", note = "use cluster.telemetry().set_debug_audit(on)")]
     pub fn set_debug_audit(&mut self, on: bool) {
-        self.debug_audit = on;
+        self.debug_audit.set(on);
+    }
+
+    pub(crate) fn set_debug_audit_flag(&self, on: bool) {
+        self.debug_audit.set(on);
     }
 
     /// Check every cross-layer invariant observed so far: exactly-once
@@ -125,13 +150,15 @@ impl Cluster {
             report.push_str("trace (most recent last):\n");
             report.push_str(&trace.to_text());
         } else {
-            report.push_str("(trace disabled; call Cluster::enable_trace for event context)\n");
+            report.push_str(
+                "(trace disabled; call cluster.telemetry().trace_enable() for event context)\n",
+            );
         }
         Err(report)
     }
 
     fn debug_audit_check(&self) {
-        if cfg!(debug_assertions) && self.debug_audit {
+        if cfg!(debug_assertions) && self.debug_audit.get() {
             if let Err(report) = self.audit() {
                 panic!("{report}");
             }
@@ -479,7 +506,7 @@ mod tests {
         // Both endpoints were faulted in on demand.
         assert!(c.nic(HostId(0)).is_resident(a.ep));
         assert!(c.nic(HostId(1)).is_resident(b.ep));
-        assert!(c.os(HostId(0)).stats().loads.get() >= 1);
+        assert!(c.telemetry().snapshot().counter("host0.os.loads") >= 1);
     }
 
     #[test]

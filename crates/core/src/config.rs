@@ -97,6 +97,12 @@ pub struct ClusterConfig {
     /// fast path performs no auditor hash lookups at all (the auditor is
     /// a passive observer, so results are identical either way).
     pub audit: bool,
+    /// Whether the unified telemetry registry's hooks are attached
+    /// (metrics handles + span tracing; see `Cluster::telemetry`).
+    /// Defaults to off: with hooks detached the hot path pays nothing,
+    /// and, like the auditor, telemetry is a passive observer — protocol
+    /// results are byte-identical either way.
+    pub telemetry: bool,
 }
 
 impl ClusterConfig {
@@ -122,6 +128,7 @@ impl ClusterConfig {
             seed: 0x5EED,
             credits: 32,
             audit: cfg!(debug_assertions),
+            telemetry: false,
         }
     }
 
@@ -157,6 +164,13 @@ impl ClusterConfig {
     /// invariant sweeps, or off to measure debug-audit overhead).
     pub fn with_audit(mut self, audit: bool) -> Self {
         self.audit = audit;
+        self
+    }
+
+    /// Builder-style telemetry-hook override (attach the metrics
+    /// registry and span tracing; see `Cluster::telemetry`).
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
         self
     }
 

@@ -71,28 +71,35 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod cluster;
 pub mod config;
 pub mod names;
+pub mod observe;
 pub mod sys;
 pub mod user;
 pub mod world;
 
+pub use builder::ClusterBuilder;
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, CostModel, Mode};
 pub use names::NameService;
+pub use observe::ClusterTelemetry;
 pub use sys::{SendError, Step, Sys, ThreadBody};
 pub use user::{EpMode, UserEpState};
 pub use world::{Event, World};
 
 /// Common imports for applications built on virtual networks.
 pub mod prelude {
+    pub use crate::builder::ClusterBuilder;
     pub use crate::cluster::Cluster;
     pub use crate::config::{ClusterConfig, CostModel, Mode};
+    pub use crate::observe::ClusterTelemetry;
     pub use crate::sys::{SendError, Step, Sys, ThreadBody};
     pub use crate::user::EpMode;
     pub use vnet_nic::{DeliveredMsg, EpId, GlobalEp, QueueSel};
     pub use vnet_net::HostId;
     pub use vnet_os::Tid;
+    pub use vnet_sim::telemetry::{MetricSet, MetricValue, MetricsSnapshot};
     pub use vnet_sim::{SimDuration, SimTime};
 }

@@ -1,0 +1,132 @@
+//! The unified cluster observability handle.
+//!
+//! One entry point — [`crate::cluster::Cluster::telemetry`] — replaces
+//! the former grab-bag of `enable_trace` / `trace_text` /
+//! `set_debug_audit` and per-component stats spelunking:
+//!
+//! ```text
+//! let tel = cluster.telemetry();
+//! let before = tel.snapshot();              // flat metrics snapshot
+//! /* ... run ... */
+//! let tel = cluster.telemetry();
+//! let delta = tel.delta_since(&before);     // counters subtracted
+//! println!("{}", delta.to_table());
+//! std::fs::write("trace.json", tel.export_perfetto())?;  // ui.perfetto.dev
+//! tel.audit()?;                             // invariant check
+//! ```
+//!
+//! Metric names are `host3.nic.retransmits`-style dotted paths: a host
+//! scope (`host{N}`), a layer (`nic`, `os`), and the metric's short name
+//! as enumerated by its [`MetricSet`]. Cluster-wide sets use a bare layer
+//! prefix (`net.packets`, `trace.dropped_events`, `engine.*`).
+
+use crate::cluster::Cluster;
+use vnet_sim::telemetry::{MetricValue, MetricsSnapshot, TelemetryHandle};
+
+/// Borrowed observability facade over a [`Cluster`] (see module docs).
+///
+/// Cheap to construct; holds no state of its own. All mutation goes
+/// through interior-mutable handles (the trace ring, the debug-audit
+/// flag), so a shared borrow suffices.
+pub struct ClusterTelemetry<'a> {
+    c: &'a Cluster,
+}
+
+impl<'a> ClusterTelemetry<'a> {
+    pub(crate) fn new(c: &'a Cluster) -> Self {
+        ClusterTelemetry { c }
+    }
+
+    /// Whether span/handle telemetry hooks are attached
+    /// ([`crate::config::ClusterConfig::telemetry`]). Snapshots work
+    /// either way — component stats are always counted; only the
+    /// registry metrics and the Perfetto span log need the hooks.
+    pub fn enabled(&self) -> bool {
+        self.c.world().telemetry.is_some()
+    }
+
+    /// The raw telemetry registry handle, when attached (custom metric
+    /// registration, direct span emission from test harnesses).
+    pub fn handle(&self) -> Option<TelemetryHandle> {
+        self.c.world().telemetry.clone()
+    }
+
+    /// Flat snapshot of every metric in the cluster at the current
+    /// simulated time: per-host NIC and OS stats (`host{N}.nic.*`,
+    /// `host{N}.os.*`), fabric aggregates (`net.*`), engine progress
+    /// (`engine.*`), trace-ring drop accounting (`trace.*`), and — when
+    /// telemetry hooks are attached — every registry metric and the
+    /// span-log drop counter (`telemetry.dropped_spans`).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let w = self.c.world();
+        let mut s = MetricsSnapshot::new(self.c.now());
+        for h in 0..w.hosts() {
+            s.record_set(&format!("host{h}.nic"), w.nics[h].stats());
+            s.record_set(&format!("host{h}.os"), w.oses[h].stats());
+        }
+        s.record_set("net", &w.fabric);
+        s.record("engine.events_processed", MetricValue::Counter(self.c.events_processed()));
+        s.record(
+            "engine.sim_time_us",
+            MetricValue::Gauge(self.c.now().as_micros_f64()),
+        );
+        s.record("trace.dropped_events", MetricValue::Counter(w.trace.borrow().dropped()));
+        if let Some(tel) = &w.telemetry {
+            let t = tel.borrow();
+            s.record_set("", &*t);
+            s.record("telemetry.dropped_spans", MetricValue::Counter(t.dropped_spans()));
+        }
+        s
+    }
+
+    /// Snapshot, minus `earlier`: counters are subtracted (saturating),
+    /// gauges and summaries take their later value. The canonical way to
+    /// report "what happened during this phase".
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        self.snapshot().delta_since(earlier)
+    }
+
+    /// Export the span log as Chrome trace-event / Perfetto JSON; load
+    /// at <https://ui.perfetto.dev>. Each host is a process, each layer
+    /// track (`nic.chan`, `nic.dma`, `nic.fw`, `os.seg`) a thread;
+    /// retransmit/backoff/residency episodes are async spans, NACKs and
+    /// faults are instants. An empty (but loadable) trace when telemetry
+    /// hooks are detached.
+    pub fn export_perfetto(&self) -> String {
+        match &self.c.world().telemetry {
+            Some(t) => t.borrow().export_chrome_trace(),
+            None => "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n]}\n".to_string(),
+        }
+    }
+
+    /// Check every cross-layer invariant observed so far (exactly-once
+    /// delivery, credit conservation, channel discipline, frame
+    /// accounting) plus live-state checks. `Err` carries a full report.
+    /// Forwards to [`Cluster::audit`].
+    pub fn audit(&self) -> Result<(), String> {
+        self.c.audit()
+    }
+
+    /// Enable the causal trace ring (ring-buffered text records of
+    /// residency and protocol transitions; see [`Self::trace_text`]).
+    pub fn trace_enable(&self) {
+        self.c.world().trace.borrow_mut().enable();
+    }
+
+    /// Disable the causal trace ring.
+    pub fn trace_disable(&self) {
+        self.c.world().trace.borrow_mut().disable();
+    }
+
+    /// Render the causal trace collected so far.
+    pub fn trace_text(&self) -> String {
+        self.c.world().trace.borrow().to_text()
+    }
+
+    /// Enable or disable the automatic debug-build invariant audit at
+    /// run boundaries. Mutation tests that provoke violations on purpose
+    /// disable it and inspect [`Self::audit`] directly.
+    pub fn set_debug_audit(&self, on: bool) {
+        self.c.set_debug_audit_flag(on);
+    }
+}

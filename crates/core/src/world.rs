@@ -14,7 +14,8 @@ use vnet_nic::{
 };
 use vnet_os::{BlockReason, OsEvent, OsOut, Scheduler, SegmentDriver, Tid};
 use vnet_sim::{
-    AuditHandle, Auditor, Ctx, SimDuration, SimRng, SimTime, SimWorld, TraceHandle, TraceRing,
+    AuditHandle, Auditor, Ctx, SimDuration, SimRng, SimTime, SimWorld, Telemetry, TelemetryHandle,
+    TraceHandle, TraceRing,
 };
 
 /// Minimum CPU time charged per thread burst: no user-level loop runs in
@@ -109,6 +110,10 @@ pub struct World {
     /// protocol events into it (delivery ledger, credit conservation,
     /// stop-and-wait channel discipline, endpoint frame accounting).
     pub auditor: AuditHandle,
+    /// Unified telemetry registry (metrics + span tracing). `Some` only
+    /// when [`ClusterConfig::telemetry`] is set; with it absent no
+    /// component holds hooks and the hot path pays nothing.
+    pub telemetry: Option<TelemetryHandle>,
     threads: Vec<HashMap<Tid, ThreadRec>>,
     cpu: Vec<CpuState>,
     rngs: Vec<SimRng>,
@@ -155,6 +160,18 @@ impl World {
                 os.attach_instrumentation(i as u32, auditor.clone(), trace.clone());
             }
         }
+        let telemetry = if cfg.telemetry {
+            let tel = Telemetry::handle();
+            for nic in nics.iter_mut() {
+                nic.attach_telemetry(tel.clone());
+            }
+            for (i, os) in oses.iter_mut().enumerate() {
+                os.attach_telemetry(i as u32, tel.clone());
+            }
+            Some(tel)
+        } else {
+            None
+        };
         World {
             fabric,
             nics,
@@ -170,6 +187,7 @@ impl World {
             key_rng: root.derive(0x4B45_5953),
             trace,
             auditor,
+            telemetry,
             cfg,
         }
     }

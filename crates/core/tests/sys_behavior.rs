@@ -246,9 +246,9 @@ fn oversized_payloads_are_rejected() {
 #[test]
 fn trace_records_driver_activity() {
     let mut c = Cluster::new(ClusterConfig::now(2));
-    c.enable_trace();
+    c.telemetry().trace_enable();
     let a = c.create_endpoint(HostId(0));
     c.make_resident(a);
-    let text = c.trace_text();
+    let text = c.telemetry().trace_text();
     assert!(text.contains("Loaded"), "trace must show the load:\n{text}");
 }

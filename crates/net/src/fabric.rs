@@ -3,6 +3,7 @@
 use crate::fault::{DropReason, FaultPlan};
 use crate::packet::Packet;
 use crate::topology::{LinkId, Topology};
+use vnet_sim::telemetry::{MetricSet, MetricValue, MetricVisitor};
 use vnet_sim::{SimDuration, SimTime};
 
 /// Physical parameters of the network.
@@ -164,6 +165,24 @@ impl Fabric {
         let _ = switch_hops;
         let tail = head + ser;
         tail - now
+    }
+}
+
+/// Fabric-wide aggregates over every link, enumerated generically
+/// alongside `NicStats`/`OsStats` (snapshot prefix `net`). Per-link
+/// depth stays available through [`Fabric::link_stats`].
+impl MetricSet for Fabric {
+    fn visit_metrics(&self, v: &mut dyn MetricVisitor) {
+        let (mut packets, mut bytes, mut busy) = (0u64, 0u64, 0u64);
+        for st in &self.stats {
+            packets += st.packets;
+            bytes += st.bytes;
+            busy += st.busy_ns;
+        }
+        v.metric("links", MetricValue::Gauge(self.stats.len() as f64));
+        v.metric("packets", MetricValue::Counter(packets));
+        v.metric("bytes", MetricValue::Counter(bytes));
+        v.metric("link_busy_ns", MetricValue::Counter(busy));
     }
 }
 

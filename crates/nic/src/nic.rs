@@ -22,10 +22,11 @@ use crate::msg::{
 };
 use crate::sched::WrrScheduler;
 use crate::stats::NicStats;
+use crate::tel::NicTelemetry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use vnet_net::{HostId, Packet};
-use vnet_sim::{AuditHandle, Auditor, SimDuration, SimRng, SimTime, TraceHandle};
+use vnet_sim::{AuditHandle, Auditor, SimDuration, SimRng, SimTime, TelemetryHandle, TraceHandle};
 
 /// Events delivered to a NIC by the simulation engine.
 #[derive(Clone, Debug)]
@@ -192,6 +193,8 @@ pub struct Nic {
     auditor: Option<AuditHandle>,
     /// Shared causal trace ring (records are no-ops when detached).
     trace: Option<TraceHandle>,
+    /// Unified telemetry (hooks are no-ops when detached).
+    tel: Option<NicTelemetry>,
 }
 
 impl Nic {
@@ -232,6 +235,7 @@ impl Nic {
             scratch_ack: Vec::new(),
             auditor: None,
             trace: None,
+            tel: None,
             cfg,
         }
     }
@@ -246,6 +250,14 @@ impl Nic {
     /// causal entries into it (no-ops while the ring is disabled).
     pub fn attach_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Attach the unified telemetry registry; per-NIC metrics are
+    /// registered under `host{N}.nic.*` and protocol episodes
+    /// (retransmit, backoff, unbind, DMA transfers) become spans on the
+    /// `nic.chan` / `nic.dma` / `nic.fw` tracks.
+    pub fn attach_telemetry(&mut self, tel: TelemetryHandle) {
+        self.tel = Some(NicTelemetry::new(self.host.0, tel));
     }
 
     fn audit(&self, f: impl FnOnce(&mut Auditor)) {
@@ -353,6 +365,9 @@ impl Nic {
     /// firmware when both endpoints share a host (processes on one node
     /// communicating through a virtual network never touch the wire).
     fn emit(&mut self, pkt: Packet<Frame>, out: &mut Vec<NicOut>) {
+        if let Some(t) = &self.tel {
+            t.frames_tx.inc();
+        }
         if pkt.dst == self.host {
             self.inbox.push_back(FwWork::Rx { src: self.host, frame: pkt.payload });
             // Always called from inside firmware processing; the
@@ -482,6 +497,9 @@ impl Nic {
         corrupt: bool,
         out: &mut Vec<NicOut>,
     ) {
+        if let Some(t) = &self.tel {
+            t.frames_rx.inc();
+        }
         if corrupt {
             self.stats.crc_drops.inc();
             return;
@@ -601,6 +619,9 @@ impl Nic {
             }
             Err(reason) => {
                 self.stats.nacks_tx.inc();
+                if let Some(t) = &mut self.tel {
+                    t.instant(now, "nack_tx", format!("{reason:?} ep={} uid={:#x}", frame.dst_ep.0, msg.uid));
+                }
                 self.emit_ack_now(now, src, &frame, Some(reason), out);
                 if reason == NackReason::NotResident {
                     self.request_residency(frame.dst_ep, out);
@@ -769,6 +790,9 @@ impl Nic {
             // during the DMA; the bind happens at completion.
             self.tx.get_mut(&chan).expect("allocated").reserved = true;
             let delay = self.dma.start(now, DmaDirection::ReadHost, ps.msg.payload_bytes);
+            if let Some(t) = &mut self.tel {
+                t.dma_span(now, now + delay, "dma_send_stage", ps.msg.payload_bytes);
+            }
             let uid = ps.uid;
             self.staging_out.insert(uid, StagedSend { ps, chan, src_ep: ep });
             out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::SendStaged { uid })));
@@ -789,6 +813,11 @@ impl Nic {
         chan: ChannelKey,
         out: &mut Vec<NicOut>,
     ) {
+        if let Some(t) = &mut self.tel {
+            // A parked message (NACK backoff / post-unbind wait) is now
+            // rebound: close its park span.
+            t.park_end(now, ps.uid);
+        }
         let frame = Frame {
             kind: FrameKind::Data(ps.msg.clone()),
             dst_ep: ps.dst.ep,
@@ -843,6 +872,9 @@ impl Nic {
     ) -> SimDuration {
         if bulk {
             let delay = self.dma.start(now, DmaDirection::ReadHost, ps.msg.payload_bytes);
+            if let Some(t) = &mut self.tel {
+                t.dma_span(now, now + delay, "dma_send_stage", ps.msg.payload_bytes);
+            }
             let uid = ps.uid;
             let chan = ChannelKey { peer: ps.dst.host, idx: 0 };
             self.staging_out.insert(uid, StagedSend { ps, chan, src_ep: EpId(0) });
@@ -935,6 +967,9 @@ impl Nic {
         // Admission checks (fast, before any DMA).
         if let Some(reason) = self.admission_check(&frame, &msg) {
             self.stats.nacks_tx.inc();
+            if let Some(t) = &mut self.tel {
+                t.instant(now, "nack_tx", format!("{reason:?} ep={} uid={:#x}", frame.dst_ep.0, msg.uid));
+            }
             self.send_ack(now, src, &frame, Some(reason), out);
             if reason == NackReason::NotResident {
                 self.request_residency(frame.dst_ep, out);
@@ -948,10 +983,16 @@ impl Nic {
             // self-regulation receive-queue overruns get (§6.4.1).
             if self.staging_in.len() >= self.cfg.recv_staging_bufs {
                 self.stats.nacks_tx.inc();
+                if let Some(t) = &mut self.tel {
+                    t.instant(now, "nack_tx", format!("RecvQueueFull uid={:#x}", msg.uid));
+                }
                 self.send_ack(now, src, &frame, Some(NackReason::RecvQueueFull), out);
                 return self.cfg.costs.recv_small;
             }
             let delay = self.dma.start(now, DmaDirection::WriteHost, msg.payload_bytes);
+            if let Some(t) = &mut self.tel {
+                t.dma_span(now, now + delay, "dma_recv_stage", msg.payload_bytes);
+            }
             let uid = msg.uid;
             self.staging_in.insert(uid, StagedRecv { src, frame });
             out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::RecvStaged { uid })));
@@ -1024,6 +1065,9 @@ impl Nic {
                 msg.payload_bytes,
                 penalty,
             );
+            if let Some(t) = &mut self.tel {
+                t.dma_span(now, now + delay, "dma_recv_stage", msg.payload_bytes);
+            }
             let uid = msg.uid;
             self.staging_in.insert(uid, StagedRecv { src: _src, frame });
             out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::RecvStaged { uid })));
@@ -1173,6 +1217,11 @@ impl Nic {
         };
         let h = self.host.0;
         self.audit(|a| a.on_channel_complete(now, h, src.0, chan, ack_uid));
+        if let Some(t) = &mut self.tel {
+            // The channel produced an acknowledgment: any open
+            // retransmission episode on it is over.
+            t.retx_end(now, &key);
+        }
         self.dec_in_flight(now, inf.src_ep, out);
         // Observed RTT via the reflected timestamp. Because the receiver
         // echoes the timestamp of the specific copy it saw, the sample is
@@ -1210,6 +1259,19 @@ impl Nic {
                         .saturating_mul(1 << exp)
                         .min(self.cfg.nack_retry_max)
                         .mul_f64(self.rng.jitter(0.3));
+                    if let Some(t) = &mut self.tel {
+                        t.instant(now, "nack_rx", format!("{reason:?} uid={:#x}", inf.uid));
+                        t.park_begin(
+                            now,
+                            inf.uid,
+                            "nack_backoff",
+                            format!(
+                                "{reason:?} nacks={} delay={:.1}us",
+                                nacks + 1,
+                                delay.as_micros_f64()
+                            ),
+                        );
+                    }
                     self.park_for_retry(
                         now,
                         inf.src_ep,
@@ -1263,6 +1325,10 @@ impl Nic {
         let h = self.host.0;
         self.audit(|a| a.on_send_aborted(now, h, ps.uid));
         self.trace_with(now, "nic.abort", || format!("uid {} dropped: {ep} gone", ps.uid));
+        if let Some(t) = &mut self.tel {
+            t.park_end(now, ps.uid);
+            t.instant(now, "send_aborted", format!("uid={:#x} ep={} gone", ps.uid, ep.0));
+        }
     }
 
     /// Deliver `msg` back to its source endpoint marked undeliverable.
@@ -1272,6 +1338,10 @@ impl Nic {
         let uid = msg.uid;
         self.audit(|a| a.on_bounced(now, h, uid));
         self.trace_with(now, "nic.bounce", || format!("uid {uid} returned to sender ({ep})"));
+        if let Some(t) = &mut self.tel {
+            t.park_end(now, uid);
+            t.instant(now, "bounce", format!("uid={uid:#x} ep={}", ep.0));
+        }
         if self.deposit(now, ep, msg.clone(), true, out).is_err() {
             // Not resident or queue full: hold and flush later.
             self.pending_returns.entry(ep).or_default().push_back(DeliveredMsg {
@@ -1331,6 +1401,14 @@ impl Nic {
                     unbind_cycles + 1
                 )
             });
+            if let Some(t) = &mut self.tel {
+                t.retx_end(now, &key);
+                t.instant(
+                    now,
+                    "unbind",
+                    format!("uid={uid:#x} after {} retx (cycle {})", inf.retx, unbind_cycles + 1),
+                );
+            }
             let msg = match inf.frame.kind {
                 FrameKind::Data(m) => m,
                 _ => unreachable!(),
@@ -1340,6 +1418,18 @@ impl Nic {
                 self.return_to_sender(now, inf.src_ep, msg, out);
             } else {
                 let delay = self.cfg.rto_max.mul_f64(self.rng.jitter(0.3));
+                if let Some(t) = &mut self.tel {
+                    t.park_begin(
+                        now,
+                        uid,
+                        "unbind_backoff",
+                        format!(
+                            "cycle {} delay={:.1}us",
+                            unbind_cycles + 1,
+                            delay.as_micros_f64()
+                        ),
+                    );
+                }
                 self.park_for_retry(
                     now,
                     inf.src_ep,
@@ -1380,6 +1470,11 @@ impl Nic {
         self.emit(pkt, out);
         out.push(NicOut::After(rto, NicEvent::Retx { key, gen }));
         self.stats.retransmits.inc();
+        if let Some(t) = &mut self.tel {
+            // Opens the channel's retransmission episode on the first
+            // retransmit of this binding (idempotent on later ones).
+            t.retx_begin(now, key, uid);
+        }
         let h = self.host.0;
         self.audit(|a| a.on_channel_retransmit(now, h, key.peer.0, key.idx, uid));
         self.trace_with(now, "nic.retx", || {
@@ -1497,6 +1592,9 @@ impl Nic {
                 self.frames[fi] = FrameSlot::Loading { ep, image, clock };
                 self.ep_frame.insert(ep, fi);
                 let delay = self.dma.start(now, DmaDirection::ReadHost, self.cfg.frame_bytes);
+                if let Some(t) = &mut self.tel {
+                    t.dma_span(now, now + delay, "dma_ep_load", self.cfg.frame_bytes);
+                }
                 out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::LoadDone { ep })));
                 self.cfg.costs.driver_op
             }
@@ -1569,6 +1667,9 @@ impl Nic {
         let staging = self.staging_out.values().any(|s| s.src_ep == ep);
         if in_flight == 0 && !staging && self.unload_dma_started.insert(ep) {
             let delay = self.dma.start(now, DmaDirection::WriteHost, self.cfg.frame_bytes);
+            if let Some(t) = &mut self.tel {
+                t.dma_span(now, now + delay, "dma_ep_unload", self.cfg.frame_bytes);
+            }
             out.push(NicOut::After(delay, NicEvent::DmaDone(DmaTag::UnloadDone { ep })));
         }
     }

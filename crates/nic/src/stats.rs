@@ -1,51 +1,75 @@
 //! NIC instrumentation counters, used by the evaluation harness to report
 //! the §6.4.1 diagnostics (NACK/retransmission rates, remap traffic,
 //! observed round-trip times from reflected timestamps).
+//!
+//! `NicStats` is enumerated generically through
+//! [`vnet_sim::telemetry::MetricSet`]; the former pub-field surface is
+//! kept one release as `#[deprecated]` accessor forwarders.
 
 use crate::msg::NackReason;
 use vnet_sim::stats::{Counter, Sampler};
+use vnet_sim::telemetry::{MetricSet, MetricValue, MetricVisitor, Summary};
 
 /// Per-NIC counters and samplers.
+///
+/// Iterate the metrics via [`MetricSet::visit_metrics`] (short names
+/// match the accessor names below, e.g. `retransmits`), or look one up
+/// with [`MetricSet::counter_value`].
 #[derive(Clone, Debug, Default)]
 pub struct NicStats {
     /// Data frames injected (first transmissions).
-    pub data_sent: Counter,
+    pub(crate) data_sent: Counter,
     /// Data frames retransmitted.
-    pub retransmits: Counter,
+    pub(crate) retransmits: Counter,
     /// Messages unbound from channels after the consecutive-retransmission
     /// bound.
-    pub unbinds: Counter,
+    pub(crate) unbinds: Counter,
     /// Messages returned to their sender as undeliverable.
-    pub returned_to_sender: Counter,
+    pub(crate) returned_to_sender: Counter,
     /// Data frames received and deposited.
-    pub deposits: Counter,
+    pub(crate) deposits: Counter,
     /// Duplicate data frames suppressed.
-    pub duplicates: Counter,
+    pub(crate) duplicates: Counter,
     /// Positive acks received.
-    pub acks_rx: Counter,
-    /// NACKs received, by reason.
-    pub nacks_rx_not_resident: Counter,
+    pub(crate) acks_rx: Counter,
+    /// NACKs received: destination endpoint not resident.
+    pub(crate) nacks_rx_not_resident: Counter,
     /// NACKs received: receive queue full.
-    pub nacks_rx_queue_full: Counter,
+    pub(crate) nacks_rx_queue_full: Counter,
     /// NACKs received: bad key.
-    pub nacks_rx_bad_key: Counter,
+    pub(crate) nacks_rx_bad_key: Counter,
     /// NACKs received: no such endpoint.
-    pub nacks_rx_no_endpoint: Counter,
+    pub(crate) nacks_rx_no_endpoint: Counter,
     /// NACKs generated locally, by any reason.
-    pub nacks_tx: Counter,
+    pub(crate) nacks_tx: Counter,
     /// Corrupted frames discarded on CRC check.
-    pub crc_drops: Counter,
+    pub(crate) crc_drops: Counter,
     /// Endpoint loads completed.
-    pub loads: Counter,
+    pub(crate) loads: Counter,
     /// Endpoint unloads completed.
-    pub unloads: Counter,
+    pub(crate) unloads: Counter,
     /// NeedResident requests raised to the driver.
-    pub resident_requests: Counter,
+    pub(crate) resident_requests: Counter,
     /// GAM mode only: frames dropped because the receive queue overran
     /// (no transport protocol to NACK them).
-    pub gam_overruns: Counter,
+    pub(crate) gam_overruns: Counter,
     /// Round-trip times observed via reflected timestamps, µs.
-    pub rtt_us: Sampler,
+    pub(crate) rtt_us: Sampler,
+}
+
+macro_rules! deprecated_counter_accessors {
+    ($($(#[doc = $doc:literal])* $name:ident),* $(,)?) => {
+        $(
+            $(#[doc = $doc])*
+            #[deprecated(
+                since = "0.2.0",
+                note = "iterate via MetricSet::visit_metrics or use MetricSet::counter_value"
+            )]
+            pub fn $name(&self) -> u64 {
+                self.$name.get()
+            }
+        )*
+    };
 }
 
 impl NicStats {
@@ -66,6 +90,75 @@ impl NicStats {
             + self.nacks_rx_bad_key.get()
             + self.nacks_rx_no_endpoint.get()
     }
+
+    /// The raw round-trip-time sampler (µs). Kept as a first-class
+    /// accessor because distribution analysis (quantiles, the §6.4.1
+    /// bimodal split) needs the individual samples, which a
+    /// [`Summary`] cannot reconstruct.
+    pub fn rtt_us(&self) -> Sampler {
+        self.rtt_us.clone()
+    }
+
+    deprecated_counter_accessors! {
+        /// Data frames injected (first transmissions).
+        data_sent,
+        /// Data frames retransmitted.
+        retransmits,
+        /// Messages unbound after the consecutive-retransmission bound.
+        unbinds,
+        /// Messages returned to their sender as undeliverable.
+        returned_to_sender,
+        /// Data frames received and deposited.
+        deposits,
+        /// Duplicate data frames suppressed.
+        duplicates,
+        /// Positive acks received.
+        acks_rx,
+        /// NACKs received: destination endpoint not resident.
+        nacks_rx_not_resident,
+        /// NACKs received: receive queue full.
+        nacks_rx_queue_full,
+        /// NACKs received: bad key.
+        nacks_rx_bad_key,
+        /// NACKs received: no such endpoint.
+        nacks_rx_no_endpoint,
+        /// NACKs generated locally, by any reason.
+        nacks_tx,
+        /// Corrupted frames discarded on CRC check.
+        crc_drops,
+        /// Endpoint loads completed.
+        loads,
+        /// Endpoint unloads completed.
+        unloads,
+        /// NeedResident requests raised to the driver.
+        resident_requests,
+        /// GAM mode: frames dropped on receive-queue overrun.
+        gam_overruns,
+    }
+}
+
+impl MetricSet for NicStats {
+    fn visit_metrics(&self, v: &mut dyn MetricVisitor) {
+        v.metric("data_sent", MetricValue::Counter(self.data_sent.get()));
+        v.metric("retransmits", MetricValue::Counter(self.retransmits.get()));
+        v.metric("unbinds", MetricValue::Counter(self.unbinds.get()));
+        v.metric("returned_to_sender", MetricValue::Counter(self.returned_to_sender.get()));
+        v.metric("deposits", MetricValue::Counter(self.deposits.get()));
+        v.metric("duplicates", MetricValue::Counter(self.duplicates.get()));
+        v.metric("acks_rx", MetricValue::Counter(self.acks_rx.get()));
+        v.metric("nacks_rx_not_resident", MetricValue::Counter(self.nacks_rx_not_resident.get()));
+        v.metric("nacks_rx_queue_full", MetricValue::Counter(self.nacks_rx_queue_full.get()));
+        v.metric("nacks_rx_bad_key", MetricValue::Counter(self.nacks_rx_bad_key.get()));
+        v.metric("nacks_rx_no_endpoint", MetricValue::Counter(self.nacks_rx_no_endpoint.get()));
+        v.metric("nacks_rx", MetricValue::Counter(self.nacks_rx_total()));
+        v.metric("nacks_tx", MetricValue::Counter(self.nacks_tx.get()));
+        v.metric("crc_drops", MetricValue::Counter(self.crc_drops.get()));
+        v.metric("loads", MetricValue::Counter(self.loads.get()));
+        v.metric("unloads", MetricValue::Counter(self.unloads.get()));
+        v.metric("resident_requests", MetricValue::Counter(self.resident_requests.get()));
+        v.metric("gam_overruns", MetricValue::Counter(self.gam_overruns.get()));
+        v.metric("rtt_us", MetricValue::Summary(Summary::from_sampler(&self.rtt_us)));
+    }
 }
 
 #[cfg(test)]
@@ -80,7 +173,36 @@ mod tests {
         s.record_nack_rx(NackReason::RecvQueueFull);
         s.record_nack_rx(NackReason::BadKey);
         s.record_nack_rx(NackReason::NoSuchEndpoint);
-        assert_eq!(s.nacks_rx_not_resident.get(), 2);
+        assert_eq!(s.counter_value("nacks_rx_not_resident"), 2);
         assert_eq!(s.nacks_rx_total(), 5);
+        assert_eq!(s.counter_value("nacks_rx"), 5, "aggregate is enumerated too");
+    }
+
+    #[test]
+    fn metric_set_enumerates_all_counters() {
+        let mut s = NicStats::default();
+        s.data_sent.add(3);
+        s.rtt_us.record(61.0);
+        let mut names = Vec::new();
+        struct V<'a>(&'a mut Vec<String>);
+        impl MetricVisitor for V<'_> {
+            fn metric(&mut self, n: &str, _: MetricValue) {
+                self.0.push(n.to_string());
+            }
+        }
+        s.visit_metrics(&mut V(&mut names));
+        assert!(names.len() >= 19);
+        assert!(names.contains(&"retransmits".to_string()));
+        assert_eq!(s.counter_value("data_sent"), 3);
+        assert_eq!(s.summary_value("rtt_us").count, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forwarders_still_answer() {
+        let mut s = NicStats::default();
+        s.retransmits.inc();
+        assert_eq!(s.retransmits(), 1);
+        assert_eq!(s.data_sent(), 0);
     }
 }

@@ -2,6 +2,7 @@
 //! a forced unbind, and reserved-channel release when a staged bulk DMA is
 //! aborted by endpoint teardown.
 
+use vnet_sim::telemetry::MetricSet;
 use vnet_nic::channel::{ChannelState, InFlight, RxChannel, SeqClass};
 use vnet_nic::testkit::{request, Harness};
 use vnet_nic::{
@@ -110,7 +111,7 @@ fn lossy_link_with_unbinds_delivers_exactly_once() {
     }
     assert_eq!(delivered, N, "every message exactly once despite 40% loss");
     assert!(
-        h.world.nics[0].stats().unbinds.get() > 0,
+        h.world.nics[0].stats().counter_value("unbinds") > 0,
         "the aggressive retransmit budget must have forced unbind cycles"
     );
     assert_eq!(h.world.nics[0].busy_channel_count(), 0, "all channels drained");

@@ -4,6 +4,7 @@
 use vnet_net::LinkId;
 use vnet_nic::testkit::{request, Harness};
 use vnet_nic::{EpId, NicConfig, PollOutcome, ProtectionKey, QueueSel};
+use vnet_sim::telemetry::MetricSet;
 use vnet_sim::SimDuration;
 
 const KEY: ProtectionKey = ProtectionKey(42);
@@ -54,9 +55,9 @@ fn adaptive_rto_cuts_spurious_retransmissions() {
     cfg.adaptive_rto = true;
     let adaptive = run_incast_sized(cfg, 6, 40, 8192);
     let retx_fixed: u64 =
-        (0..6).map(|s| fixed.world.nics[s].stats().retransmits.get()).sum();
+        (0..6).map(|s| fixed.world.nics[s].stats().counter_value("retransmits")).sum();
     let retx_adaptive: u64 =
-        (0..6).map(|s| adaptive.world.nics[s].stats().retransmits.get()).sum();
+        (0..6).map(|s| adaptive.world.nics[s].stats().counter_value("retransmits")).sum();
     assert!(
         retx_fixed > 20,
         "workload must congest the fixed-RTO firmware: {retx_fixed}"
@@ -75,7 +76,7 @@ fn adaptive_rto_preserves_exactly_once() {
     // run_incast already asserts full delivery; verify no duplicates
     // slipped through the dedup window either.
     let receiver = h.world.nics[4].stats();
-    assert_eq!(receiver.deposits.get(), 400);
+    assert_eq!(receiver.counter_value("deposits"), 400);
 }
 
 #[test]
@@ -103,9 +104,9 @@ fn coalesced_acks_preserve_delivery_and_credits() {
         let st = h.world.nics[s].stats();
         // Every data frame eventually completed (acks recovered through
         // batches; channel accounting must balance).
-        assert_eq!(st.returned_to_sender.get(), 0);
+        assert_eq!(st.counter_value("returned_to_sender"), 0);
     }
-    assert_eq!(h.world.nics[3].stats().deposits.get(), 450);
+    assert_eq!(h.world.nics[3].stats().counter_value("deposits"), 450);
 }
 
 #[test]
@@ -119,8 +120,8 @@ fn lone_ack_flushes_within_window() {
     h.bring_up(1, EpId(0), KEY);
     h.post(0, EpId(0), request(1, 0, KEY, 0));
     h.settle();
-    assert_eq!(h.world.nics[0].stats().acks_rx.get(), 1);
-    assert_eq!(h.world.nics[0].stats().retransmits.get(), 0, "flush beat the RTO");
+    assert_eq!(h.world.nics[0].stats().counter_value("acks_rx"), 1);
+    assert_eq!(h.world.nics[0].stats().counter_value("retransmits"), 0, "flush beat the RTO");
 }
 
 #[test]
@@ -131,7 +132,7 @@ fn adaptive_rto_learns_congested_rtt() {
     // The estimator must have samples for the receiver peer and the
     // resulting RTT distribution should include congested samples well
     // above the uncontended round trip.
-    let mut rtt = h.world.nics[0].stats().rtt_us.clone();
+    let mut rtt = h.world.nics[0].stats().rtt_us();
     assert!(rtt.count() > 10);
     assert!(rtt.quantile(0.9) > 20.0, "congested RTTs: p90={}", rtt.quantile(0.9));
 }

@@ -7,6 +7,7 @@ use vnet_nic::testkit::{request, Harness};
 use vnet_nic::{
     DriverMsg, DriverOp, EndpointImage, EpId, NicConfig, PollOutcome, ProtectionKey, QueueSel,
 };
+use vnet_sim::telemetry::MetricSet;
 use vnet_sim::SimDuration;
 
 const KEY: ProtectionKey = ProtectionKey(42);
@@ -45,7 +46,7 @@ fn burst_within_queue_depth_delivered_in_order() {
     let mut sorted = got.clone();
     sorted.sort_unstable();
     assert_eq!(got, sorted, "single-endpoint stream must stay FIFO");
-    assert_eq!(h.world.nics[1].stats().nacks_tx.get(), 0);
+    assert_eq!(h.world.nics[1].stats().counter_value("nacks_tx"), 0);
 }
 
 #[test]
@@ -59,7 +60,7 @@ fn overrun_draws_queue_full_nacks_then_recovers() {
     // Let the first burst land and the NACK storm develop.
     h.run_for(SimDuration::from_millis(2));
     assert!(
-        h.world.nics[0].stats().nacks_rx_queue_full.get() > 0,
+        h.world.nics[0].stats().counter_value("nacks_rx_queue_full") > 0,
         "expected RecvQueueFull NACKs"
     );
     // Drain while the NIC keeps retrying; everything arrives exactly once.
@@ -110,8 +111,8 @@ fn exactly_once_under_random_drops() {
     assert_eq!(got.len(), n, "all messages deliver despite 10% drop / 5% corrupt");
     let unique: std::collections::HashSet<_> = got.iter().collect();
     assert_eq!(unique.len(), n, "no duplicates despite retransmission");
-    assert!(h.world.nics[0].stats().retransmits.get() > 0, "drops must force retransmission");
-    assert!(h.world.nics[1].stats().crc_drops.get() > 0, "corruption must be seen and dropped");
+    assert!(h.world.nics[0].stats().counter_value("retransmits") > 0, "drops must force retransmission");
+    assert!(h.world.nics[1].stats().counter_value("crc_drops") > 0, "corruption must be seen and dropped");
 }
 
 #[test]
@@ -126,8 +127,8 @@ fn bad_key_returns_to_sender() {
         PollOutcome::Msg(m) => assert!(m.undeliverable),
         other => panic!("expected undeliverable return, got {other:?}"),
     }
-    assert_eq!(h.world.nics[0].stats().nacks_rx_bad_key.get(), 1);
-    assert_eq!(h.world.nics[0].stats().returned_to_sender.get(), 1);
+    assert_eq!(h.world.nics[0].stats().counter_value("nacks_rx_bad_key"), 1);
+    assert_eq!(h.world.nics[0].stats().counter_value("returned_to_sender"), 1);
 }
 
 #[test]
@@ -139,7 +140,7 @@ fn unknown_endpoint_returns_to_sender() {
         PollOutcome::Msg(m) => assert!(m.undeliverable),
         other => panic!("expected undeliverable return, got {other:?}"),
     }
-    assert_eq!(h.world.nics[0].stats().nacks_rx_no_endpoint.get(), 1);
+    assert_eq!(h.world.nics[0].stats().counter_value("nacks_rx_no_endpoint"), 1);
 }
 
 #[test]
@@ -150,7 +151,7 @@ fn non_resident_destination_nacks_and_requests_residency() {
     h.settle();
     h.post(0, EpId(0), request(1, 1, KEY, 0));
     h.run_for(SimDuration::from_micros(500));
-    assert!(h.world.nics[0].stats().nacks_rx_not_resident.get() >= 1);
+    assert!(h.world.nics[0].stats().counter_value("nacks_rx_not_resident") >= 1);
     assert!(
         h.world.driver_mail[1]
             .iter()
@@ -283,8 +284,8 @@ fn dead_link_unbinds_then_returns_to_sender() {
     h.post(0, EpId(0), request(1, 0, KEY, 0));
     h.settle();
     let s = h.world.nics[0].stats();
-    assert!(s.unbinds.get() >= 1, "persistent loss must unbind the channel");
-    assert_eq!(s.returned_to_sender.get(), 1, "and finally return to sender");
+    assert!(s.counter_value("unbinds") >= 1, "persistent loss must unbind the channel");
+    assert_eq!(s.counter_value("returned_to_sender"), 1, "and finally return to sender");
     match h.poll(0, EpId(0), QueueSel::Reply) {
         PollOutcome::Msg(m) => assert!(m.undeliverable),
         other => panic!("expected undeliverable return, got {other:?}"),
@@ -304,7 +305,7 @@ fn hot_swap_recovery_within_retry_budget() {
         PollOutcome::Msg(m) => assert!(!m.undeliverable, "message survives the hot swap"),
         other => panic!("expected delivery after link restore, got {other:?}"),
     }
-    assert_eq!(h.world.nics[0].stats().returned_to_sender.get(), 0);
+    assert_eq!(h.world.nics[0].stats().counter_value("returned_to_sender"), 0);
 }
 
 #[test]
@@ -318,8 +319,8 @@ fn gam_mode_drops_on_overrun() {
     h.settle();
     let got = drain_requests(&mut h, 1, EpId(0));
     assert_eq!(got.len(), 32, "GAM delivers only what fits the queue");
-    assert_eq!(h.world.nics[1].stats().gam_overruns.get(), 8);
-    assert_eq!(h.world.nics[0].stats().retransmits.get(), 0, "GAM never retransmits");
+    assert_eq!(h.world.nics[1].stats().counter_value("gam_overruns"), 8);
+    assert_eq!(h.world.nics[0].stats().counter_value("retransmits"), 0, "GAM never retransmits");
 }
 
 #[test]
@@ -352,7 +353,7 @@ fn timestamps_give_rtt_samples() {
         h.settle();
     }
     let stats = h.world.nics[0].stats();
-    assert_eq!(stats.rtt_us.count(), 10, "each ack reflects a timestamp");
+    assert_eq!(stats.rtt_us().count(), 10, "each ack reflects a timestamp");
 }
 
 #[test]

@@ -10,7 +10,86 @@ use crate::sched::Tid;
 use crate::stats::OsStats;
 use std::collections::{HashMap, HashSet, VecDeque};
 use vnet_nic::{DriverMsg, DriverOp, EndpointImage, EpId, ProtectionKey};
+use vnet_sim::telemetry::{SpanId, TelemetryHandle};
 use vnet_sim::{AuditHandle, Auditor, EpPhase, SimDuration, SimRng, SimTime, TraceHandle};
+
+/// Perfetto track for segment-driver residency transitions.
+pub const TRACK_SEG: &str = "os.seg";
+
+/// Telemetry state owned by one segment driver: residency transitions
+/// (remap request → loaded, eviction → unloaded, swap-in) become spans
+/// on the `os.seg` track; faults become instantaneous markers. Hooks are
+/// no-ops when detached (the driver holds an `Option` of this).
+struct OsTelemetry {
+    tel: TelemetryHandle,
+    host: u32,
+    /// Open remap span per endpoint (first remap request → Loaded).
+    load_spans: HashMap<EpId, SpanId>,
+    /// Open eviction span per endpoint (Unload issued → Unloaded).
+    unload_spans: HashMap<EpId, SpanId>,
+    /// Open swap-in span per endpoint (PagingIn → PageInDone).
+    pagein_spans: HashMap<EpId, SpanId>,
+}
+
+impl OsTelemetry {
+    fn new(host: u32, tel: TelemetryHandle) -> Self {
+        OsTelemetry {
+            tel,
+            host,
+            load_spans: HashMap::new(),
+            unload_spans: HashMap::new(),
+            pagein_spans: HashMap::new(),
+        }
+    }
+
+    fn begin(
+        map: &mut HashMap<EpId, SpanId>,
+        tel: &TelemetryHandle,
+        host: u32,
+        at: SimTime,
+        ep: EpId,
+        name: &'static str,
+        detail: String,
+    ) {
+        if let std::collections::hash_map::Entry::Vacant(e) = map.entry(ep) {
+            e.insert(tel.borrow_mut().span_begin(at, host, TRACK_SEG, name, detail));
+        }
+    }
+
+    fn end(map: &mut HashMap<EpId, SpanId>, tel: &TelemetryHandle, at: SimTime, ep: EpId) {
+        if let Some(id) = map.remove(&ep) {
+            tel.borrow_mut().span_end(at, id);
+        }
+    }
+
+    fn load_begin(&mut self, at: SimTime, ep: EpId, detail: String) {
+        Self::begin(&mut self.load_spans, &self.tel, self.host, at, ep, "ep_load", detail);
+    }
+
+    fn load_end(&mut self, at: SimTime, ep: EpId) {
+        Self::end(&mut self.load_spans, &self.tel, at, ep);
+    }
+
+    fn unload_begin(&mut self, at: SimTime, ep: EpId, detail: String) {
+        Self::begin(&mut self.unload_spans, &self.tel, self.host, at, ep, "ep_unload", detail);
+    }
+
+    fn unload_end(&mut self, at: SimTime, ep: EpId) {
+        Self::end(&mut self.unload_spans, &self.tel, at, ep);
+    }
+
+    fn pagein_begin(&mut self, at: SimTime, ep: EpId) {
+        Self::begin(&mut self.pagein_spans, &self.tel, self.host, at, ep, "page_in", String::new());
+    }
+
+    fn pagein_end(&mut self, at: SimTime, ep: EpId) {
+        Self::end(&mut self.pagein_spans, &self.tel, at, ep);
+    }
+
+    fn instant(&mut self, at: SimTime, name: &'static str, detail: String) {
+        self.tel.borrow_mut().instant(at, self.host, TRACK_SEG, name, detail);
+    }
+}
 
 /// Residency state of an endpoint (Figure 2 of the paper, plus the
 /// transition states the driver needs for bookkeeping).
@@ -104,6 +183,8 @@ pub struct SegmentDriver {
     auditor: Option<AuditHandle>,
     /// Shared causal trace ring (records are no-ops when detached).
     trace: Option<TraceHandle>,
+    /// Unified telemetry (hooks are no-ops when detached).
+    tel: Option<OsTelemetry>,
     /// Latest simulated time seen by any timed entry point; stands in for
     /// `now` on untimed calls like [`SegmentDriver::pageout`].
     now_hint: SimTime,
@@ -129,6 +210,7 @@ impl SegmentDriver {
             host_idx: 0,
             auditor: None,
             trace: None,
+            tel: None,
             now_hint: SimTime::ZERO,
         }
     }
@@ -141,6 +223,14 @@ impl SegmentDriver {
         self.host_idx = host;
         self.auditor = Some(auditor);
         self.trace = Some(trace);
+    }
+
+    /// Attach the unified telemetry registry; residency transitions
+    /// become spans on the `os.seg` track and faults become markers.
+    /// `host` is this node's index in the composing world.
+    pub fn attach_telemetry(&mut self, host: u32, tel: TelemetryHandle) {
+        self.host_idx = host;
+        self.tel = Some(OsTelemetry::new(host, tel));
     }
 
     fn audit(&self, f: impl FnOnce(&mut Auditor)) {
@@ -225,6 +315,9 @@ impl SegmentDriver {
                 // Unregister happens when the unload completes.
                 self.audit_phase(now, ep, EpPhase::Unloading);
                 self.trace_with(now, "os.unload", || format!("{ep} unloading (freed)"));
+                if let Some(t) = &mut self.tel {
+                    t.unload_begin(now, ep, "freed".to_string());
+                }
             }
             EpState::Loading | EpState::Unloading => {
                 // In transition: mark; the completion handler finishes it.
@@ -274,6 +367,9 @@ impl SegmentDriver {
             EpState::HostRw => WriteOutcome::Proceed, // already writable + queued
             EpState::HostRo => {
                 self.stats.write_faults.inc();
+                if let Some(t) = &mut self.tel {
+                    t.instant(now, "write_fault", format!("ep={}", ep.0));
+                }
                 let rec = self.eps.get_mut(&ep).unwrap();
                 rec.state = EpState::HostRw;
                 self.enqueue_remap(now, ep, out);
@@ -285,6 +381,9 @@ impl SegmentDriver {
             }
             EpState::Disk => {
                 self.stats.write_faults.inc();
+                if let Some(t) = &mut self.tel {
+                    t.instant(now, "write_fault", format!("ep={} (paged out)", ep.0));
+                }
                 // Swap-in is always synchronous for the faulting thread.
                 self.enqueue_remap(now, ep, out);
                 WriteOutcome::MustBlock
@@ -304,6 +403,9 @@ impl SegmentDriver {
         match rec.state {
             EpState::HostRo | EpState::HostRw | EpState::Disk => {
                 self.stats.proxy_faults.inc();
+                if let Some(t) = &mut self.tel {
+                    t.instant(now, "proxy_fault", format!("ep={}", ep.0));
+                }
                 if self.eps[&ep].state == EpState::HostRo {
                     self.eps.get_mut(&ep).unwrap().state = EpState::HostRw;
                 }
@@ -320,6 +422,10 @@ impl SegmentDriver {
         if let Some(rec) = self.eps.get_mut(&ep) {
             if rec.remap_requested_at.is_none() {
                 rec.remap_requested_at = Some(now);
+                if let Some(t) = &mut self.tel {
+                    // The full remap episode: request → resident.
+                    t.load_begin(now, ep, format!("ep={}", ep.0));
+                }
             }
         }
         self.daemon_q.push_back(ep);
@@ -348,6 +454,9 @@ impl SegmentDriver {
                     out.push(OsOut::After(self.cfg.disk_delay, OsEvent::PageInDone { ep }));
                     self.audit_phase(now, ep, EpPhase::PagingIn);
                     self.trace_with(now, "os.pagein", || format!("{ep} swap-in started"));
+                    if let Some(t) = &mut self.tel {
+                        t.pagein_begin(now, ep);
+                    }
                     return; // daemon stays busy, resumes on PageInDone
                 }
                 // Freed, already resident, or in transition: skip.
@@ -384,6 +493,9 @@ impl SegmentDriver {
             self.trace_with(now, "os.unload", || {
                 format!("{victim} evicted to make room for {target}")
             });
+            if let Some(t) = &mut self.tel {
+                t.unload_begin(now, victim, format!("evicted for ep={}", target.0));
+            }
             self.pending_after_unload = Some(target);
             // Re-queue marker removed when the load is finally issued.
             self.daemon_q.push_front(target);
@@ -408,6 +520,9 @@ impl SegmentDriver {
         if swapped_in {
             self.audit_phase(now, ep, EpPhase::Host);
             self.trace_with(now, "os.pagein", || format!("{ep} swap-in done"));
+        }
+        if let Some(t) = &mut self.tel {
+            t.pagein_end(now, ep);
         }
         // Back of the pipeline: daemon continues with this endpoint first.
         self.daemon_q.push_front(ep);
@@ -446,6 +561,9 @@ impl SegmentDriver {
             DriverMsg::Loaded { ep, clock } => {
                 self.tick(clock);
                 self.stats.loads.inc();
+                if let Some(t) = &mut self.tel {
+                    t.load_end(now, ep);
+                }
                 let mut loaded_phase = None;
                 if let Some(rec) = self.eps.get_mut(&ep) {
                     if let Some(t0) = rec.remap_requested_at.take() {
@@ -483,6 +601,9 @@ impl SegmentDriver {
             DriverMsg::Unloaded { ep, image, clock } => {
                 self.tick(clock);
                 self.stats.unloads.inc();
+                if let Some(t) = &mut self.tel {
+                    t.unload_end(now, ep);
+                }
                 self.nic_occupied = self.nic_occupied.saturating_sub(1);
                 let mut freed = false;
                 let mut nonempty = false;

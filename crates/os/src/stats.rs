@@ -1,31 +1,55 @@
 //! OS-side instrumentation: fault and remap counters used to report the
 //! §6.4.1 numbers ("the operating system sustains approximately 200-300
 //! endpoint re-mappings per second").
+//!
+//! `OsStats` is enumerated generically through
+//! [`vnet_sim::telemetry::MetricSet`]; the former pub-field surface is
+//! kept one release as `#[deprecated]` accessor forwarders.
 
 use vnet_sim::stats::{Counter, Sampler};
+use vnet_sim::telemetry::{MetricSet, MetricValue, MetricVisitor, Summary};
 
 /// Per-node segment-driver counters.
+///
+/// Iterate the metrics via [`MetricSet::visit_metrics`] (short names
+/// match the accessor names below, e.g. `loads`), or look one up with
+/// [`MetricSet::counter_value`].
 #[derive(Clone, Debug, Default)]
 pub struct OsStats {
     /// Write faults taken on non-resident endpoints.
-    pub write_faults: Counter,
+    pub(crate) write_faults: Counter,
     /// Proxy faults taken on behalf of the NIC (message arrival for a
     /// non-resident endpoint).
-    pub proxy_faults: Counter,
+    pub(crate) proxy_faults: Counter,
     /// Endpoint loads completed (each is one half of a "re-mapping").
-    pub loads: Counter,
+    pub(crate) loads: Counter,
     /// Endpoint unloads completed (evictions).
-    pub unloads: Counter,
+    pub(crate) unloads: Counter,
     /// Page-ins from the swap area.
-    pub page_ins: Counter,
+    pub(crate) page_ins: Counter,
     /// Pageouts to the swap area.
-    pub page_outs: Counter,
+    pub(crate) page_outs: Counter,
     /// Threads woken by endpoint events.
-    pub event_wakes: Counter,
+    pub(crate) event_wakes: Counter,
     /// Threads woken by residency transitions.
-    pub residency_wakes: Counter,
+    pub(crate) residency_wakes: Counter,
     /// End-to-end remap latency samples (request → loaded), µs.
-    pub remap_latency_us: Sampler,
+    pub(crate) remap_latency_us: Sampler,
+}
+
+macro_rules! deprecated_counter_accessors {
+    ($($(#[doc = $doc:literal])* $name:ident),* $(,)?) => {
+        $(
+            $(#[doc = $doc])*
+            #[deprecated(
+                since = "0.2.0",
+                note = "iterate via MetricSet::visit_metrics or use MetricSet::counter_value"
+            )]
+            pub fn $name(&self) -> u64 {
+                self.$name.get()
+            }
+        )*
+    };
 }
 
 impl OsStats {
@@ -37,6 +61,45 @@ impl OsStats {
         } else {
             self.loads.get() as f64 / elapsed_secs
         }
+    }
+
+    /// The raw remap-latency sampler (µs). Kept as a first-class accessor
+    /// because distribution analysis needs the individual samples.
+    pub fn remap_latency_us(&self) -> Sampler {
+        self.remap_latency_us.clone()
+    }
+
+    deprecated_counter_accessors! {
+        /// Write faults taken on non-resident endpoints.
+        write_faults,
+        /// Proxy faults taken on behalf of the NIC.
+        proxy_faults,
+        /// Endpoint loads completed.
+        loads,
+        /// Endpoint unloads completed (evictions).
+        unloads,
+        /// Page-ins from the swap area.
+        page_ins,
+        /// Pageouts to the swap area.
+        page_outs,
+        /// Threads woken by endpoint events.
+        event_wakes,
+        /// Threads woken by residency transitions.
+        residency_wakes,
+    }
+}
+
+impl MetricSet for OsStats {
+    fn visit_metrics(&self, v: &mut dyn MetricVisitor) {
+        v.metric("write_faults", MetricValue::Counter(self.write_faults.get()));
+        v.metric("proxy_faults", MetricValue::Counter(self.proxy_faults.get()));
+        v.metric("loads", MetricValue::Counter(self.loads.get()));
+        v.metric("unloads", MetricValue::Counter(self.unloads.get()));
+        v.metric("page_ins", MetricValue::Counter(self.page_ins.get()));
+        v.metric("page_outs", MetricValue::Counter(self.page_outs.get()));
+        v.metric("event_wakes", MetricValue::Counter(self.event_wakes.get()));
+        v.metric("residency_wakes", MetricValue::Counter(self.residency_wakes.get()));
+        v.metric("remap_latency_us", MetricValue::Summary(Summary::from_sampler(&self.remap_latency_us)));
     }
 }
 
@@ -50,5 +113,16 @@ mod tests {
         s.loads.add(250);
         assert!((s.remaps_per_sec(1.0) - 250.0).abs() < 1e-9);
         assert_eq!(s.remaps_per_sec(0.0), 0.0);
+        assert_eq!(s.counter_value("loads"), 250);
+    }
+
+    #[test]
+    fn metric_set_enumerates() {
+        let mut s = OsStats::default();
+        s.write_faults.inc();
+        s.remap_latency_us.record(3000.0);
+        assert_eq!(s.counter_value("write_faults"), 1);
+        assert_eq!(s.summary_value("remap_latency_us").count, 1);
+        assert!(s.metric("no_such_metric").is_none());
     }
 }

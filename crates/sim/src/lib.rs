@@ -26,12 +26,17 @@ pub mod audit;
 pub mod engine;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod wheel;
 
 pub use audit::{AuditCounters, AuditHandle, Auditor, EpPhase, MsgFate, TraceHandle, Violation};
 pub use engine::{Ctx, Engine, EventId, SimWorld};
+pub use telemetry::{
+    CounterHandle, GaugeHandle, HistogramHandle, MetricSet, MetricValue, MetricVisitor,
+    MetricsSnapshot, SamplerHandle, SpanId, Summary, Telemetry, TelemetryHandle,
+};
 pub use wheel::{Due, RefHeap, TimingWheel};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -189,6 +189,9 @@ fn main() {
     );
     println!(
         "storage node also ran a compute job throughout; endpoint loads on it: {}",
-        cluster.os(storage).stats().loads.get()
+        cluster
+            .telemetry()
+            .snapshot()
+            .counter(&format!("host{}.os.loads", storage.0))
     );
 }

@@ -104,11 +104,12 @@ fn main() {
     println!("  elapsed          : {:.1} ms", el * 1e3);
     println!("  put rate         : {:.0} ops/s", items as f64 / el);
     println!("  read-back sample : {}/64 gets verified", h.sample_ok);
+    let snap = cluster.telemetry().snapshot();
     println!(
         "  per-server gets+puts served: {:?}",
         hosts
             .iter()
-            .map(|&hh| cluster.nic(hh).stats().deposits.get())
+            .map(|&hh| snap.counter(&format!("host{}.nic.deposits", hh.0)))
             .collect::<Vec<_>>()
     );
 }

@@ -90,19 +90,21 @@ fn main() {
     let c: &Client = cluster.body(HostId(0), client).expect("client body");
     assert_eq!(c.got, 100);
     let mean = c.rtts_us.iter().sum::<f64>() / c.rtts_us.len() as f64;
+    // Every layer's counters through one flat snapshot (dotted
+    // host/layer/metric names); see also MetricsSnapshot::to_table().
+    let snap = cluster.telemetry().snapshot();
     println!("100 request/reply round trips completed");
     println!("  mean RTT            : {mean:.1} us");
     println!(
         "  endpoints faulted in : {} loads on h0, {} on h1 (demand residency, paper fig. 2)",
-        cluster.os(HostId(0)).stats().loads.get(),
-        cluster.os(HostId(1)).stats().loads.get()
+        snap.counter("host0.os.loads"),
+        snap.counter("host1.os.loads")
     );
-    let s0 = cluster.nic(HostId(0)).stats();
     println!(
         "  NIC h0               : {} data frames sent, {} acks received, {} retransmissions",
-        s0.data_sent.get(),
-        s0.acks_rx.get(),
-        s0.retransmits.get()
+        snap.counter("host0.nic.data_sent"),
+        snap.counter("host0.nic.acks_rx"),
+        snap.counter("host0.nic.retransmits")
     );
     println!("  simulated time       : {}", cluster.now());
 }

@@ -220,7 +220,7 @@ fn survives_transmission_errors_end_to_end() {
     assert_eq!(cl.replies, 100, "exactly-once delivery through a lossy fabric");
     assert_eq!(cl.bounces, 0);
     assert!(
-        c.nic(HostId(0)).stats().retransmits.get() > 0,
+        c.telemetry().snapshot().counter("host0.nic.retransmits") > 0,
         "losses must be recovered by retransmission"
     );
 }
@@ -249,8 +249,9 @@ fn endpoint_overcommit_on_one_host() {
         assert_eq!(cl.replies, 30, "conversation {i} completes");
     }
     // Both hosts overcommitted: remapping must have occurred on h0 and h1.
-    assert!(c.os(HostId(0)).stats().unloads.get() > 0, "h0 evictions");
-    assert!(c.os(HostId(1)).stats().unloads.get() > 0, "h1 evictions");
+    let snap = c.telemetry().snapshot();
+    assert!(snap.counter("host0.os.unloads") > 0, "h0 evictions");
+    assert!(snap.counter("host1.os.unloads") > 0, "h1 evictions");
 }
 
 #[test]
@@ -266,7 +267,7 @@ fn pageout_endpoint_comes_back() {
     c.run_for(SimDuration::from_secs(5));
     let cl: &Client = c.body(HostId(0), t).unwrap();
     assert_eq!(cl.replies, 10, "swap-in (vm pageout path) must recover");
-    assert!(c.os(HostId(0)).stats().page_ins.get() >= 1);
+    assert!(c.telemetry().snapshot().counter("host0.os.page_ins") >= 1);
 }
 
 #[test]
@@ -304,7 +305,8 @@ fn deterministic_full_stack() {
         let t = c.spawn_thread(HostId(0), Box::new(Client::new(eps[0].ep, 1, 50, 0)));
         c.run_for(SimDuration::from_millis(500));
         let cl: &Client = c.body(HostId(0), t).unwrap();
-        (c.events_processed(), cl.replies, c.nic(HostId(0)).stats().data_sent.get())
+        let sent = c.telemetry().snapshot().counter("host0.nic.data_sent");
+        (c.events_processed(), cl.replies, sent)
     };
     assert_eq!(run(99), run(99));
     assert_ne!(run(99).0, run(100).0, "different seeds explore different schedules");
@@ -333,7 +335,7 @@ fn hot_swap_link_mid_conversation() {
     assert_eq!(cl.replies + cl.bounces, 200, "stream must finish after the swap");
     assert!(cl.replies >= 190, "nearly all survive: {} replies {} bounces", cl.replies, cl.bounces);
     assert!(
-        c.nic(HostId(0)).stats().retransmits.get() > 0,
+        c.telemetry().snapshot().counter("host0.nic.retransmits") > 0,
         "the outage must be bridged by retransmission"
     );
 }
@@ -407,8 +409,8 @@ fn audit_catches_double_delivery() {
     cfg.nic.max_retx_before_unbind = 1; // churn channels hard
     cfg.drop_prob = 0.30; // lose enough acks to force rebinds
     let mut c = Cluster::new(cfg);
-    c.set_debug_audit(false); // we *expect* violations; inspect manually
-    c.enable_trace();
+    c.telemetry().set_debug_audit(false); // we *expect* violations; inspect manually
+    c.telemetry().trace_enable();
     let a = c.create_endpoint(HostId(0));
     let b = c.create_endpoint(HostId(1));
     c.build_virtual_network(&[a, b]);
@@ -432,7 +434,7 @@ fn audit_catches_double_delivery() {
 #[test]
 fn audit_catches_credit_leak() {
     let mut c = Cluster::new(ClusterConfig::now(2));
-    c.set_debug_audit(false);
+    c.telemetry().set_debug_audit(false);
     let a = c.create_endpoint(HostId(0));
     let auditor = c.auditor();
     {
