@@ -62,6 +62,7 @@ fn run(mode: CsMode, clients: u32, fast_write_fault: bool, measure: SimDuration)
 }
 
 fn main() {
+    vnet_bench::init_shards_env();
     let quick = quick_mode();
     let clients = if quick { 10 } else { 12 };
     let measure =

@@ -53,6 +53,7 @@ fn run(policy: ReplacementPolicy, clients: u32, measure: SimDuration) -> (f64, f
 }
 
 fn main() {
+    vnet_bench::init_shards_env();
     let quick = quick_mode();
     let clients = 12;
     let measure = if quick { SimDuration::from_secs(1) } else { SimDuration::from_secs(4) };

@@ -37,6 +37,7 @@ fn run(v: Variant, clients: u32, bytes: u32, measure: SimDuration) -> (f64, u64,
 }
 
 fn main() {
+    vnet_bench::init_shards_env();
     let quick = quick_mode();
     let clients = 8;
     let measure = if quick { SimDuration::from_secs(1) } else { SimDuration::from_secs(3) };

@@ -3,6 +3,7 @@ use vnet_apps::npb::{Kernel, NpbApp};
 use vnet_core::prelude::*;
 use vnet_core::{Cluster, ClusterConfig};
 fn main() {
+    vnet_bench::init_shards_env();
     let p = 16usize;
     let mut c = Cluster::new(ClusterConfig::now(p as u32).with_seed(58));
     let hosts: Vec<HostId> = (0..p as u32).map(HostId).collect();

@@ -13,20 +13,27 @@
 //! 2. **all-to-all-8** — 8 hosts exchanging small messages through the full
 //!    NIC/OS/fabric stack (BSP all-to-all supersteps).
 //! 3. **bulk-32** — 32 hosts streaming 64 KB per pair per superstep.
+//! 4. **scaling** — bulk transfers on 32 and 128 hosts under the
+//!    conservative parallel executor at 1/2/4/8 worker shards (results
+//!    are byte-identical at every count; only wall time changes).
 //!
 //! The cluster workloads also measure the cross-layer auditor's overhead
 //! (hooks attached vs. detached) since release builds default to detached.
 //!
 //! Results print as tables and are written to `BENCH_engine.json` at the
 //! repo root. Flags: `--quick` shrinks every workload for CI smoke runs;
+//! `--shards <n>` pins the executor for the non-scaling workloads;
 //! `--check` additionally compares the freshly measured wheel-vs-heap
 //! speedup against the committed `BENCH_engine.json` and exits non-zero on
-//! a >25% regression (a machine-neutral ratio, unlike absolute events/s).
+//! a >25% regression (a machine-neutral ratio, unlike absolute events/s),
+//! gates the telemetry-overhead confidence interval, and — on machines
+//! with enough cores — fails if parallel bulk-128 is slower than
+//! sequential.
 
 use std::time::Instant;
 use vnet_apps::bsp::{launch_job, BspApp, BspRunner, SuperStep};
 use vnet_apps::collectives;
-use vnet_bench::{emit_telemetry, f1, f2, quick_mode, Table};
+use vnet_bench::{emit_telemetry, f1, f2, quick_mode, with_shards_arg, Table};
 use vnet_core::prelude::*;
 use vnet_sim::{Due, RefHeap, SimRng, TimingWheel};
 
@@ -200,36 +207,91 @@ fn bench_cluster(name: &str, cfg: ClusterConfig, scheds: &[Vec<SuperStep>]) -> R
     rate(events, std::time::Duration::from_secs_f64(wall))
 }
 
-/// Compare two configurations on the same schedules, robustly: after a
-/// warm-up each, run `pairs` back-to-back A/B pairs — alternating which
-/// side of the pair runs first, so cache/frequency drift that favors
-/// whichever run comes second cancels across pairs — and report the
-/// ratio of the two *minimum* wall times. Scheduler/sibling interference
-/// only ever adds time, so the fastest of nine interleaved runs sits at
-/// each side's true noise floor; on a noisy shared box this estimator
-/// holds a ~1 pp spread where the per-pair-ratio median swings ±2-3 pp.
-/// Returns (B/A best-wall ratio − 1, best A rate, best B rate, the last
-/// B cluster for artifact export).
+/// Paired-comparison estimate: the median of per-pair wall-time ratios
+/// with a nonparametric 95% confidence interval on that median.
+struct AbEstimate {
+    /// Median per-pair overhead, as a fraction (ratio − 1).
+    median: f64,
+    /// 95% CI bounds on the median overhead (binomial order statistics).
+    ci: (f64, f64),
+    best_a: Rate,
+    best_b: Rate,
+    last_b: Cluster,
+}
+
+/// Median and nonparametric 95% CI of the per-pair ratios: the order
+/// statistics at ranks n/2 ± 1.96·√n/2 (normal approximation of
+/// `Binomial(n, ½)`; clamped for small n). Sorts in place.
+fn median_ci(ratios: &mut [f64]) -> (f64, f64, f64) {
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    let n = ratios.len();
+    let half = n as f64 / 2.0;
+    let delta = 1.96 * (n as f64).sqrt() / 2.0;
+    let lo = (half - delta).floor().max(0.0) as usize;
+    let hi = ((half + delta).ceil() as usize).min(n - 1);
+    (ratios[n / 2], ratios[lo], ratios[hi])
+}
+
+/// Compare two configurations on the same schedules with a *paired*
+/// estimator: after one warm-up each, run back-to-back A/B pairs —
+/// alternating which side of the pair runs first, so cache/frequency
+/// drift that favors whichever run comes second cancels across pairs —
+/// and take the **median of the per-pair ratios**, with a nonparametric
+/// 95% confidence interval read off the sorted ratios at the
+/// `Binomial(n, ½)` order-statistic ranks. Each side of a pair is a
+/// best-of-two (interference only ever *inflates* wall time, so the min
+/// of two back-to-back runs is a sharper reading of the same quantity).
+/// Pairing makes each ratio immune to slow drift; the median makes the
+/// estimate immune to the multi-second interference spikes shared boxes
+/// show (a spike poisons one pair, not the estimate); and the interval
+/// lets the `--check` gate state its uncertainty instead of comparing
+/// two independent best-of minima whose difference mostly measures luck.
+///
+/// Sampling is *sequential*: after `pairs` initial pairs, batches of
+/// four more are added until the interval can decide against `ceiling`
+/// (upper bound ≤ ceiling → certified pass; lower bound > ceiling →
+/// certified regression) or `max_pairs` is reached — small n leaves the
+/// CI spanning nearly the whole sample, so on a noisy box the upper
+/// bound *is* the worst interference spike unless n grows past it.
 fn bench_cluster_ab(
     cfg_a: ClusterConfig,
     cfg_b: ClusterConfig,
     scheds: &[Vec<SuperStep>],
     pairs: usize,
-) -> (f64, Rate, Rate, Cluster) {
+    max_pairs: usize,
+    ceiling: f64,
+) -> AbEstimate {
     let _ = run_cluster(cfg_a.clone(), scheds);
     let _ = run_cluster(cfg_b.clone(), scheds);
-    let mut ratios = Vec::with_capacity(pairs);
+    // Best-of-3 per side: interference only ever inflates wall time, and
+    // its spikes are large (tens of percent) relative to the effects being
+    // resolved, so a deeper min sharply cuts the chance a pair's ratio is
+    // poisoned on either side.
+    let best_of_3 = |cfg: &ClusterConfig| {
+        let (ev, mut w, v, mut c) = run_cluster(cfg.clone(), scheds);
+        for _ in 0..2 {
+            let (_, w2, _, c2) = run_cluster(cfg.clone(), scheds);
+            if w2 < w {
+                w = w2;
+                c = c2;
+            }
+        }
+        (ev, w, v, c)
+    };
+    let mut ratios: Vec<f64> = Vec::with_capacity(max_pairs);
     let mut best_a: Option<(u64, f64)> = None;
     let mut best_b: Option<(u64, f64)> = None;
-    let mut last_b = None;
-    for i in 0..pairs.max(1) {
-        let ((ev_a, wall_a, _, _), (ev_b, wall_b, _, c)) = if i % 2 == 0 {
-            let a = run_cluster(cfg_a.clone(), scheds);
-            let b = run_cluster(cfg_b.clone(), scheds);
+    let mut last_b;
+    let (mut median, mut ci_lo, mut ci_hi);
+    loop {
+        let i = ratios.len();
+        let ((ev_a, wall_a, _, _), (ev_b, wall_b, _, c)) = if i.is_multiple_of(2) {
+            let a = best_of_3(&cfg_a);
+            let b = best_of_3(&cfg_b);
             (a, b)
         } else {
-            let b = run_cluster(cfg_b.clone(), scheds);
-            let a = run_cluster(cfg_a.clone(), scheds);
+            let b = best_of_3(&cfg_b);
+            let a = best_of_3(&cfg_a);
             (a, b)
         };
         ratios.push(wall_b / wall_a);
@@ -239,24 +301,81 @@ fn bench_cluster_ab(
         if best_b.is_none_or(|(_, w)| wall_b < w) {
             best_b = Some((ev_b, wall_b));
         }
-        last_b = Some(c);
+        last_b = c;
+        let mut sorted = ratios.clone();
+        (median, ci_lo, ci_hi) = median_ci(&mut sorted);
+        let n = ratios.len();
+        if n >= pairs.max(1) {
+            let decided = ci_hi - 1.0 <= ceiling || ci_lo - 1.0 > ceiling;
+            if decided || n >= max_pairs {
+                break;
+            }
+            if (n - pairs).is_multiple_of(4) {
+                eprintln!(
+                    "  [ab] n={n}: CI95 [{:+.2}%, {:+.2}%] straddles ceiling; sampling more pairs",
+                    (ci_lo - 1.0) * 100.0,
+                    (ci_hi - 1.0) * 100.0,
+                );
+            }
+        }
     }
-    ratios.sort_by(|x, y| x.total_cmp(y));
-    let median = ratios[ratios.len() / 2];
     let (ea, wa) = best_a.expect("at least one pair");
     let (eb, wb) = best_b.expect("at least one pair");
+    let mut sorted = ratios.clone();
+    sorted.sort_by(|x, y| x.total_cmp(y));
     eprintln!(
-        "  [ab] pair ratios: {} | median {:+.2}% best {:+.2}%",
-        ratios.iter().map(|r| format!("{:+.2}%", (r - 1.0) * 100.0)).collect::<Vec<_>>().join(" "),
+        "  [ab] {} pair ratios (sorted): {} | median {:+.2}% CI95 [{:+.2}%, {:+.2}%]",
+        sorted.len(),
+        sorted.iter().map(|r| format!("{:+.2}%", (r - 1.0) * 100.0)).collect::<Vec<_>>().join(" "),
         (median - 1.0) * 100.0,
-        (wb / wa - 1.0) * 100.0,
+        (ci_lo - 1.0) * 100.0,
+        (ci_hi - 1.0) * 100.0,
     );
-    (
-        wb / wa - 1.0,
-        rate(ea, std::time::Duration::from_secs_f64(wa)),
-        rate(eb, std::time::Duration::from_secs_f64(wb)),
-        last_b.expect("at least one pair"),
-    )
+    AbEstimate {
+        median: median - 1.0,
+        ci: (ci_lo - 1.0, ci_hi - 1.0),
+        best_a: rate(ea, std::time::Duration::from_secs_f64(wa)),
+        best_b: rate(eb, std::time::Duration::from_secs_f64(wb)),
+        last_b,
+    }
+}
+
+// ------------------------------------------------------------- scaling
+
+/// One point of the parallel-executor scaling sweep.
+struct ScalePoint {
+    requested: u32,
+    used: u32,
+    rate: Rate,
+}
+
+/// Measure `scheds` under the conservative parallel executor at each
+/// requested shard count (one warm-up + one measured run per point).
+/// Simulation results are byte-identical at every count, so the sweep
+/// measures pure executor wall time.
+fn bench_scaling(
+    name: &str,
+    cfg: &ClusterConfig,
+    scheds: &[Vec<SuperStep>],
+    counts: &[u32],
+) -> Vec<ScalePoint> {
+    counts
+        .iter()
+        .map(|&s| {
+            let c = cfg.clone().with_shards(s);
+            let _ = run_cluster(c.clone(), scheds);
+            let (events, wall, sim, cl) = run_cluster(c, scheds);
+            eprintln!(
+                "  [{name} shards={s}] {events} events over {sim:.3} simulated s ({} shard(s) used)",
+                cl.shards()
+            );
+            ScalePoint {
+                requested: s,
+                used: cl.shards(),
+                rate: rate(events, std::time::Duration::from_secs_f64(wall)),
+            }
+        })
+        .collect()
 }
 
 // --------------------------------------------------------------- output
@@ -275,26 +394,31 @@ fn repo_root() -> std::path::PathBuf {
 
 struct Report {
     quick: bool,
+    cores: usize,
     churn_wheel: Rate,
     churn_heap: Rate,
     all_to_all_8: Rate,
     bulk_32: Rate,
     audit_on_events_per_sec: f64,
     audit_off_events_per_sec: f64,
+    /// Median of per-pair audit-on/off wall ratios minus one, in percent,
+    /// with its 95% CI (same estimator as the telemetry comparison).
+    audit_overhead_pct: f64,
+    audit_overhead_ci_pct: (f64, f64),
     telemetry_on_events_per_sec: f64,
     telemetry_off_events_per_sec: f64,
-    /// Median of per-pair wall ratios minus one, in percent (robust to
-    /// machine jitter, unlike a ratio of two independent best-ofs).
+    /// Median of per-pair wall ratios minus one, in percent.
     telemetry_overhead_pct: f64,
+    /// 95% CI on the median overhead, in percent (the `--check` gate
+    /// tests the upper bound, so the verdict carries its uncertainty).
+    telemetry_overhead_ci_pct: (f64, f64),
+    scaling_32: Vec<ScalePoint>,
+    scaling_128: Vec<ScalePoint>,
 }
 
 impl Report {
     fn speedup(&self) -> f64 {
         self.churn_wheel.events_per_sec / self.churn_heap.events_per_sec
-    }
-
-    fn audit_overhead_pct(&self) -> f64 {
-        (self.audit_off_events_per_sec / self.audit_on_events_per_sec - 1.0) * 100.0
     }
 
     fn telemetry_overhead_pct(&self) -> f64 {
@@ -308,9 +432,27 @@ impl Report {
                 r.events, r.events_per_sec, r.ns_per_event
             )
         }
+        fn scaling(points: &[ScalePoint]) -> String {
+            let seq = points.first().map(|p| p.rate.events_per_sec).unwrap_or(0.0);
+            points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "      {{ \"shards_requested\": {}, \"shards\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \"speedup_vs_seq\": {:.3} }}",
+                        p.requested,
+                        p.used,
+                        p.rate.events,
+                        p.rate.events_per_sec,
+                        p.rate.events_per_sec / seq.max(1e-12)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n")
+        }
         format!(
-            "{{\n  \"schema\": 2,\n  \"quick\": {},\n  \"workloads\": {{\n    \"timer_churn\": {{\n      \"wheel\": {},\n      \"ref_heap\": {},\n      \"speedup_vs_heap\": {:.3}\n    }},\n    \"all_to_all_8\": {},\n    \"bulk_32\": {}\n  }},\n  \"audit_overhead\": {{\n    \"workload\": \"all_to_all_8\",\n    \"audit_on_events_per_sec\": {:.1},\n    \"audit_off_events_per_sec\": {:.1},\n    \"overhead_pct\": {:.2}\n  }},\n  \"telemetry_overhead\": {{\n    \"workload\": \"all_to_all_8\",\n    \"telemetry_on_events_per_sec\": {:.1},\n    \"telemetry_off_events_per_sec\": {:.1},\n    \"overhead_pct\": {:.2}\n  }}\n}}\n",
+            "{{\n  \"schema\": 3,\n  \"quick\": {},\n  \"cores\": {},\n  \"workloads\": {{\n    \"timer_churn\": {{\n      \"wheel\": {},\n      \"ref_heap\": {},\n      \"speedup_vs_heap\": {:.3}\n    }},\n    \"all_to_all_8\": {},\n    \"bulk_32\": {}\n  }},\n  \"audit_overhead\": {{\n    \"workload\": \"all_to_all_8\",\n    \"audit_on_events_per_sec\": {:.1},\n    \"audit_off_events_per_sec\": {:.1},\n    \"overhead_pct\": {:.2},\n    \"ci95_pct\": [{:.2}, {:.2}]\n  }},\n  \"telemetry_overhead\": {{\n    \"workload\": \"all_to_all_8\",\n    \"telemetry_on_events_per_sec\": {:.1},\n    \"telemetry_off_events_per_sec\": {:.1},\n    \"overhead_pct\": {:.2},\n    \"ci95_pct\": [{:.2}, {:.2}]\n  }},\n  \"scaling\": {{\n    \"bulk_32\": [\n{}\n    ],\n    \"bulk_128\": [\n{}\n    ]\n  }}\n}}\n",
             self.quick,
+            self.cores,
             workload(&self.churn_wheel),
             workload(&self.churn_heap),
             self.speedup(),
@@ -318,10 +460,16 @@ impl Report {
             workload(&self.bulk_32),
             self.audit_on_events_per_sec,
             self.audit_off_events_per_sec,
-            self.audit_overhead_pct(),
+            self.audit_overhead_pct,
+            self.audit_overhead_ci_pct.0,
+            self.audit_overhead_ci_pct.1,
             self.telemetry_on_events_per_sec,
             self.telemetry_off_events_per_sec,
             self.telemetry_overhead_pct(),
+            self.telemetry_overhead_ci_pct.0,
+            self.telemetry_overhead_ci_pct.1,
+            scaling(&self.scaling_32),
+            scaling(&self.scaling_128),
         )
     }
 }
@@ -358,65 +506,83 @@ fn main() {
     let rounds = if quick { 30 } else { 480 };
     eprintln!("all-to-all-8: {rounds} rounds of 64 B per pair...");
     let a2a = alltoall_schedules(8, rounds, 64, 8192);
-    let all_to_all_8 = bench_cluster("a2a-8", ClusterConfig::now(8).with_audit(false), &a2a);
+    let all_to_all_8 =
+        bench_cluster("a2a-8", with_shards_arg(ClusterConfig::now(8).with_audit(false)), &a2a);
 
-    eprintln!("audit overhead: same workload with auditor hooks attached...");
-    let (ae, aw, _, _) = run_cluster(ClusterConfig::now(8).with_audit(true), &a2a);
-    let audit_on = rate(ae, std::time::Duration::from_secs_f64(aw));
+    // Both observer-overhead comparisons run on a fixed-size workload
+    // (independent of --quick) so the numbers are comparable across runs.
+    let a2a_tel = alltoall_schedules(8, 1600, 64, 8192);
+
+    // Audit overhead: informational (no gate), so a fixed 7 pairs of the
+    // paired median-of-ratios estimator suffice for a stable reading.
+    eprintln!("audit overhead: all-to-all-8 with auditor hooks attached vs detached...");
+    let audit = bench_cluster_ab(
+        with_shards_arg(ClusterConfig::now(8).with_audit(false)),
+        with_shards_arg(ClusterConfig::now(8).with_audit(true)),
+        &a2a_tel,
+        7,
+        7,
+        f64::INFINITY,
+    );
 
     // Telemetry overhead gate: the same workload with metric/span hooks
-    // attached must stay within 2% of the detached run. Fixed-size
-    // workload (independent of --quick), interleaved best-of-9 on both
-    // sides, and — because shared boxes show multi-second interference
-    // windows that can poison a whole measurement block — a reading
-    // above the ceiling is re-measured up to twice, keeping the
-    // minimum. A real regression is high on every attempt; a noise
-    // spike is not.
+    // attached must stay within 2% of the detached run. Paired
+    // median-of-ratios estimator with sequential sampling: the pair count
+    // grows (9 → up to 121) until the confidence interval can decide
+    // against the ceiling, so one interference spike can neither fail the
+    // gate nor pass it vacuously. The budget has to be generous: with a
+    // true median near 1% the order-statistic CI needs n in the hundreds
+    // before its upper bound clears a 2% ceiling on a noisy box.
     eprintln!("telemetry overhead: all-to-all-8 with telemetry hooks attached vs detached...");
-    let a2a_tel = alltoall_schedules(8, 1600, 64, 8192);
-    let measure_tel = || {
-        bench_cluster_ab(
-            ClusterConfig::now(8).with_audit(false),
-            ClusterConfig::now(8).with_audit(false).with_telemetry(true),
-            &a2a_tel,
-            9,
-        )
-    };
-    let mut tel = measure_tel();
-    for retry in 0..2 {
-        if tel.0 <= TEL_OVERHEAD_CEILING {
-            break;
-        }
-        eprintln!(
-            "  reading {:+.2}% above ceiling; re-measuring (noise guard, retry {}/2)",
-            tel.0 * 100.0,
-            retry + 1
-        );
-        let again = measure_tel();
-        if again.0 < tel.0 {
-            tel = again;
-        }
-    }
-    let (tel_overhead, tel_off, tel_on, tel_cluster) = tel;
-    emit_telemetry("engine_bench_a2a8", &tel_cluster);
+    let tel = bench_cluster_ab(
+        with_shards_arg(ClusterConfig::now(8).with_audit(false)),
+        with_shards_arg(ClusterConfig::now(8).with_audit(false).with_telemetry(true)),
+        &a2a_tel,
+        9,
+        121,
+        TEL_OVERHEAD_CEILING,
+    );
+    emit_telemetry("engine_bench_a2a8", &tel.last_b);
 
     let bulk_rounds = if quick { 2 } else { 8 };
     eprintln!("bulk-32: {bulk_rounds} rounds of 64 KB per pair...");
     let bulk = alltoall_schedules(32, bulk_rounds, 65_536, 8192);
-    let bulk_32 = bench_cluster("bulk-32", ClusterConfig::now(32).with_audit(false), &bulk);
+    let bulk_32 =
+        bench_cluster("bulk-32", with_shards_arg(ClusterConfig::now(32).with_audit(false)), &bulk);
 
-    let audit_off_events_per_sec = all_to_all_8.events_per_sec;
+    let shard_counts = [1, 2, 4, 8];
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("scaling: bulk-32 at {shard_counts:?} shards ({cores} core(s) available)...");
+    let scaling_32 =
+        bench_scaling("bulk-32", &ClusterConfig::now(32).with_audit(false), &bulk, &shard_counts);
+
+    let bulk128_bytes = if quick { 4_096 } else { 16_384 };
+    eprintln!("scaling: bulk-128, one round of {bulk128_bytes} B per pair...");
+    let bulk128 = alltoall_schedules(128, 1, bulk128_bytes, 8192);
+    let scaling_128 = bench_scaling(
+        "bulk-128",
+        &ClusterConfig::now(128).with_audit(false),
+        &bulk128,
+        &shard_counts,
+    );
+
     let report = Report {
         quick,
+        cores,
         churn_wheel,
         churn_heap,
         all_to_all_8,
         bulk_32,
-        audit_on_events_per_sec: audit_on.events_per_sec,
-        audit_off_events_per_sec,
-        telemetry_on_events_per_sec: tel_on.events_per_sec,
-        telemetry_off_events_per_sec: tel_off.events_per_sec,
-        telemetry_overhead_pct: tel_overhead * 100.0,
+        audit_on_events_per_sec: audit.best_b.events_per_sec,
+        audit_off_events_per_sec: audit.best_a.events_per_sec,
+        audit_overhead_pct: audit.median * 100.0,
+        audit_overhead_ci_pct: (audit.ci.0 * 100.0, audit.ci.1 * 100.0),
+        telemetry_on_events_per_sec: tel.best_b.events_per_sec,
+        telemetry_off_events_per_sec: tel.best_a.events_per_sec,
+        telemetry_overhead_pct: tel.median * 100.0,
+        telemetry_overhead_ci_pct: (tel.ci.0 * 100.0, tel.ci.1 * 100.0),
+        scaling_32,
+        scaling_128,
     };
 
     let mut t = Table::new(
@@ -432,16 +598,39 @@ fn main() {
         t.row(vec![name.into(), r.events.to_string(), f1(r.events_per_sec), f2(r.ns_per_event)]);
     }
     println!("{}", t.render());
+
+    let mut st = Table::new(
+        &format!("Parallel-executor scaling ({cores} core(s) available)"),
+        &["workload", "shards", "events", "events/s", "speedup vs seq"],
+    );
+    for (name, points) in [("bulk-32", &report.scaling_32), ("bulk-128", &report.scaling_128)] {
+        let seq = points.first().map(|p| p.rate.events_per_sec).unwrap_or(0.0);
+        for p in points {
+            st.row(vec![
+                name.into(),
+                format!("{} ({} used)", p.requested, p.used),
+                p.rate.events.to_string(),
+                f1(p.rate.events_per_sec),
+                f2(p.rate.events_per_sec / seq.max(1e-12)),
+            ]);
+        }
+    }
+    println!("{}", st.render());
+
     println!("wheel speedup vs heap on timer-churn: {:.2}x", report.speedup());
     println!(
-        "auditor overhead on all-to-all-8: {:.1}% (hooks detached {} ev/s vs attached {} ev/s)",
-        report.audit_overhead_pct(),
+        "auditor overhead on all-to-all-8: {:.1}% CI95 [{:.1}%, {:.1}%] (detached {} ev/s vs attached {} ev/s)",
+        report.audit_overhead_pct,
+        report.audit_overhead_ci_pct.0,
+        report.audit_overhead_ci_pct.1,
         f1(report.audit_off_events_per_sec),
         f1(report.audit_on_events_per_sec),
     );
     println!(
-        "telemetry overhead on all-to-all-8: {:.1}% (hooks detached {} ev/s vs attached {} ev/s)",
+        "telemetry overhead on all-to-all-8: {:.1}% CI95 [{:.1}%, {:.1}%] (detached {} ev/s vs attached {} ev/s)",
         report.telemetry_overhead_pct(),
+        report.telemetry_overhead_ci_pct.0,
+        report.telemetry_overhead_ci_pct.1,
         f1(report.telemetry_off_events_per_sec),
         f1(report.telemetry_on_events_per_sec),
     );
@@ -459,14 +648,39 @@ fn main() {
             eprintln!("REGRESSION: wheel speedup dropped more than 25% below the committed baseline");
             std::process::exit(1);
         }
-        let tel_pct = report.telemetry_overhead_pct();
+        let tel_hi = report.telemetry_overhead_ci_pct.1;
         println!(
-            "--check: telemetry overhead {tel_pct:.2}% (ceiling {:.2}%)",
+            "--check: telemetry overhead median {:.2}%, CI upper bound {tel_hi:.2}% (ceiling {:.2}%)",
+            report.telemetry_overhead_pct(),
             TEL_OVERHEAD_CEILING * 100.0
         );
-        if tel_pct > TEL_OVERHEAD_CEILING * 100.0 {
-            eprintln!("REGRESSION: telemetry hooks cost more than 2% on all-to-all-8");
+        if tel_hi > TEL_OVERHEAD_CEILING * 100.0 {
+            eprintln!(
+                "REGRESSION: telemetry hooks cost more than 2% on all-to-all-8 \
+                 (CI upper bound, paired median-of-ratios estimator)"
+            );
             std::process::exit(1);
+        }
+        // Scaling smoke: on a machine with real parallelism, running
+        // bulk-128 on more shards must not be slower than sequential.
+        // With fewer cores than shards the comparison only measures
+        // barrier contention, so it is reported but not enforced.
+        let seq = report.scaling_128.iter().find(|p| p.used == 1);
+        let par4 = report.scaling_128.iter().find(|p| p.requested == 4 && p.used > 1);
+        if let (Some(seq), Some(par4)) = (seq, par4) {
+            let speedup = par4.rate.events_per_sec / seq.rate.events_per_sec.max(1e-12);
+            println!(
+                "--check: bulk-128 4-shard speedup {speedup:.2}x over sequential on {cores} core(s)"
+            );
+            if cores >= 4 && speedup < 1.0 {
+                eprintln!("REGRESSION: 4-shard bulk-128 is slower than sequential on {cores} cores");
+                std::process::exit(1);
+            }
+            if cores < 4 {
+                println!(
+                    "  (only {cores} core(s): scaling comparison informational, gate skipped)"
+                );
+            }
         }
     }
 }

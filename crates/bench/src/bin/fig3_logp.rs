@@ -10,6 +10,7 @@ use vnet_bench::{f2, Table};
 use vnet_core::ClusterConfig;
 
 fn main() {
+    vnet_bench::init_shards_env();
     let vn = run_logp(ClusterConfig::now(2));
     let gam = run_logp(ClusterConfig::gam(2));
 

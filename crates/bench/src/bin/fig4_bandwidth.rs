@@ -10,6 +10,7 @@ use vnet_bench::{f1, f2, par_run, Table};
 use vnet_core::ClusterConfig;
 
 fn main() {
+    vnet_bench::init_shards_env();
     let jobs: Vec<vnet_bench::Job<_>> = vec![
         Box::new(|| run_bandwidth(&ClusterConfig::now(2))),
         Box::new(|| run_bandwidth(&ClusterConfig::gam(2))),

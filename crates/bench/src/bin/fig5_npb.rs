@@ -10,6 +10,7 @@ use vnet_apps::npb::{speedup_series, Kernel, MachineModel};
 use vnet_bench::{default_par, f2, par_run, quick_mode, Table};
 
 fn main() {
+    vnet_bench::init_shards_env();
     let quick = quick_mode();
     let procs: Vec<usize> =
         if quick { vec![2, 4, 8] } else { vec![2, 4, 8, 16, 25, 32, 36] };

@@ -24,6 +24,7 @@ fn configs() -> Vec<(&'static str, CsMode, u32)> {
 }
 
 fn main() {
+    vnet_bench::init_shards_env();
     let quick = quick_mode();
     let clients: Vec<u32> =
         if quick { vec![1, 2, 4, 10] } else { vec![1, 2, 3, 4, 6, 8, 10, 12, 16] };

@@ -95,6 +95,7 @@ fn run_outage(outage_ms: u64) -> (u32, u32, u64, f64) {
 }
 
 fn main() {
+    vnet_bench::init_shards_env();
     let mut t = Table::new(
         "Section 3.2: link hot-swap — outage duration vs delivery outcome (300 requests)",
         &["outage (ms)", "delivered", "returned to sender", "retransmissions", "outcome"],

@@ -13,6 +13,7 @@ use vnet_apps::linpack::{run_linpack, LinpackConfig, LinpackResult};
 use vnet_bench::{default_par, f1, f2, par_run, quick_mode, Table};
 
 fn main() {
+    vnet_bench::init_shards_env();
     let quick = quick_mode();
     let node_counts: Vec<usize> = if quick { vec![4, 16] } else { vec![4, 16, 36, 64, 100] };
     // 2-D block-cyclic grids need perfect squares (as ScaLAPACK prefers).

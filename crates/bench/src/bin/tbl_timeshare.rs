@@ -11,6 +11,7 @@ use vnet_bench::{default_par, f3, par_run, quick_mode, Table};
 use vnet_core::prelude::SimDuration;
 
 fn main() {
+    vnet_bench::init_shards_env();
     let quick = quick_mode();
     let nodes = if quick { 4 } else { 16 };
     let steps = if quick { 40 } else { 100 };

@@ -10,6 +10,7 @@ use vnet_apps::via::ViaModel;
 use vnet_bench::Table;
 
 fn main() {
+    vnet_bench::init_shards_env();
     let m = ViaModel::default();
     let mut t = Table::new(
         "Section 7: VIA connections vs virtual-network endpoints (full connectivity)",

@@ -100,6 +100,37 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// The worker-shard count passed via `--shards <n>`, if any. Every bench
+/// binary applies it on top of its configuration (results are
+/// byte-identical for any value; only wall time changes). The
+/// `VNET_SHARDS` environment variable sets the preset default instead.
+pub fn shards_arg() -> Option<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--shards").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("--shards requires a positive integer"))
+    })
+}
+
+/// Apply the `--shards` override (when present) to a configuration.
+pub fn with_shards_arg(cfg: vnet_core::ClusterConfig) -> vnet_core::ClusterConfig {
+    match shards_arg() {
+        Some(n) => cfg.with_shards(n),
+        None => cfg,
+    }
+}
+
+/// Map `--shards <n>` onto the `VNET_SHARDS` environment variable so that
+/// every cluster the binary builds — including those constructed inside
+/// `vnet-apps` helpers — picks it up as its preset default. Call once at
+/// the top of `main`, before any cluster is created.
+pub fn init_shards_env() {
+    if let Some(n) = shards_arg() {
+        std::env::set_var("VNET_SHARDS", n.to_string());
+    }
+}
+
 /// The directory passed via `--telemetry <dir>`, if any. When present,
 /// bench binaries run an instrumented pass and emit telemetry artifacts
 /// there (see [`emit_telemetry`]).

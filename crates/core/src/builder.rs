@@ -38,6 +38,7 @@ pub struct ClusterBuilder {
     audit: Option<bool>,
     telemetry: bool,
     tracing: bool,
+    shards: Option<u32>,
     tweaks: Vec<ConfigTweak>,
 }
 
@@ -62,6 +63,7 @@ impl ClusterBuilder {
             audit: None,
             telemetry: false,
             tracing: false,
+            shards: None,
             tweaks: Vec::new(),
         }
     }
@@ -135,6 +137,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Worker shards for the conservative parallel executor (clamped to
+    /// what the topology supports; results are byte-identical for any
+    /// value). Default: the `VNET_SHARDS` environment variable, else 1
+    /// (sequential).
+    pub fn shards(mut self, n: u32) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
     /// Escape hatch: arbitrary configuration surgery, applied after every
     /// other builder option, in registration order.
     pub fn tweak(mut self, f: impl FnOnce(&mut ClusterConfig) + 'static) -> Self {
@@ -168,6 +179,9 @@ impl ClusterBuilder {
             cfg.audit = a;
         }
         cfg.telemetry = self.telemetry;
+        if let Some(s) = self.shards {
+            cfg.shards = s.max(1);
+        }
         cfg
     }
 

@@ -8,15 +8,79 @@ use crate::observe::ClusterTelemetry;
 use crate::sys::ThreadBody;
 use crate::world::{Event, World};
 use std::cell::Cell;
-use vnet_net::HostId;
-use vnet_nic::{EpId, GlobalEp, Nic, NicOut};
+use vnet_net::{HostId, Packet, Partition, Phase1};
+use vnet_nic::{EpId, Frame, GlobalEp, Nic, NicOut};
 use vnet_os::{OsOut, Scheduler, SegmentDriver, Tid};
-use vnet_sim::{AuditHandle, Engine, SimDuration, SimTime};
+use vnet_sim::{
+    run_conservative, AuditHandle, Engine, ParShard, SendCell, SimDuration, SimTime,
+    INGRESS_KEY_BIT,
+};
+
+/// Parallel-execution state, present when the configuration asks for more
+/// than one shard: the stable host partition plus one *persistent* engine
+/// per shard. Engines persist across runs because events already in a
+/// shard's wheel may share `Rc` state with that shard's hosts; the
+/// partition never changes, so each host always returns to the engine
+/// holding its pending events.
+struct Par {
+    part: Partition,
+    engines: Vec<Engine<World>>,
+}
+
+/// One worker shard while a parallel run is in flight: the shard's
+/// persistent engine plus the world slice owning its hosts.
+struct ShardRun {
+    engine: Engine<World>,
+    world: World,
+    part: Partition,
+}
+
+impl ParShard for ShardRun {
+    // A cross-shard packet: `(canonical ingress key, corrupt, packet)`.
+    // The packet's payload was deep-cloned at the shard boundary, so the
+    // tuple is a closed graph and `SendCell` may carry it across threads.
+    type Mail = SendCell<(u64, bool, Packet<Frame>)>;
+
+    fn run_until(&mut self, deadline: SimTime) {
+        self.engine.run_until(&mut self.world, deadline);
+    }
+
+    fn next_at_bound(&self) -> Option<SimTime> {
+        self.engine.next_at_bound()
+    }
+
+    fn drain_outbox(&mut self, out: &mut Vec<(usize, SimTime, Self::Mail)>) {
+        for (at, key, corrupt, pkt) in self.world.outbox.drain(..) {
+            let dst = self.part.shard_of(pkt.dst.0) as usize;
+            // SAFETY: the payload was deep-cloned when pushed to the
+            // outbox; nothing else references its `Rc` graph.
+            out.push((dst, at, unsafe { SendCell::new((key, corrupt, pkt)) }));
+        }
+    }
+
+    fn ingest(&mut self, at: SimTime, mail: Self::Mail) {
+        let (key, corrupt, pkt) = mail.into_inner();
+        self.engine.schedule_keyed_at(at, key, Event::Ingress { host: pkt.dst.0, corrupt, pkt });
+    }
+
+    fn last_event_at(&self) -> Option<SimTime> {
+        self.engine.last_event_at()
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    fn sync_now(&mut self, t: SimTime) {
+        self.engine.sync_now(t);
+    }
+}
 
 /// A complete simulated cluster: engine + composed world.
 pub struct Cluster {
     engine: Engine<World>,
     world: World,
+    par: Option<Par>,
     names: NameService,
     /// Run [`Cluster::audit`] automatically at every `run_for` /
     /// `run_until` / `settle` boundary in debug builds, panicking on the
@@ -31,12 +95,23 @@ pub struct Cluster {
 impl Cluster {
     /// Build a cluster from configuration.
     pub fn new(cfg: ClusterConfig) -> Self {
+        let world = World::new(cfg);
+        let part = Partition::plan(world.fabric.topology(), &world.cfg.net, world.cfg.shards);
+        let par = (part.shards() > 1)
+            .then(|| Par { engines: (0..part.shards()).map(|_| Engine::new()).collect(), part });
         Cluster {
             engine: Engine::new(),
-            world: World::new(cfg),
+            world,
+            par,
             names: NameService::new(),
             debug_audit: Cell::new(true),
         }
+    }
+
+    /// Number of worker shards the cluster actually runs with (after
+    /// clamping the configured count to what the topology supports).
+    pub fn shards(&self) -> u32 {
+        self.par.as_ref().map_or(1, |p| p.part.shards())
     }
 
     /// Fluent construction: `Cluster::builder().hosts(32).telemetry(true)
@@ -58,9 +133,23 @@ impl Cluster {
         self.engine.now()
     }
 
-    /// Total events processed.
+    /// Total events processed (summed over every shard engine when the
+    /// parallel executor is active).
     pub fn events_processed(&self) -> u64 {
-        self.engine.events_processed()
+        let par: u64 = self
+            .par
+            .iter()
+            .flat_map(|p| p.engines.iter())
+            .map(|e| e.events_processed())
+            .sum();
+        self.engine.events_processed() + par
+    }
+
+    /// Events still queued across every engine.
+    fn queue_len(&self) -> usize {
+        let par: usize =
+            self.par.iter().flat_map(|p| p.engines.iter()).map(|e| e.queue_len()).sum();
+        self.engine.queue_len() + par
     }
 
     /// Number of hosts.
@@ -257,7 +346,7 @@ impl Cluster {
         let tid = self.world.spawn_thread_raw(host.idx(), body);
         let now = self.engine.now();
         if let Some((d, ev)) = self.world.prep_cpu_kick(host.idx(), now) {
-            self.engine.schedule(d, ev);
+            self.sched_ev(d, ev);
         }
         tid
     }
@@ -278,15 +367,15 @@ impl Cluster {
     /// runs at the boundary (see [`Cluster::audit`]).
     pub fn run_for(&mut self, d: SimDuration) -> u64 {
         let deadline = self.engine.now() + d;
-        let n = self.engine.run_until(&mut self.world, deadline);
-        self.debug_audit_check();
+        let n = self.run_to(deadline);
+        self.post_run();
         n
     }
 
     /// Run until `deadline`. Debug builds audit at the boundary.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        let n = self.engine.run_until(&mut self.world, deadline);
-        self.debug_audit_check();
+        let n = self.run_to(deadline);
+        self.post_run();
         n
     }
 
@@ -294,9 +383,90 @@ impl Cluster {
     /// infinite loops are spawned, or after they all exit). Debug builds
     /// audit at the boundary.
     pub fn settle(&mut self) -> u64 {
-        let n = self.engine.run(&mut self.world);
-        self.debug_audit_check();
+        let n = self.run_to(SimTime::MAX);
+        self.post_run();
         n
+    }
+
+    /// Advance to `deadline` on whichever executor the configuration
+    /// selected; returns the number of events processed.
+    ///
+    /// The parallel path splits the world into per-shard worlds, marries
+    /// each to its persistent engine, runs the conservative epoch protocol
+    /// on scoped worker threads, then absorbs the shards back and snaps
+    /// the facade clock to the merged final time. Every split/absorb step
+    /// is deterministic, so results are byte-identical to the sequential
+    /// path for any shard count.
+    fn run_to(&mut self, deadline: SimTime) -> u64 {
+        match &mut self.par {
+            None => self.engine.run_until(&mut self.world, deadline),
+            Some(par) => {
+                let before: u64 = par.engines.iter().map(|e| e.events_processed()).sum();
+                let worlds = self.world.split_shards(&par.part);
+                let mut shards: Vec<SendCell<ShardRun>> = worlds
+                    .into_iter()
+                    .zip(par.engines.drain(..))
+                    .map(|(world, engine)| {
+                        // SAFETY: the shard world + its engine's pending
+                        // events form one closed `Rc` graph (cross-shard
+                        // frames are deep-cloned, hosts always return to
+                        // the same shard), and the executor runs each
+                        // shard on exactly one thread at a time.
+                        unsafe {
+                            SendCell::new(ShardRun { engine, world, part: par.part.clone() })
+                        }
+                    })
+                    .collect();
+                let final_now = run_conservative(&mut shards, par.part.lookahead(), deadline);
+                let mut worlds = Vec::with_capacity(shards.len());
+                for cell in shards {
+                    let ShardRun { engine, world, .. } = cell.into_inner();
+                    par.engines.push(engine);
+                    worlds.push(world);
+                }
+                self.world.absorb_shards(worlds, &par.part);
+                self.engine.sync_now(final_now);
+                let after: u64 = par.engines.iter().map(|e| e.events_processed()).sum();
+                after - before
+            }
+        }
+    }
+
+    /// Run-boundary bookkeeping shared by both executors: put the trace
+    /// ring and the violation list into canonical `(time, host)` order —
+    /// so reads are identical however the run was executed — then run the
+    /// debug-build audit.
+    fn post_run(&mut self) {
+        self.world.trace.borrow_mut().canonicalize();
+        self.world.auditor.borrow_mut().canonicalize_violations();
+        self.debug_audit_check();
+    }
+
+    /// Schedule a setup-path event on the engine owning its target host.
+    fn sched_ev(&mut self, d: SimDuration, ev: Event) {
+        let at = self.engine.now() + d;
+        match &mut self.par {
+            None => {
+                self.engine.schedule_at(at, ev);
+            }
+            Some(par) => {
+                let s = par.part.shard_of(ev.target_host()) as usize;
+                par.engines[s].schedule_at(at, ev);
+            }
+        }
+    }
+
+    /// Keyed variant of [`Cluster::sched_ev`] for canonical ingress events.
+    fn sched_keyed_at(&mut self, at: SimTime, key: u64, ev: Event) {
+        match &mut self.par {
+            None => {
+                self.engine.schedule_keyed_at(at, key, ev);
+            }
+            Some(par) => {
+                let s = par.part.shard_of(ev.target_host()) as usize;
+                par.engines[s].schedule_keyed_at(at, key, ev);
+            }
+        }
     }
 
     // ----------------------------------------------- external effect glue
@@ -311,11 +481,10 @@ impl Cluster {
                     self.apply_nic_ext(host, nic_outs);
                 }
                 OsOut::Wake(tid) => {
-                    self.engine
-                        .schedule(SimDuration::ZERO, Event::WakeThread { host: host as u32, tid });
+                    self.sched_ev(SimDuration::ZERO, Event::WakeThread { host: host as u32, tid });
                 }
                 OsOut::After(d, ev) => {
-                    self.engine.schedule(d, Event::Os { host: host as u32, ev });
+                    self.sched_ev(d, Event::Os { host: host as u32, ev });
                 }
             }
         }
@@ -326,25 +495,21 @@ impl Cluster {
         for o in outs {
             match o {
                 NicOut::After(d, ev) => {
-                    self.engine.schedule(d, Event::Nic { host: host as u32, ev });
+                    self.sched_ev(d, Event::Nic { host: host as u32, ev });
                 }
-                NicOut::Inject(pkt) => match self.world.fabric.inject(now, pkt) {
-                    vnet_net::InjectOutcome::Delivered { delay, corrupt, pkt } => {
-                        self.engine.schedule(
-                            delay,
-                            Event::Deliver {
-                                host: pkt.dst.0,
-                                src: pkt.src,
-                                frame: pkt.payload,
-                                corrupt,
-                            },
+                NicOut::Inject(pkt) => match self.world.fabric.inject_src(now, pkt) {
+                    Phase1::Ingress { at, seq, corrupt, pkt } => {
+                        let key = INGRESS_KEY_BIT | ((pkt.src.0 as u64) << 40) | seq;
+                        self.sched_keyed_at(
+                            at,
+                            key,
+                            Event::Ingress { host: pkt.dst.0, corrupt, pkt },
                         );
                     }
-                    vnet_net::InjectOutcome::Dropped { .. } => {}
+                    Phase1::Dropped { .. } => {}
                 },
                 NicOut::Driver(msg) => {
-                    self.engine
-                        .schedule(SimDuration::ZERO, Event::DriverMsg { host: host as u32, msg });
+                    self.sched_ev(SimDuration::ZERO, Event::DriverMsg { host: host as u32, msg });
                 }
             }
         }
@@ -363,8 +528,8 @@ impl Cluster {
         let deadline = self.engine.now() + SimDuration::from_millis(50);
         while !self.world.nics[h].is_resident(ep.ep) && self.engine.now() < deadline {
             let step = self.engine.now() + SimDuration::from_micros(100);
-            self.engine.run_until(&mut self.world, step);
-            if self.engine.queue_len() == 0 && !self.world.nics[h].is_resident(ep.ep) {
+            self.run_to(step);
+            if self.queue_len() == 0 && !self.world.nics[h].is_resident(ep.ep) {
                 // Queue drained without the load completing — nothing more
                 // will happen spontaneously.
                 break;
@@ -430,7 +595,7 @@ impl Cluster {
         // Let the scheduler observe the exits.
         let now = self.engine.now();
         if let Some((d, ev)) = self.world.prep_cpu_kick(proc_.host.idx(), now) {
-            self.engine.schedule(d, ev);
+            self.sched_ev(d, ev);
         }
     }
 }

@@ -103,6 +103,14 @@ pub struct ClusterConfig {
     /// and, like the auditor, telemetry is a passive observer — protocol
     /// results are byte-identical either way.
     pub telemetry: bool,
+    /// Worker shards for the conservative parallel executor. `1` (the
+    /// default) runs the classic sequential engine; higher values
+    /// partition hosts across threads with link-latency lookahead.
+    /// Results are byte-identical for any value — the count is clamped
+    /// to what the topology supports (see `vnet_net::Partition::plan`).
+    /// The `VNET_SHARDS` environment variable overrides the preset
+    /// default (but not an explicit [`ClusterConfig::with_shards`]).
+    pub shards: u32,
 }
 
 impl ClusterConfig {
@@ -129,6 +137,7 @@ impl ClusterConfig {
             credits: 32,
             audit: cfg!(debug_assertions),
             telemetry: false,
+            shards: env_shards().unwrap_or(1),
         }
     }
 
@@ -174,10 +183,23 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder-style parallel-shard override. Takes precedence over the
+    /// `VNET_SHARDS` environment default, so differential tests can pin
+    /// both sides of a sequential-vs-parallel comparison.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Number of hosts.
     pub fn hosts(&self) -> u32 {
         self.topology.hosts()
     }
+}
+
+/// The `VNET_SHARDS` environment default (None when unset or unparsable).
+pub(crate) fn env_shards() -> Option<u32> {
+    std::env::var("VNET_SHARDS").ok()?.trim().parse::<u32>().ok().map(|n| n.max(1))
 }
 
 #[cfg(test)]

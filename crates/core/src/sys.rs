@@ -65,7 +65,10 @@ pub enum SendError {
 /// Application thread logic.
 ///
 /// `Any` supertrait allows the harness to downcast bodies and read results
-/// after a run.
+/// after a run. Bodies are *not* required to be `Send`: the parallel
+/// executor moves a whole host (bodies included) between threads as one
+/// closed `Rc` graph under [`vnet_sim::SendCell`]'s invariant, and only
+/// ever runs it on one thread at a time.
 pub trait ThreadBody: Any {
     /// One scheduling burst. See [`Sys`] for the available operations.
     fn run(&mut self, sys: &mut Sys<'_>) -> Step;

@@ -8,14 +8,14 @@ use crate::user::UserEpState;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use vnet_net::{Fabric, FaultPlan, HostId, InjectOutcome, Topology};
+use vnet_net::{Fabric, FaultPlan, HostId, Packet, Partition, Phase1, Topology};
 use vnet_nic::{
     DriverMsg, EpId, Frame, GlobalEp, Nic, NicConfig, NicEvent, NicMode, NicOut, ProtectionKey,
 };
 use vnet_os::{BlockReason, OsEvent, OsOut, Scheduler, SegmentDriver, Tid};
 use vnet_sim::{
     AuditHandle, Auditor, Ctx, SimDuration, SimRng, SimTime, SimWorld, Telemetry, TelemetryHandle,
-    TraceHandle, TraceRing,
+    TraceHandle, TraceRing, INGRESS_KEY_BIT,
 };
 
 /// Minimum CPU time charged per thread burst: no user-level loop runs in
@@ -38,6 +38,18 @@ pub enum Event {
         host: u32,
         /// The event.
         ev: OsEvent,
+    },
+    /// A packet finishing its ascending (source-side) fabric hops: the
+    /// descending-path reservation is made when this fires, in canonical
+    /// `(time, source, sequence)` order, so the sequential and parallel
+    /// executors contend for links identically.
+    Ingress {
+        /// Receiving host.
+        host: u32,
+        /// CRC failure flag decided at injection.
+        corrupt: bool,
+        /// The in-flight packet.
+        pkt: Packet<Frame>,
     },
     /// Frame delivery from the fabric.
     Deliver {
@@ -72,6 +84,22 @@ pub enum Event {
         /// The thread.
         tid: Tid,
     },
+}
+
+impl Event {
+    /// The host this event must execute on (the parallel executor's shard
+    /// router keys on this).
+    pub(crate) fn target_host(&self) -> u32 {
+        match self {
+            Event::Nic { host, .. }
+            | Event::Os { host, .. }
+            | Event::Ingress { host, .. }
+            | Event::Deliver { host, .. }
+            | Event::DriverMsg { host, .. }
+            | Event::Cpu { host, .. }
+            | Event::WakeThread { host, .. } => *host,
+        }
+    }
 }
 
 struct ThreadRec {
@@ -118,6 +146,15 @@ pub struct World {
     cpu: Vec<CpuState>,
     rngs: Vec<SimRng>,
     key_rng: SimRng,
+    /// First global host id owned by this world: `0` for the full world,
+    /// the shard's partition start for a shard world. Events carry global
+    /// host ids; handlers subtract `base` to index the local vectors.
+    base: u32,
+    /// Cross-shard packets produced this epoch: `(arrival, canonical
+    /// ingress key, corrupt, packet)`. Always empty on the full world —
+    /// it owns every host — and drained at each epoch barrier by the
+    /// parallel executor.
+    pub(crate) outbox: Vec<(SimTime, u64, bool, Packet<Frame>)>,
 }
 
 impl World {
@@ -189,6 +226,8 @@ impl World {
             auditor,
             telemetry,
             cfg,
+            base: 0,
+            outbox: Vec::new(),
         }
     }
 
@@ -202,6 +241,31 @@ impl World {
         self.nics.len()
     }
 
+    // ------------------------------------------------------- host indexing
+    //
+    // Events carry *global* host ids so they stay meaningful when the
+    // world is split into shard worlds, each owning the contiguous global
+    // range `[base, base + len)`. Handlers convert on entry.
+
+    /// Local vector index of global host `gh` (must be owned).
+    #[inline]
+    fn hx(&self, gh: u32) -> usize {
+        debug_assert!(self.owns(gh), "event for host {gh} routed to the wrong shard");
+        (gh - self.base) as usize
+    }
+
+    /// Global host id of local vector index `local`.
+    #[inline]
+    fn gh(&self, local: usize) -> u32 {
+        self.base + local as u32
+    }
+
+    /// Whether this world owns global host `gh`.
+    #[inline]
+    fn owns(&self, gh: u32) -> bool {
+        gh >= self.base && ((gh - self.base) as usize) < self.nics.len()
+    }
+
     // ------------------------------------------------------------ effects
 
     /// Apply NIC effects inside an event handler.
@@ -209,21 +273,27 @@ impl World {
         for o in outs {
             match o {
                 NicOut::After(d, ev) => {
-                    ctx.schedule(d, Event::Nic { host: host as u32, ev });
+                    ctx.schedule(d, Event::Nic { host: self.gh(host), ev });
                 }
-                NicOut::Inject(pkt) => match self.fabric.inject(ctx.now(), pkt) {
-                    InjectOutcome::Delivered { delay, corrupt, pkt } => {
-                        ctx.schedule(
-                            delay,
-                            Event::Deliver {
-                                host: pkt.dst.0,
-                                src: pkt.src,
-                                frame: pkt.payload,
-                                corrupt,
-                            },
-                        );
+                NicOut::Inject(pkt) => match self.fabric.inject_src(ctx.now(), pkt) {
+                    Phase1::Ingress { at, seq, corrupt, pkt } => {
+                        let key = INGRESS_KEY_BIT | ((pkt.src.0 as u64) << 40) | seq;
+                        if self.owns(pkt.dst.0) {
+                            ctx.schedule_keyed_at(
+                                at,
+                                key,
+                                Event::Ingress { host: pkt.dst.0, corrupt, pkt },
+                            );
+                        } else {
+                            // Crossing a shard boundary: deep-clone so no
+                            // `Rc` graph spans two worker threads, and hand
+                            // the packet to the epoch barrier.
+                            let mut pkt = pkt;
+                            pkt.payload = pkt.payload.deep_clone();
+                            self.outbox.push((at, key, corrupt, pkt));
+                        }
                     }
-                    InjectOutcome::Dropped { .. } => {}
+                    Phase1::Dropped { .. } => {}
                 },
                 NicOut::Driver(msg) => self.handle_driver_msg(host, msg, ctx),
             }
@@ -245,7 +315,7 @@ impl World {
                     }
                 }
                 OsOut::After(d, ev) => {
-                    ctx.schedule(d, Event::Os { host: host as u32, ev });
+                    ctx.schedule(d, Event::Os { host: self.gh(host), ev });
                 }
             }
         }
@@ -255,7 +325,7 @@ impl World {
     /// wakeups (the composing world owns the scheduler).
     fn handle_driver_msg(&mut self, host: usize, msg: DriverMsg, ctx: &mut Ctx<'_, Event>) {
         let wake_cost = self.cfg.os.wake_cost;
-        self.trace.borrow_mut().record_with(ctx.now(), host as u32, "driver.msg", || {
+        self.trace.borrow_mut().record_with(ctx.now(), self.gh(host), "driver.msg", || {
             format!("{msg:?}")
         });
         match &msg {
@@ -272,7 +342,7 @@ impl World {
                     .chain(self.scheds[host].blocked_on_event(ep))
                     .collect();
                 for tid in tids {
-                    ctx.schedule(wake_cost, Event::WakeThread { host: host as u32, tid });
+                    ctx.schedule(wake_cost, Event::WakeThread { host: self.gh(host), tid });
                     woken += 1;
                 }
                 self.oses[host].note_residency_wakes(woken);
@@ -282,7 +352,7 @@ impl World {
                 let tids = self.scheds[host].blocked_on_event(ep);
                 self.oses[host].note_event_wakes(tids.len() as u64);
                 for tid in tids {
-                    ctx.schedule(wake_cost, Event::WakeThread { host: host as u32, tid });
+                    ctx.schedule(wake_cost, Event::WakeThread { host: self.gh(host), tid });
                 }
             }
             _ => {}
@@ -303,7 +373,7 @@ impl World {
         self.cpu[host].gen += 1;
         self.cpu[host].sched_at = ready;
         let gen = self.cpu[host].gen;
-        ctx.schedule(ready - ctx.now(), Event::Cpu { host: host as u32, gen });
+        ctx.schedule(ready - ctx.now(), Event::Cpu { host: self.gh(host), gen });
     }
 
     fn on_cpu(&mut self, host: usize, gen: u64, ctx: &mut Ctx<'_, Event>) {
@@ -364,7 +434,7 @@ impl World {
         };
         let mut sys = Sys {
             now,
-            host: HostId(host as u32),
+            host: HostId(self.gh(host)),
             nic: &mut self.nics[host],
             os: &mut self.oses[host],
             user: &mut self.user[host],
@@ -395,7 +465,7 @@ impl World {
             }
             Step::Sleep(d) => {
                 self.scheds[host].block_current(BlockReason::Sleep);
-                ctx.schedule(elapsed + d, Event::WakeThread { host: host as u32, tid });
+                ctx.schedule(elapsed + d, Event::WakeThread { host: self.gh(host), tid });
             }
             Step::WaitEvent(ep) => {
                 // Arm the mask first, then re-check, to close the lost
@@ -444,7 +514,7 @@ impl World {
         let key = ProtectionKey(self.key_rng.below(u64::MAX - 1) + 1);
         let mut outs = Vec::new();
         let ep = self.oses[host].create_endpoint(now, key, &mut outs);
-        let gep = GlobalEp::new(HostId(host as u32), ep);
+        let gep = GlobalEp::new(HostId(self.gh(host)), ep);
         self.keys.insert(gep, key);
         self.user[host].entry(ep).or_default();
         (gep, outs)
@@ -494,7 +564,165 @@ impl World {
         self.cpu[host].gen += 1;
         self.cpu[host].sched_at = ready;
         let gen = self.cpu[host].gen;
-        Some((ready - now, Event::Cpu { host: host as u32, gen }))
+        Some((ready - now, Event::Cpu { host: self.gh(host), gen }))
+    }
+
+    // ------------------------------------------------- parallel sharding
+
+    /// Split this world into one world per partition shard, leaving `self`
+    /// an empty husk that retains the canonical fabric, trace, auditor,
+    /// and telemetry. Hosts move wholesale — NIC, driver, scheduler,
+    /// thread bodies, CPU state, RNG streams — so each shard world is a
+    /// closed `Rc` graph suitable for [`vnet_sim::SendCell`].
+    pub(crate) fn split_shards(&mut self, part: &Partition) -> Vec<World> {
+        let n = part.shards();
+        let mut out: Vec<Option<World>> = (0..n).map(|_| None).collect();
+        // Tail-first so each `split_range` peels the current vector tail.
+        for s in (0..n).rev() {
+            let (lo, hi) = part.range(s);
+            out[s as usize] = Some(self.split_range(lo, hi));
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Peel global hosts `[lo, hi)` — currently the tail of the host
+    /// vectors — into a shard world with its own observability sinks.
+    fn split_range(&mut self, lo: u32, hi: u32) -> World {
+        debug_assert_eq!(self.base, 0, "split_range on a shard world");
+        debug_assert_eq!(self.nics.len(), hi as usize, "shards must split tail-first");
+        let l = lo as usize;
+        let mut nics = self.nics.split_off(l);
+        let mut oses = self.oses.split_off(l);
+        let scheds = self.scheds.split_off(l);
+        let user = self.user.split_off(l);
+        let threads = self.threads.split_off(l);
+        let cpu = self.cpu.split_off(l);
+        let rngs = self.rngs.split_off(l);
+        let trace: TraceHandle = Rc::new(RefCell::new(self.trace.borrow().split_shard()));
+        let auditor: AuditHandle = {
+            let mut shard = self.auditor.borrow_mut().split_shard(lo, hi);
+            shard.set_trace(trace.clone());
+            Rc::new(RefCell::new(shard))
+        };
+        if self.cfg.audit {
+            for nic in nics.iter_mut() {
+                nic.attach_auditor(auditor.clone());
+                nic.attach_trace(trace.clone());
+            }
+            for (i, os) in oses.iter_mut().enumerate() {
+                os.attach_instrumentation(lo + i as u32, auditor.clone(), trace.clone());
+            }
+        }
+        let telemetry = self.telemetry.as_ref().map(|main| {
+            let tel: TelemetryHandle = Rc::new(RefCell::new(main.borrow().split_shard()));
+            for nic in nics.iter_mut() {
+                nic.rebind_telemetry(tel.clone());
+            }
+            for os in oses.iter_mut() {
+                os.rebind_telemetry(tel.clone());
+            }
+            // Rebind registered this shard's metric names at zero; pull
+            // their current values so counters keep accumulating.
+            tel.borrow_mut().adopt_values(&main.borrow());
+            tel
+        });
+        World {
+            cfg: self.cfg.clone(),
+            fabric: self.fabric.split_shard(),
+            nics,
+            oses,
+            scheds,
+            user,
+            keys: self.keys.clone(),
+            trace,
+            auditor,
+            telemetry,
+            threads,
+            cpu,
+            rngs,
+            key_rng: self.key_rng.clone(),
+            base: lo,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Inverse of [`World::split_shards`]: host state returns in order,
+    /// the canonical fabric copies back each shard's owned link and fault
+    /// state, and the observability sinks merge deterministically (trace
+    /// entries re-sorted, auditor ledgers fate-joined, telemetry published
+    /// by name).
+    pub(crate) fn absorb_shards(&mut self, shards: Vec<World>, part: &Partition) {
+        let mut shard_auditors = Vec::with_capacity(shards.len());
+        for (s, shard) in shards.into_iter().enumerate() {
+            let World {
+                cfg: _,
+                fabric,
+                mut nics,
+                mut oses,
+                scheds,
+                user,
+                keys: _,
+                trace,
+                auditor,
+                telemetry,
+                threads,
+                cpu,
+                rngs,
+                key_rng: _,
+                base,
+                outbox,
+            } = shard;
+            debug_assert!(outbox.is_empty(), "cross-shard mail left unpublished");
+            let (lo, hi) = part.range(s as u32);
+            debug_assert_eq!(base, lo);
+            debug_assert_eq!(self.nics.len(), lo as usize, "shards must absorb in order");
+            self.fabric.absorb_shard(&fabric, lo, hi, |l| part.link_owner(l) == s as u32);
+            if self.cfg.audit {
+                for nic in nics.iter_mut() {
+                    nic.attach_auditor(self.auditor.clone());
+                    nic.attach_trace(self.trace.clone());
+                }
+                for (i, os) in oses.iter_mut().enumerate() {
+                    os.attach_instrumentation(
+                        lo + i as u32,
+                        self.auditor.clone(),
+                        self.trace.clone(),
+                    );
+                }
+            }
+            if let Some(main) = &self.telemetry {
+                for nic in nics.iter_mut() {
+                    nic.rebind_telemetry(main.clone());
+                }
+                for os in oses.iter_mut() {
+                    os.rebind_telemetry(main.clone());
+                }
+                main.borrow_mut().absorb_shard(unwrap_handle(telemetry.expect("shard telemetry")));
+            }
+            self.nics.append(&mut nics);
+            self.oses.append(&mut oses);
+            self.scheds.extend(scheds);
+            self.user.extend(user);
+            self.threads.extend(threads);
+            self.cpu.extend(cpu);
+            self.rngs.extend(rngs);
+            // The shard auditor holds the shard trace handle; re-point it
+            // at the main ring before unwrapping the shard ring below.
+            let mut a = unwrap_handle(auditor);
+            a.set_trace(self.trace.clone());
+            shard_auditors.push(a);
+            self.trace.borrow_mut().absorb_shard(unwrap_handle(trace));
+        }
+        self.auditor.borrow_mut().absorb_shards(shard_auditors);
+    }
+}
+
+/// Recover sole ownership of a shard-local `Rc<RefCell<_>>` handle after
+/// every component clone has been re-pointed at the main handles.
+fn unwrap_handle<T>(h: Rc<RefCell<T>>) -> T {
+    match Rc::try_unwrap(h) {
+        Ok(cell) => cell.into_inner(),
+        Err(_) => panic!("shard observability handle still shared at absorb"),
     }
 }
 
@@ -504,36 +732,47 @@ impl SimWorld for World {
     fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_, Event>) {
         match ev {
             Event::Nic { host, ev } => {
+                let h = self.hx(host);
                 let mut outs = Vec::new();
-                self.nics[host as usize].on_event(ctx.now(), ev, &mut outs);
-                self.apply_nic(host as usize, outs, ctx);
+                self.nics[h].on_event(ctx.now(), ev, &mut outs);
+                self.apply_nic(h, outs, ctx);
             }
             Event::Os { host, ev } => {
+                let h = self.hx(host);
                 let mut outs = Vec::new();
                 match ev {
-                    OsEvent::DaemonStep => {
-                        self.oses[host as usize].on_daemon_step(ctx.now(), &mut outs)
-                    }
+                    OsEvent::DaemonStep => self.oses[h].on_daemon_step(ctx.now(), &mut outs),
                     OsEvent::PageInDone { ep } => {
-                        self.oses[host as usize].on_page_in_done(ctx.now(), ep, &mut outs)
+                        self.oses[h].on_page_in_done(ctx.now(), ep, &mut outs)
                     }
                 }
-                self.apply_os(host as usize, outs, ctx);
+                self.apply_os(h, outs, ctx);
+            }
+            Event::Ingress { host, corrupt, pkt } => {
+                // Phase two of injection: reserve the descending-path links
+                // now, then deliver after the residual fabric delay.
+                let rest = self.fabric.complete_ingress(ctx.now(), &pkt);
+                let src = pkt.src;
+                ctx.schedule(rest, Event::Deliver { host, src, frame: pkt.payload, corrupt });
             }
             Event::Deliver { host, src, frame, corrupt } => {
+                let h = self.hx(host);
                 let mut outs = Vec::new();
-                self.nics[host as usize].on_packet(ctx.now(), src, frame, corrupt, &mut outs);
-                self.apply_nic(host as usize, outs, ctx);
+                self.nics[h].on_packet(ctx.now(), src, frame, corrupt, &mut outs);
+                self.apply_nic(h, outs, ctx);
             }
             Event::DriverMsg { host, msg } => {
-                self.handle_driver_msg(host as usize, msg, ctx);
+                let h = self.hx(host);
+                self.handle_driver_msg(h, msg, ctx);
             }
             Event::Cpu { host, gen } => {
-                self.on_cpu(host as usize, gen, ctx);
+                let h = self.hx(host);
+                self.on_cpu(h, gen, ctx);
             }
             Event::WakeThread { host, tid } => {
-                if self.scheds[host as usize].wake(tid) {
-                    self.kick_cpu(host as usize, ctx);
+                let h = self.hx(host);
+                if self.scheds[h].wake(tid) {
+                    self.kick_cpu(h, ctx);
                 }
             }
         }

@@ -61,6 +61,33 @@ pub enum InjectOutcome<P> {
     },
 }
 
+/// Phase-1 result of a two-phase injection ([`Fabric::inject_src`]).
+#[derive(Debug)]
+pub enum Phase1<P> {
+    /// The packet reserved its ascending links; its head reaches the
+    /// fabric midpoint at `at`. Finish with [`Fabric::complete_ingress`].
+    Ingress {
+        /// Absolute time the head is ready to enter the descending
+        /// segment. Always ≥ injection time + one `hop_latency` per
+        /// ascending switch hop.
+        at: SimTime,
+        /// Per-source ingress sequence number (monotone per `pkt.src`),
+        /// the canonical tie-break for same-instant ingresses.
+        seq: u64,
+        /// Marks packets the receiver must discard on CRC check.
+        corrupt: bool,
+        /// The in-flight packet.
+        pkt: Packet<P>,
+    },
+    /// The packet was lost before reaching the midpoint.
+    Dropped {
+        /// Why it was lost.
+        reason: DropReason,
+        /// The lost packet.
+        pkt: Packet<P>,
+    },
+}
+
 /// The network: topology + per-link reservation state + fault model.
 pub struct Fabric {
     cfg: NetConfig,
@@ -69,6 +96,8 @@ pub struct Fabric {
     /// Time until which each link is already reserved.
     busy_until: Vec<SimTime>,
     stats: Vec<LinkStats>,
+    /// Per-source ingress sequence numbers (see [`Phase1::Ingress`]).
+    ingress_seq: Vec<u64>,
     route_buf: Vec<LinkId>,
 }
 
@@ -76,12 +105,14 @@ impl Fabric {
     /// Build a fabric over `topo` with fault plan `faults`.
     pub fn new(cfg: NetConfig, topo: Topology, faults: FaultPlan) -> Self {
         let n = topo.link_count() as usize;
+        let hosts = topo.host_count() as usize;
         Fabric {
             cfg,
             topo,
             faults,
             busy_until: vec![SimTime::ZERO; n],
             stats: vec![LinkStats::default(); n],
+            ingress_seq: vec![0; hosts],
             route_buf: Vec::new(),
         }
     }
@@ -124,27 +155,67 @@ impl Fabric {
     /// Inject `pkt` at time `now`. Computes the full passage immediately
     /// (link reservation model — see crate docs) and returns either the
     /// delivery delay or the drop reason.
+    ///
+    /// This is phase 1 + phase 2 back-to-back; the timing is identical to
+    /// running [`Fabric::inject_src`] and then [`Fabric::complete_ingress`]
+    /// at the returned ingress instant, which is what the cluster's
+    /// executors do so a packet's descending links are reserved by the
+    /// *destination's* side of the fabric.
     pub fn inject<P>(&mut self, now: SimTime, pkt: Packet<P>) -> InjectOutcome<P> {
-        self.route_buf.clear();
-        let hops = self.topo.route(pkt.src, pkt.dst, pkt.channel, &mut self.route_buf);
-        if let Some(reason) = self.faults.judge(&self.route_buf) {
-            if reason != DropReason::Corrupted {
-                return InjectOutcome::Dropped { reason, pkt };
+        match self.inject_src(now, pkt) {
+            Phase1::Dropped { reason, pkt } => InjectOutcome::Dropped { reason, pkt },
+            Phase1::Ingress { at, corrupt, pkt, .. } => {
+                let rest = self.complete_ingress(at, &pkt);
+                InjectOutcome::Delivered { delay: (at + rest) - now, corrupt, pkt }
             }
-            // Corrupted packets still consume wire resources; fall through
-            // and deliver marked corrupt.
-            let delay = self.walk(now, pkt.wire_bytes(self.cfg.header_bytes), hops);
-            return InjectOutcome::Delivered { delay, corrupt: true, pkt };
         }
-        let delay = self.walk(now, pkt.wire_bytes(self.cfg.header_bytes), hops);
-        InjectOutcome::Delivered { delay, corrupt: false, pkt }
     }
 
-    /// Walk the route reserving links; returns tail-arrival delay from `now`.
-    fn walk(&mut self, now: SimTime, wire_bytes: u32, switch_hops: u32) -> SimDuration {
+    /// Phase 1 of a two-phase injection: judge the fault model (on
+    /// `pkt.src`'s own stream) and reserve the route's *ascending* links
+    /// ([`Topology::split_point`]). On success the packet's head is ready
+    /// to enter the descending segment at the returned ingress time.
+    pub fn inject_src<P>(&mut self, now: SimTime, pkt: Packet<P>) -> Phase1<P> {
+        self.route_buf.clear();
+        self.topo.route(pkt.src, pkt.dst, pkt.channel, &mut self.route_buf);
+        let corrupt = match self.faults.judge(pkt.src.0, &self.route_buf) {
+            Some(DropReason::Corrupted) => true, // still consumes wire time
+            Some(reason) => return Phase1::Dropped { reason, pkt },
+            None => false,
+        };
+        let k = self.topo.split_point(pkt.src, pkt.dst) as usize;
+        let wire = pkt.wire_bytes(self.cfg.header_bytes);
+        let at = self.walk(now, wire, 0, k);
+        let seq = &mut self.ingress_seq[pkt.src.0 as usize];
+        *seq += 1;
+        Phase1::Ingress { at, seq: *seq, corrupt, pkt }
+    }
+
+    /// Phase 2: reserve the route's *descending* links starting from the
+    /// ingress instant `at` (as returned by [`Fabric::inject_src`]) and
+    /// return the remaining delay until the packet's tail reaches
+    /// `pkt.dst`.
+    pub fn complete_ingress<P>(&mut self, at: SimTime, pkt: &Packet<P>) -> SimDuration {
+        self.route_buf.clear();
+        self.topo.route(pkt.src, pkt.dst, pkt.channel, &mut self.route_buf);
+        let k = self.topo.split_point(pkt.src, pkt.dst) as usize;
+        let wire = pkt.wire_bytes(self.cfg.header_bytes);
+        let len = self.route_buf.len();
+        let head = self.walk(at, wire, k, len);
+        // Tail arrives one serialization after the head enters the last
+        // link (the head value after an empty descending segment is the
+        // ingress instant itself).
+        let ser = SimDuration::for_bytes(wire as u64, self.cfg.link_mb_s);
+        (head + ser) - at
+    }
+
+    /// Reserve links `route_buf[from..to]`, the head entering the first
+    /// of them at `head`; returns when the head is past link `to` (plus
+    /// the switch latency unless `to` is the route's end).
+    fn walk(&mut self, mut head: SimTime, wire_bytes: u32, from: usize, to: usize) -> SimTime {
         let ser = SimDuration::for_bytes(wire_bytes as u64, self.cfg.link_mb_s);
-        let mut head = now; // when the head is ready to enter the next link
-        for i in 0..self.route_buf.len() {
+        let len = self.route_buf.len();
+        for i in from..to {
             let l = self.route_buf[i].idx();
             let enter = head.max(self.busy_until[l]);
             self.busy_until[l] = enter + ser;
@@ -153,18 +224,43 @@ impl Fabric {
             st.bytes += wire_bytes as u64;
             st.busy_ns += ser.as_nanos();
             // Cut-through: the head moves on after the switch latency; the
-            // body streams behind it. (Host injection, i==0, has no switch.)
-            head = enter
-                + if i + 1 < self.route_buf.len() {
-                    self.cfg.hop_latency
-                } else {
-                    SimDuration::ZERO
-                };
+            // body streams behind it. (Host injection, i==0, has no switch;
+            // likewise nothing follows the final link.)
+            head = enter + if i + 1 < len { self.cfg.hop_latency } else { SimDuration::ZERO };
         }
-        // Tail arrives one serialization after the head enters the last link.
-        let _ = switch_hops;
-        let tail = head + ser;
-        tail - now
+        head
+    }
+
+    /// A full copy of the reservation state for one shard of a parallel
+    /// run. Every shard clones the whole fabric (cheap: a few `Vec`s) but
+    /// only ever *exercises* the links and sources it owns; the owned
+    /// slices are copied back by [`Fabric::absorb_shard`].
+    pub fn split_shard(&self) -> Fabric {
+        Fabric {
+            cfg: self.cfg.clone(),
+            topo: self.topo.clone(),
+            faults: self.faults.clone(),
+            busy_until: self.busy_until.clone(),
+            stats: self.stats.clone(),
+            ingress_seq: self.ingress_seq.clone(),
+            route_buf: Vec::new(),
+        }
+    }
+
+    /// Copy back the state a shard owns: reservation times and counters
+    /// for links where `owns_link` holds, plus fault streams and ingress
+    /// sequences for source hosts `lo..hi`.
+    pub fn absorb_shard(&mut self, sh: &Fabric, lo: u32, hi: u32, owns_link: impl Fn(LinkId) -> bool) {
+        for l in 0..self.busy_until.len() {
+            if owns_link(LinkId(l as u32)) {
+                self.busy_until[l] = sh.busy_until[l];
+                self.stats[l] = sh.stats[l].clone();
+            }
+        }
+        self.faults.absorb_shard(&sh.faults, lo, hi);
+        for s in (lo as usize)..(hi as usize).min(sh.ingress_seq.len()) {
+            self.ingress_seq[s] = sh.ingress_seq[s];
+        }
     }
 }
 

@@ -6,6 +6,13 @@
 //! and switches". The [`FaultPlan`] injects exactly those imperfections:
 //! random transmission errors (dropped or corrupted packets) and
 //! administratively downed links (hot-swap events).
+//!
+//! Randomness is drawn from **per-source-host streams** (derived from one
+//! root seed), not one shared stream. This keeps fault decisions a pure
+//! function of each host's own injection sequence, so a parallel run —
+//! where hosts are partitioned across shards and inject in a different
+//! global interleaving — judges every packet exactly as the sequential
+//! run does.
 
 use crate::topology::LinkId;
 use std::collections::HashSet;
@@ -24,7 +31,7 @@ pub enum DropReason {
 }
 
 /// Configurable fault model applied to every traversed link.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FaultPlan {
     /// Probability a packet is silently dropped per *route* traversal.
     pub drop_prob: f64,
@@ -32,9 +39,12 @@ pub struct FaultPlan {
     /// consumes wire time and is delivered marked corrupt).
     pub corrupt_prob: f64,
     down: HashSet<LinkId>,
-    rng: SimRng,
-    drops: u64,
-    corruptions: u64,
+    /// Root from which per-source streams derive (`root.derive(src)`),
+    /// so a stream's identity never depends on first-use order.
+    root: SimRng,
+    streams: Vec<SimRng>,
+    drops: Vec<u64>,
+    corruptions: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -44,9 +54,10 @@ impl FaultPlan {
             drop_prob: 0.0,
             corrupt_prob: 0.0,
             down: HashSet::new(),
-            rng: SimRng::seed_from_u64(seed),
-            drops: 0,
-            corruptions: 0,
+            root: SimRng::seed_from_u64(seed),
+            streams: Vec::new(),
+            drops: Vec::new(),
+            corruptions: Vec::new(),
         }
     }
 
@@ -73,33 +84,59 @@ impl FaultPlan {
         self.down.contains(&l)
     }
 
-    /// Evaluate the fault model for one packet over `route`.
-    /// `None` means clean passage; `Some(reason)` means the packet is lost
-    /// or corrupted.
-    pub fn judge(&mut self, route: &[LinkId]) -> Option<DropReason> {
+    fn grow_to(&mut self, src: u32) {
+        while self.streams.len() <= src as usize {
+            let s = self.streams.len() as u64;
+            self.streams.push(self.root.derive(s));
+            self.drops.push(0);
+            self.corruptions.push(0);
+        }
+    }
+
+    /// Evaluate the fault model for one packet injected by `src` over
+    /// `route`. `None` means clean passage; `Some(reason)` means the
+    /// packet is lost or corrupted. Random draws come from `src`'s own
+    /// stream.
+    pub fn judge(&mut self, src: u32, route: &[LinkId]) -> Option<DropReason> {
+        self.grow_to(src);
+        let s = src as usize;
         if route.iter().any(|l| self.down.contains(l)) {
-            self.drops += 1;
+            self.drops[s] += 1;
             return Some(DropReason::LinkDown);
         }
-        if self.drop_prob > 0.0 && self.rng.chance(self.drop_prob) {
-            self.drops += 1;
+        if self.drop_prob > 0.0 && self.streams[s].chance(self.drop_prob) {
+            self.drops[s] += 1;
             return Some(DropReason::TransmissionError);
         }
-        if self.corrupt_prob > 0.0 && self.rng.chance(self.corrupt_prob) {
-            self.corruptions += 1;
+        if self.corrupt_prob > 0.0 && self.streams[s].chance(self.corrupt_prob) {
+            self.corruptions[s] += 1;
             return Some(DropReason::Corrupted);
         }
         None
     }
 
-    /// Packets dropped so far (errors + down links).
+    /// Packets dropped so far (errors + down links), all sources.
     pub fn drops(&self) -> u64 {
-        self.drops
+        self.drops.iter().sum()
     }
 
-    /// Packets corrupted so far.
+    /// Packets corrupted so far, all sources.
     pub fn corruptions(&self) -> u64 {
-        self.corruptions
+        self.corruptions.iter().sum()
+    }
+
+    /// Copy back the per-source streams and counters owned by hosts
+    /// `lo..hi` from a shard's plan (which started as a clone of this
+    /// one). The down-link set is administrative state only changed
+    /// between runs, so it needs no merging.
+    pub fn absorb_shard(&mut self, sh: &FaultPlan, lo: u32, hi: u32) {
+        let hi = (hi as usize).min(sh.streams.len());
+        for s in (lo as usize)..hi {
+            self.grow_to(s as u32);
+            self.streams[s] = sh.streams[s].clone();
+            self.drops[s] = sh.drops[s];
+            self.corruptions[s] = sh.corruptions[s];
+        }
     }
 }
 
@@ -111,7 +148,7 @@ mod tests {
     fn clean_plan_passes_everything() {
         let mut p = FaultPlan::none(1);
         for _ in 0..1000 {
-            assert_eq!(p.judge(&[LinkId(0), LinkId(1)]), None);
+            assert_eq!(p.judge(0, &[LinkId(0), LinkId(1)]), None);
         }
         assert_eq!(p.drops(), 0);
     }
@@ -121,10 +158,10 @@ mod tests {
         let mut p = FaultPlan::none(1);
         p.link_down(LinkId(5));
         assert!(p.is_down(LinkId(5)));
-        assert_eq!(p.judge(&[LinkId(4), LinkId(5)]), Some(DropReason::LinkDown));
-        assert_eq!(p.judge(&[LinkId(4), LinkId(6)]), None);
+        assert_eq!(p.judge(0, &[LinkId(4), LinkId(5)]), Some(DropReason::LinkDown));
+        assert_eq!(p.judge(0, &[LinkId(4), LinkId(6)]), None);
         p.link_up(LinkId(5));
-        assert_eq!(p.judge(&[LinkId(4), LinkId(5)]), None);
+        assert_eq!(p.judge(0, &[LinkId(4), LinkId(5)]), None);
         assert_eq!(p.drops(), 1);
     }
 
@@ -133,8 +170,8 @@ mod tests {
         let mut p = FaultPlan::with_errors(7, 0.1, 0.1);
         let mut drops = 0;
         let mut corrupt = 0;
-        for _ in 0..10_000 {
-            match p.judge(&[LinkId(0)]) {
+        for i in 0..10_000u32 {
+            match p.judge(i % 4, &[LinkId(0)]) {
                 Some(DropReason::TransmissionError) => drops += 1,
                 Some(DropReason::Corrupted) => corrupt += 1,
                 _ => {}
@@ -143,5 +180,49 @@ mod tests {
         assert!((800..1200).contains(&drops), "drops={drops}");
         // Corruption is judged only on the 90% that survive the drop check.
         assert!((700..1100).contains(&corrupt), "corrupt={corrupt}");
+    }
+
+    #[test]
+    fn per_source_streams_ignore_interleaving() {
+        // Host 2's fault decisions must be the same whether or not other
+        // hosts inject in between — the property parallel sharding needs.
+        let route = [LinkId(0)];
+        let run = |others: bool| {
+            let mut p = FaultPlan::with_errors(42, 0.3, 0.2);
+            let mut seen = Vec::new();
+            for i in 0..200 {
+                if others {
+                    p.judge(0, &route);
+                    p.judge(1, &route);
+                }
+                if i % 2 == 0 {
+                    seen.push(p.judge(2, &route));
+                }
+            }
+            seen
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn absorb_shard_carries_stream_state_home() {
+        let mut main = FaultPlan::with_errors(9, 0.5, 0.0);
+        // Warm up host 1's stream on the main plan, then continue it on a
+        // shard clone and absorb back: the next draw must continue the
+        // sequence, not restart it.
+        for _ in 0..10 {
+            main.judge(1, &[LinkId(0)]);
+        }
+        let mut expect = main.clone();
+        let mut shard = main.clone();
+        for _ in 0..5 {
+            shard.judge(1, &[LinkId(0)]);
+        }
+        main.absorb_shard(&shard, 1, 2);
+        for _ in 0..5 {
+            expect.judge(1, &[LinkId(0)]);
+        }
+        assert_eq!(main.judge(1, &[LinkId(0)]), expect.judge(1, &[LinkId(0)]));
+        assert_eq!(main.drops(), expect.drops());
     }
 }

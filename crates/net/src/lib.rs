@@ -29,11 +29,13 @@
 pub mod fabric;
 pub mod fault;
 pub mod packet;
+pub mod partition;
 pub mod routing;
 pub mod topology;
 
-pub use fabric::{Fabric, InjectOutcome, LinkStats, NetConfig};
+pub use fabric::{Fabric, InjectOutcome, LinkStats, NetConfig, Phase1};
 pub use fault::{DropReason, FaultPlan};
+pub use partition::Partition;
 pub use packet::{HostId, Packet};
 pub use routing::Route;
 pub use topology::{LinkId, Topology, TopologySpec};

@@ -191,6 +191,29 @@ impl Topology {
         }
     }
 
+    /// Number of *ascending* links on the `src → dst` route: the prefix
+    /// reserved at injection time by the source's side of the network.
+    /// The remaining (descending) links are reserved when the packet's
+    /// head crosses the fabric midpoint — see `Fabric::inject_src` /
+    /// `Fabric::complete_ingress`. For the fat tree the split is at the
+    /// spine (so a leaf-aligned partition owns each side), for the
+    /// crossbar at its single switch; the ring has no descending segment
+    /// (every hop is owned by the host it leaves, which is why rings
+    /// cannot be partitioned).
+    pub fn split_point(&self, src: HostId, dst: HostId) -> u32 {
+        match self.spec {
+            TopologySpec::FatTree { .. } => {
+                if self.leaf_of(src) == self.leaf_of(dst) {
+                    1 // host-up; leaf-down belongs to dst's side
+                } else {
+                    2 // host-up + leaf-up; spine-down + host-down are dst's
+                }
+            }
+            TopologySpec::Crossbar { .. } => 1,
+            TopologySpec::Ring { hosts } => (dst.0 + hosts - src.0) % hosts,
+        }
+    }
+
     /// The final (delivery) link into `dst` — the host's receive link. Used
     /// by incast instrumentation.
     pub fn host_down_link(&self, dst: HostId) -> LinkId {

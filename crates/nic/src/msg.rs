@@ -120,6 +120,20 @@ pub struct Frame {
     pub timestamp: u32,
 }
 
+impl Frame {
+    /// A structurally independent copy: a `Data` payload's `Rc` is
+    /// re-allocated rather than reference-shared. The parallel executor
+    /// uses this for frames crossing shard boundaries so that no `Rc`
+    /// graph ever spans two threads.
+    pub fn deep_clone(&self) -> Frame {
+        let mut f = self.clone();
+        if let FrameKind::Data(m) = &self.kind {
+            f.kind = FrameKind::Data(Rc::new((**m).clone()));
+        }
+        f
+    }
+}
+
 /// A message as handed to the user on poll, plus delivery metadata.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeliveredMsg {

@@ -260,6 +260,15 @@ impl Nic {
         self.tel = Some(NicTelemetry::new(self.host.0, tel));
     }
 
+    /// Re-point existing telemetry wiring at another registry (used when a
+    /// host migrates between the main world and a shard), preserving any
+    /// open retransmit/park spans. No-op while telemetry is detached.
+    pub fn rebind_telemetry(&mut self, tel: TelemetryHandle) {
+        if let Some(t) = &mut self.tel {
+            t.rebind(tel);
+        }
+    }
+
     fn audit(&self, f: impl FnOnce(&mut Auditor)) {
         if let Some(a) = &self.auditor {
             f(&mut a.borrow_mut());

@@ -69,6 +69,21 @@ impl NicTelemetry {
         }
     }
 
+    /// Point this wiring at a different registry (a shard's at split, the
+    /// main one at absorb), re-resolving the counter handles by name and
+    /// keeping the open-span maps so episodes spanning a shard boundary
+    /// still close with their original ids.
+    pub(crate) fn rebind(&mut self, tel: TelemetryHandle) {
+        let host = self.host;
+        {
+            let mut t = tel.borrow_mut();
+            self.frames_tx = t.counter(&format!("host{host}.nic.frames_tx"));
+            self.frames_rx = t.counter(&format!("host{host}.nic.frames_rx"));
+            self.dma_bytes = t.counter(&format!("host{host}.nic.dma_bytes"));
+        }
+        self.tel = tel;
+    }
+
     /// Record a whole DMA transfer span (`at` → `done`). This is the one
     /// per-message span hook, so the detail is the allocation-free
     /// [`SpanDetail::Bytes`], not a formatted string.

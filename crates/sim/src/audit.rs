@@ -37,10 +37,10 @@
 //!   (loading / resident / unloading) never exceed the host's endpoint
 //!   frame count, and the occupancy counter never underflows.
 
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 use crate::time::SimTime;
 use crate::trace::TraceRing;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -116,15 +116,15 @@ struct ChanAudit {
 struct HostAudit {
     frames_total: u32,
     occupied: u32,
-    phases: HashMap<u32, EpPhase>,
+    phases: FxHashMap<u32, EpPhase>,
 }
 
 #[derive(Default)]
 struct CreditAudit {
     /// uid → translation index it consumed a credit for.
-    held: HashMap<u64, usize>,
+    held: FxHashMap<u64, usize>,
     /// outstanding count per translation index.
-    per_idx: HashMap<usize, u32>,
+    per_idx: FxHashMap<usize, u32>,
 }
 
 /// Aggregate hook counters (useful for sanity checks and reports).
@@ -158,10 +158,14 @@ pub struct Auditor {
     credit_limit: u32,
     violations: Vec<Violation>,
     total_violations: u64,
-    ledger: HashMap<u64, MsgFate>,
-    channels: HashMap<(u32, u32, u8), ChanAudit>,
-    hosts: HashMap<u32, HostAudit>,
-    credits: HashMap<(u32, u32), CreditAudit>,
+    // FxHash (in-tree, seed-free) instead of SipHash: these maps are keyed
+    // by simulation-generated integers and sit on the audited hot path —
+    // see `crate::fxhash`. Pre-sized so steady-state traffic never
+    // rehashes mid-run.
+    ledger: FxHashMap<u64, MsgFate>,
+    channels: FxHashMap<(u32, u32, u8), ChanAudit>,
+    hosts: FxHashMap<u32, HostAudit>,
+    credits: FxHashMap<(u32, u32), CreditAudit>,
     counters: AuditCounters,
     trace: Option<TraceHandle>,
 }
@@ -180,10 +184,10 @@ impl Auditor {
             credit_limit,
             violations: Vec::new(),
             total_violations: 0,
-            ledger: HashMap::new(),
-            channels: HashMap::new(),
-            hosts: HashMap::new(),
-            credits: HashMap::new(),
+            ledger: fx_map_with_capacity(1024),
+            channels: fx_map_with_capacity(256),
+            hosts: fx_map_with_capacity(64),
+            credits: fx_map_with_capacity(256),
             counters: AuditCounters::default(),
             trace: None,
         }
@@ -205,7 +209,7 @@ impl Auditor {
     pub fn register_host(&mut self, host: u32, frames_total: u32) {
         self.hosts
             .entry(host)
-            .or_insert(HostAudit { frames_total, occupied: 0, phases: HashMap::new() });
+            .or_insert(HostAudit { frames_total, occupied: 0, phases: FxHashMap::default() });
     }
 
     fn violate(&mut self, invariant: &'static str, at: SimTime, host: u32, detail: String) {
@@ -267,11 +271,18 @@ impl Auditor {
     }
 
     /// A message was discarded unresolved (owning endpoint torn down or
-    /// its staged DMA aborted). Resolved fates are left untouched.
+    /// its staged DMA aborted). Resolved fates are left untouched. An
+    /// unknown uid records `Aborted` as well: in a shard auditor (whose
+    /// ledger starts empty each run) "unknown" usually means "posted in
+    /// an earlier run", and the merge join keeps any resolved fate the
+    /// merged ledger already holds.
     pub fn on_send_aborted(&mut self, _at: SimTime, _host: u32, uid: u64) {
         self.counters.aborted += 1;
-        if self.ledger.get(&uid) == Some(&MsgFate::Posted) {
-            self.ledger.insert(uid, MsgFate::Aborted);
+        match self.ledger.get(&uid) {
+            None | Some(MsgFate::Posted) => {
+                self.ledger.insert(uid, MsgFate::Aborted);
+            }
+            Some(_) => {}
         }
     }
 
@@ -419,7 +430,7 @@ impl Auditor {
         let h = self.hosts.entry(host).or_insert(HostAudit {
             frames_total: u32::MAX,
             occupied: 0,
-            phases: HashMap::new(),
+            phases: FxHashMap::default(),
         });
         if h.phases.insert(ep, EpPhase::Host).is_some() {
             self.violate("audit.residency", at, host, format!("ep{ep} created twice"));
@@ -523,6 +534,103 @@ impl Auditor {
             }
             Some(_) => {}
         }
+    }
+
+    // ---------------------------------------------------- shard split/merge
+
+    /// Carve out the auditor state for hosts `lo..hi`, for one shard of a
+    /// parallel run. Per-host model state (channel bindings keyed by
+    /// source host, credit windows, residency mirrors) *moves* to the
+    /// shard so cross-run protocol episodes stay seamless; the delivery
+    /// ledger starts empty (a uid can be touched by two shards — posted
+    /// on one, delivered on another — so fates are joined at merge
+    /// instead), and violations/counters accumulate per run and are
+    /// summed back. The shard's trace handle is left unset; the caller
+    /// attaches the shard's own ring.
+    pub fn split_shard(&mut self, lo: u32, hi: u32) -> Auditor {
+        let mut shard = Auditor::new(self.credit_limit);
+        let in_range = |h: u32| h >= lo && h < hi;
+        shard.channels.extend(self.channels.extract_if(|k, _| in_range(k.0)));
+        shard.credits.extend(self.credits.extract_if(|k, _| in_range(k.0)));
+        shard.hosts.extend(self.hosts.extract_if(|k, _| in_range(*k)));
+        shard
+    }
+
+    /// Merge shard auditors back after a parallel run. Host-keyed state
+    /// moves home, counters and violation totals sum, and ledger fates
+    /// join: `Posted`/`Aborted` yield to a resolved fate, while two
+    /// resolved fates for one uid are the cross-shard form of an
+    /// exactly-once violation. Kept violations from all shards are
+    /// canonicalized by `(time, host)` so the report is identical to a
+    /// sequential run's (see [`Auditor::canonicalize_violations`]).
+    pub fn absorb_shards(&mut self, shards: Vec<Auditor>) {
+        let mut incoming: Vec<Violation> = Vec::new();
+        for mut sh in shards {
+            self.channels.extend(sh.channels.drain());
+            self.credits.extend(sh.credits.drain());
+            self.hosts.extend(sh.hosts.drain());
+            let c = sh.counters;
+            self.counters.posted += c.posted;
+            self.counters.delivered += c.delivered;
+            self.counters.bounced += c.bounced;
+            self.counters.aborted += c.aborted;
+            self.counters.duplicates_filtered += c.duplicates_filtered;
+            self.counters.retransmits += c.retransmits;
+            self.counters.unbinds += c.unbinds;
+            self.counters.stale_timers_suppressed += c.stale_timers_suppressed;
+            self.total_violations += sh.total_violations;
+            incoming.append(&mut sh.violations);
+            for (uid, fate) in sh.ledger.drain() {
+                use MsgFate::*;
+                match self.ledger.get(&uid).copied() {
+                    // Provisional states (unknown / posted / aborted-on-
+                    // unknown, see `on_send_aborted`) yield to whatever the
+                    // shard learned; a provisional incoming fate only fills
+                    // an empty slot.
+                    None => {
+                        self.ledger.insert(uid, fate);
+                    }
+                    Some(Posted) | Some(Aborted) if fate != Posted => {
+                        self.ledger.insert(uid, fate);
+                    }
+                    Some(Posted) | Some(Aborted) => {}
+                    Some(prev @ (Delivered | Bounced)) => {
+                        if fate == Delivered || fate == Bounced {
+                            self.total_violations += 1;
+                            if self.violations.len() + incoming.len() < MAX_KEPT_VIOLATIONS {
+                                incoming.push(Violation {
+                                    invariant: "audit.exactly-once",
+                                    at: SimTime::ZERO,
+                                    host: u32::MAX,
+                                    detail: format!(
+                                        "uid {uid} resolved twice across shards: {prev:?} then {fate:?}"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.violations.append(&mut incoming);
+        self.canonicalize_violations();
+    }
+
+    /// Impose the canonical `(time, host)` order on the kept violations
+    /// (stable, so each host's chronological sub-order survives) and trim
+    /// to the keep window. Both executors call this at run boundaries, so
+    /// reports never depend on cross-host processing order.
+    pub fn canonicalize_violations(&mut self) {
+        self.violations.sort_by_key(|v| (v.at, v.host));
+        self.violations.truncate(MAX_KEPT_VIOLATIONS);
+    }
+
+    /// The full delivery ledger, sorted by uid — the differential suite's
+    /// byte-comparable form.
+    pub fn ledger_snapshot(&self) -> Vec<(u64, MsgFate)> {
+        let mut v: Vec<(u64, MsgFate)> = self.ledger.iter().map(|(k, f)| (*k, *f)).collect();
+        v.sort_unstable_by_key(|e| e.0);
+        v
     }
 
     // ------------------------------------------------------------ reading
@@ -725,5 +833,67 @@ mod tests {
         }
         assert_eq!(a.violations().len(), MAX_KEPT_VIOLATIONS);
         assert_eq!(a.total_violations(), MAX_KEPT_VIOLATIONS as u64 + 10);
+    }
+
+    #[test]
+    fn split_moves_host_state_and_absorb_brings_it_home() {
+        let mut a = Auditor::new(32);
+        a.register_host(0, 2);
+        a.register_host(1, 2);
+        a.os_created(t(0), 1, 0);
+        a.on_credit_acquire(t(1), 1, 0, 3, 900);
+        let mut sh = a.split_shard(1, 2);
+        // Host 1's phases and credit window travelled with the shard: the
+        // release is matched there, not on the main auditor.
+        sh.on_credit_release(t(2), 1, 0, 900);
+        assert!(!sh.has_violations(), "{:?}", sh.violations());
+        a.absorb_shards(vec![sh]);
+        // ...and after absorbing, the main auditor owns the state again.
+        a.on_credit_acquire(t(3), 1, 0, 3, 901);
+        a.on_credit_release(t(4), 1, 0, 901);
+        assert!(!a.has_violations(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn absorb_joins_ledger_fates_across_shards() {
+        let mut a = Auditor::new(32);
+        a.on_posted(t(0), 0, 10); // resolved on a shard
+        a.on_posted(t(0), 0, 11); // never resolves
+        a.on_posted(t(0), 0, 12); // aborted on a shard
+        let mut sh = a.split_shard(1, 2);
+        sh.on_delivered(t(5), 1, 10);
+        sh.on_send_aborted(t(5), 0, 12); // uid unknown to the shard ledger
+        a.absorb_shards(vec![sh]);
+        assert_eq!(
+            a.ledger_snapshot(),
+            vec![
+                (10, MsgFate::Delivered),
+                (11, MsgFate::Posted),
+                (12, MsgFate::Aborted)
+            ]
+        );
+        assert_eq!(a.counters().delivered, 1);
+        assert_eq!(a.counters().aborted, 1);
+        assert!(!a.has_violations(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn absorb_flags_double_resolution_and_sums_totals() {
+        let mut a = Auditor::new(32);
+        a.on_posted(t(0), 0, 7);
+        a.on_delivered(t(1), 0, 7);
+        let mut sh = a.split_shard(1, 2);
+        sh.on_bounced(t(2), 1, 7); // same uid resolved again elsewhere
+        sh.on_credit_release(t(3), 1, 0, 99); // plus a shard-local violation
+        let shard_viol = sh.total_violations();
+        a.absorb_shards(vec![sh]);
+        let names: Vec<_> = a.violations().iter().map(|v| v.invariant).collect();
+        assert!(names.contains(&"audit.exactly-once"), "{names:?}");
+        assert_eq!(a.total_violations(), shard_viol + 1);
+        // Kept list is canonical: sorted by (time, host).
+        let keys: Vec<_> = a.violations().iter().map(|v| (v.at, v.host)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 }

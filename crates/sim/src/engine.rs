@@ -54,10 +54,35 @@ impl<E> Ctx<'_, E> {
         self.wheel.schedule(self.now + delay, ev)
     }
 
-    /// Schedule `ev` at an absolute time (must not be in the past; if it is,
-    /// it fires "now").
+    /// Schedule `ev` at an absolute time. Debug builds panic if `at` lies
+    /// in the past — a past timestamp is always a latent causality bug
+    /// (in the parallel executor it would mean a cross-shard message
+    /// arrived behind a shard's clock), and the old silent clamp-to-`now`
+    /// let such bugs hide. Release builds keep the clamp so a production
+    /// run degrades instead of aborting.
     pub fn schedule_at(&mut self, at: SimTime, ev: E) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "schedule_at into the past: at={}ns < now={}ns",
+            at.as_nanos(),
+            self.now.as_nanos()
+        );
         self.wheel.schedule(at.max(self.now), ev)
+    }
+
+    /// Schedule `ev` at an absolute time with an explicit same-time
+    /// tie-break key (see [`TimingWheel::schedule_keyed`]). Used for
+    /// fabric ingress events, whose ordering must be a pure function of
+    /// `(time, source, per-source sequence)` rather than of which shard
+    /// scheduled them first.
+    pub fn schedule_keyed_at(&mut self, at: SimTime, key: u64, ev: E) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "schedule_keyed_at into the past: at={}ns < now={}ns",
+            at.as_nanos(),
+            self.now.as_nanos()
+        );
+        self.wheel.schedule_keyed(at.max(self.now), key, ev)
     }
 
     /// Cancel a previously scheduled event. Cancelling [`EventId::NONE`] or
@@ -78,6 +103,7 @@ pub struct Engine<W: SimWorld> {
     now: SimTime,
     wheel: TimingWheel<W::Event>,
     events_processed: u64,
+    last_event_at: Option<SimTime>,
 }
 
 impl<W: SimWorld> Default for Engine<W> {
@@ -89,12 +115,62 @@ impl<W: SimWorld> Default for Engine<W> {
 impl<W: SimWorld> Engine<W> {
     /// An engine at time zero with an empty queue.
     pub fn new() -> Self {
-        Engine { now: SimTime::ZERO, wheel: TimingWheel::new(), events_processed: 0 }
+        Engine {
+            now: SimTime::ZERO,
+            wheel: TimingWheel::new(),
+            events_processed: 0,
+            last_event_at: None,
+        }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Timestamp of the most recently handled event, if any. The parallel
+    /// executor uses the maximum across shards to settle every clock on
+    /// the same final time a sequential run would end at.
+    pub fn last_event_at(&self) -> Option<SimTime> {
+        self.last_event_at
+    }
+
+    /// Force the clock to exactly `t`. Used at parallel run boundaries to
+    /// keep every shard's clock — and the merged cluster's — in lockstep:
+    /// a settling shard overshoots to its final epoch's end, and the
+    /// global last-event time (what a sequential run would end at) can be
+    /// slightly behind that. `t` may therefore be below `now`, but never
+    /// below an event this engine has already processed.
+    pub fn sync_now(&mut self, t: SimTime) {
+        debug_assert!(
+            self.last_event_at.is_none_or(|l| t >= l),
+            "sync_now behind an already-processed event"
+        );
+        self.now = t;
+    }
+
+    /// Conservative lower bound on the next pending event's timestamp
+    /// (never later than the true minimum; see
+    /// [`TimingWheel::next_at_bound`]), clamped up to the current clock.
+    pub fn next_at_bound(&self) -> Option<SimTime> {
+        self.wheel.next_at_bound().map(|t| t.max(self.now))
+    }
+
+    /// Keyed counterpart of [`Engine::schedule`] at an absolute time; see
+    /// [`Ctx::schedule_keyed_at`].
+    pub fn schedule_keyed_at(&mut self, at: SimTime, key: u64, ev: W::Event) -> EventId {
+        self.wheel.schedule_keyed(at.max(self.now), key, ev)
+    }
+
+    /// Schedule at an absolute time from outside a handler.
+    pub fn schedule_at(&mut self, at: SimTime, ev: W::Event) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "schedule_at into the past: at={}ns < now={}ns",
+            at.as_nanos(),
+            self.now.as_nanos()
+        );
+        self.wheel.schedule(at.max(self.now), ev)
     }
 
     /// Total number of events handled so far.
@@ -147,6 +223,7 @@ impl<W: SimWorld> Engine<W> {
                     debug_assert!(at >= self.now, "time went backwards");
                     self.now = at;
                     self.events_processed += 1;
+                    self.last_event_at = Some(at);
                     let mut ctx = Ctx { now: at, stop: false, wheel: &mut self.wheel };
                     world.handle(ev, &mut ctx);
                     if ctx.stop {
@@ -164,6 +241,7 @@ impl<W: SimWorld> Engine<W> {
             Due::Event { at, ev } => {
                 self.now = at;
                 self.events_processed += 1;
+                self.last_event_at = Some(at);
                 let mut ctx = Ctx { now: at, stop: false, wheel: &mut self.wheel };
                 world.handle(ev, &mut ctx);
                 true

@@ -11,9 +11,11 @@
 //!   delivered in scheduling order (FIFO tie-breaking on a monotone sequence
 //!   number). All randomness flows through [`rng::SimRng`], a seeded small
 //!   PRNG, so a run is a pure function of `(configuration, seed)`.
-//! * **Single-threaded worlds.** One simulation instance never migrates
-//!   across threads; parallelism in the benchmark harness is achieved by
-//!   running many independent instances, one per OS thread.
+//! * **Single-threaded shards.** Simulation state is `Rc`-linked and never
+//!   *shared* across threads. The conservative parallel executor
+//!   ([`parallel`]) still scales one simulation across cores by moving
+//!   whole shards (a closed `Rc` graph each) between epoch barriers;
+//!   within an epoch every shard runs strictly single-threaded.
 //! * **O(1) timers.** Protocol code cancels timers constantly (an
 //!   acknowledgment cancels a retransmission timer), so the queue is a
 //!   hierarchical timing wheel ([`wheel`]) with O(1) schedule and O(1)
@@ -24,6 +26,8 @@
 
 pub mod audit;
 pub mod engine;
+pub mod fxhash;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -33,6 +37,10 @@ pub mod wheel;
 
 pub use audit::{AuditCounters, AuditHandle, Auditor, EpPhase, MsgFate, TraceHandle, Violation};
 pub use engine::{Ctx, Engine, EventId, SimWorld};
+pub use fxhash::{fx_map_with_capacity, FxHashMap, FxHashSet, FxHasher};
+pub use parallel::{
+    run_conservative, run_conservative_with, Driver, ParShard, SendCell, INGRESS_KEY_BIT,
+};
 pub use telemetry::{
     CounterHandle, GaugeHandle, HistogramHandle, MetricSet, MetricValue, MetricVisitor,
     MetricsSnapshot, SamplerHandle, SpanId, Summary, Telemetry, TelemetryHandle,

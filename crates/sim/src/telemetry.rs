@@ -43,6 +43,7 @@
 //! `nic.chan`). Timestamps are fractional microseconds of simulated
 //! time.
 
+use crate::fxhash::FxHashMap;
 use crate::stats::{LogHistogram, Sampler};
 use crate::time::SimTime;
 use std::cell::{Cell, RefCell};
@@ -475,7 +476,24 @@ pub struct Telemetry {
     spans: Vec<SpanEvent>,
     span_cap: usize,
     dropped_spans: u64,
-    next_span_id: u64,
+    /// Per-host span sequence numbers. Span ids are `(host << 40) | seq`
+    /// rather than a single global counter so that a parallel run — where
+    /// hosts are split across shard registries — assigns each span the
+    /// same id a sequential run would (each host's spans open in host
+    /// event order, which sharding preserves).
+    span_seq: FxHashMap<u32, u64>,
+}
+
+impl SpanEvent {
+    /// Canonical ordering key: `(time, host)`. Ends recover their host
+    /// from the id's host field.
+    fn order_key(&self) -> (SimTime, u32) {
+        match *self {
+            SpanEvent::Begin { at, host, .. } => (at, host),
+            SpanEvent::End { at, id } => (at, (id >> 40) as u32),
+            SpanEvent::Instant { at, host, .. } => (at, host),
+        }
+    }
 }
 
 impl Telemetry {
@@ -492,7 +510,7 @@ impl Telemetry {
     /// begin/instant events are dropped and counted
     /// ([`Telemetry::dropped_spans`]).
     pub fn with_span_cap(cap: usize) -> Self {
-        Telemetry { span_cap: cap.max(16), next_span_id: 1, ..Default::default() }
+        Telemetry { span_cap: cap.max(16), ..Default::default() }
     }
 
     /// A fresh shared handle.
@@ -551,8 +569,9 @@ impl Telemetry {
         name: &'static str,
         detail: impl Into<SpanDetail>,
     ) -> SpanId {
-        let id = self.next_span_id;
-        self.next_span_id += 1;
+        let seq = self.span_seq.entry(host).or_insert(0);
+        *seq += 1;
+        let id = ((host as u64) << 40) | *seq;
         if self.spans.len() >= self.span_cap {
             self.dropped_spans += 1;
             return SpanId(id);
@@ -595,12 +614,124 @@ impl Telemetry {
         self.spans.len()
     }
 
+    // ---------------------------------------------------- shard split/merge
+
+    /// A fresh registry for one shard of a parallel run: same span
+    /// capacity, empty metric tables and span log, and a copy of the
+    /// per-host span sequence map so ids keep counting from where the
+    /// merged registry left off. Components on the shard re-register
+    /// their metrics (which recreates names at zero); call
+    /// [`Telemetry::adopt_values`] afterwards to carry the merged values
+    /// over.
+    pub fn split_shard(&self) -> Telemetry {
+        Telemetry { span_cap: self.span_cap, span_seq: self.span_seq.clone(), ..Default::default() }
+    }
+
+    /// Copy the value of every metric registered *here* from `from`
+    /// (matched by fully-qualified name; names absent there stay as-is).
+    /// Used after shard components re-register, so counters continue from
+    /// the merged baseline instead of restarting at zero.
+    pub fn adopt_values(&mut self, from: &Telemetry) {
+        for (name, c) in &self.counters {
+            if let Some((_, src)) = from.counters.iter().find(|(n, _)| n == name) {
+                c.set(src.get());
+            }
+        }
+        for (name, g) in &self.gauges {
+            if let Some((_, src)) = from.gauges.iter().find(|(n, _)| n == name) {
+                g.set(src.get());
+            }
+        }
+        for (name, s) in &self.samplers {
+            if let Some((_, src)) = from.samplers.iter().find(|(n, _)| n == name) {
+                *s.borrow_mut() = src.borrow().clone();
+            }
+        }
+        for (name, h) in &self.histograms {
+            if let Some((_, src)) = from.histograms.iter().find(|(n, _)| n == name) {
+                *h.borrow_mut() = src.borrow().clone();
+            }
+        }
+    }
+
+    /// Merge one shard registry back. Metric values are *published* by
+    /// name — the shard's value overwrites (and registers if needed) the
+    /// entry here, which is exact because metric names are host-prefixed
+    /// and hosts are partitioned across shards. Span events append (the
+    /// canonical `(time, host)` order is imposed on read, see
+    /// [`Telemetry::export_chrome_trace`]), drop counts sum, and the
+    /// per-host span sequences take the shard's progress.
+    pub fn absorb_shard(&mut self, sh: Telemetry) {
+        for (name, src) in &sh.counters {
+            self.counter(name).0.set(src.get());
+        }
+        for (name, src) in &sh.gauges {
+            self.gauge(name).0.set(src.get());
+        }
+        for (name, src) in &sh.samplers {
+            *self.sampler(name).0.borrow_mut() = src.borrow().clone();
+        }
+        for (name, src) in &sh.histograms {
+            *self.histogram(name).0.borrow_mut() = src.borrow().clone();
+        }
+        self.spans.extend(sh.spans);
+        self.dropped_spans += sh.dropped_spans;
+        for (host, seq) in sh.span_seq {
+            let e = self.span_seq.entry(host).or_insert(0);
+            *e = (*e).max(seq);
+        }
+    }
+
+    /// The span log in canonical `(time, host)` order. Within one
+    /// `(time, host)` cell the original recording order is kept (stable
+    /// sort), which is identical under any shard count because one host's
+    /// events always come from one shard in order.
+    fn canonical_spans(&self) -> Vec<&SpanEvent> {
+        let mut order: Vec<&SpanEvent> = self.spans.iter().collect();
+        order.sort_by_key(|ev| ev.order_key());
+        order
+    }
+
+    /// Render the span log as plain text, one event per line, in the
+    /// canonical `(time, host)` order — a byte-comparable form for
+    /// differential tests (a parallel run must produce exactly the
+    /// sequential run's log).
+    pub fn span_log(&self) -> String {
+        let mut s = String::with_capacity(self.spans.len() * 48);
+        for ev in self.canonical_spans() {
+            match ev {
+                SpanEvent::Begin { at, host, layer, name, id, detail } => {
+                    let _ = write!(s, "t={at} h{host} {layer}/{name} begin 0x{id:x}");
+                    if let Some(d) = detail.render() {
+                        let _ = write!(s, " [{d}]");
+                    }
+                    s.push('\n');
+                }
+                SpanEvent::End { at, id } => {
+                    let _ = writeln!(s, "t={at} h{} end 0x{id:x}", (id >> 40) as u32);
+                }
+                SpanEvent::Instant { at, host, layer, name, detail } => {
+                    let _ = write!(s, "t={at} h{host} {layer}/{name} instant");
+                    if let Some(d) = detail.render() {
+                        let _ = write!(s, " [{d}]");
+                    }
+                    s.push('\n');
+                }
+            }
+        }
+        s
+    }
+
     /// Export the span log as Chrome trace-event / Perfetto JSON.
     ///
     /// Emits `M` metadata naming each host process and layer thread,
     /// async `b`/`e` pairs for spans, and `i` instants. Load the result
     /// at <https://ui.perfetto.dev> or `chrome://tracing`.
     pub fn export_chrome_trace(&self) -> String {
+        // Events are walked in canonical (time, host) order so the export
+        // is identical for sequential and parallel runs of the same
+        // simulation (shard merges only append; order is imposed here).
+        let ordered = self.canonical_spans();
         // Assign stable tids per layer (first-seen order) and collect the
         // (host, layer) tracks actually used, for metadata.
         let mut layer_tids: Vec<&'static str> = Vec::new();
@@ -617,7 +748,7 @@ impl Telemetry {
                 tracks.push((host, layer));
             }
         };
-        for ev in &self.spans {
+        for ev in &ordered {
             match ev {
                 SpanEvent::Begin { host, layer, name, id, .. } => {
                     note(&mut layer_tids, &mut tracks, *host, layer);
@@ -663,7 +794,7 @@ impl Telemetry {
             );
         }
 
-        for ev in &self.spans {
+        for ev in &ordered {
             match ev {
                 SpanEvent::Begin { at, host, layer, name, id, detail } => {
                     sep(&mut s, &mut first);

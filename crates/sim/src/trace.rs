@@ -128,6 +128,37 @@ impl TraceRing {
         self.entries.clear();
         self.dropped = 0;
     }
+
+    /// A fresh ring for one shard of a parallel run: same capacity and
+    /// enabled flag, no entries.
+    pub fn split_shard(&self) -> TraceRing {
+        let mut r = TraceRing::new(self.cap);
+        r.enabled = self.enabled;
+        r
+    }
+
+    /// Merge one shard ring back: entries append and are re-sorted into
+    /// the canonical `(time, host)` order (stable, so one host's
+    /// chronological sub-order survives), the oldest entries are evicted
+    /// down to capacity, and drop counts sum. A parallel run's merged
+    /// ring therefore reads identically to a sequential run's as long as
+    /// neither overflowed.
+    pub fn absorb_shard(&mut self, sh: TraceRing) {
+        self.dropped += sh.dropped;
+        self.entries.extend(sh.entries);
+        self.canonicalize();
+    }
+
+    /// Impose the canonical `(time, host)` order (stable) and evict down
+    /// to capacity. Both executors apply this at run boundaries so dumps
+    /// never depend on cross-host processing order.
+    pub fn canonicalize(&mut self) {
+        self.entries.make_contiguous().sort_by_key(|e| (e.at, e.host));
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -202,6 +202,77 @@ impl<E> TimingWheel<E> {
         EventId::new(self.slab[idx as usize].generation, idx)
     }
 
+    /// Schedule `ev` at `at` with a caller-supplied tie-break key instead
+    /// of the wheel's monotone counter. Same-time events order by key, so
+    /// two wheels fed the same `(at, key)` pairs pop identically no matter
+    /// which wheel scheduled what first — the property the parallel
+    /// executor relies on to merge cross-shard traffic deterministically.
+    ///
+    /// Keys must be unique per wheel and must not collide with the
+    /// internal counter; by convention callers set bit 63 (the counter
+    /// can never reach it), which also makes keyed events sort after
+    /// counter-scheduled events at the same nanosecond in every wheel.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, ev: E) -> EventId {
+        let at = at.as_nanos().max(self.cur);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx as usize].payload = Some(Payload { at, seq: key, ev });
+                idx
+            }
+            None => {
+                let idx = self.slab.len() as u32;
+                debug_assert!(idx != u32::MAX, "slab exhausted");
+                self.slab
+                    .push(SlabEntry { generation: 0, payload: Some(Payload { at, seq: key, ev }) });
+                idx
+            }
+        };
+        self.live += 1;
+        self.place(at, key, idx);
+        EventId::new(self.slab[idx as usize].generation, idx)
+    }
+
+    /// A conservative lower bound on the earliest live event's timestamp:
+    /// never later than the true minimum, possibly earlier (cancelled
+    /// entries and coarse high-level slots round down). `None` when no
+    /// live events remain. O(levels) — no slab scan.
+    ///
+    /// The parallel executor sizes synchronization epochs from this bound;
+    /// "too early" merely shrinks an epoch, while "too late" would break
+    /// conservative causality, so the bound errs low.
+    pub fn next_at_bound(&self) -> Option<SimTime> {
+        if self.live == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for level in 0..LEVELS {
+            let digit = ((self.cur >> (SLOT_BITS * level as u32)) & DIGIT_MASK) as u32;
+            let mask = if level == 0 {
+                u64::MAX << digit
+            } else if digit == 63 {
+                0
+            } else {
+                u64::MAX << (digit + 1)
+            };
+            let hits = self.occupancy[level] & mask;
+            if hits != 0 {
+                let d = hits.trailing_zeros() as u64;
+                let shift = SLOT_BITS * level as u32;
+                let base = if level == 0 {
+                    (self.cur & !DIGIT_MASK) | d
+                } else {
+                    (self.cur & !((1u64 << (shift + SLOT_BITS)) - 1)) | (d << shift)
+                };
+                best = Some(base);
+                break;
+            }
+        }
+        if let Some(Reverse(top)) = self.spill.peek() {
+            best = Some(best.map_or(top.at, |b| b.min(top.at)));
+        }
+        Some(SimTime::from_nanos(best.unwrap_or(self.cur)))
+    }
+
     /// Cancel a scheduled event. Cancelling [`EventId::NONE`], an
     /// already-fired id, or an already-cancelled id is a no-op that
     /// retains nothing. Returns whether a live event was cancelled.
@@ -500,6 +571,16 @@ impl<E> RefHeap<E> {
         id
     }
 
+    /// Keyed mirror of [`TimingWheel::schedule_keyed`]: the caller's key
+    /// replaces the monotone counter as the same-time tie-break.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, ev: E) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live += 1;
+        self.heap.push(RefEntry { at: at.as_nanos(), seq: key, id, ev });
+        id
+    }
+
     fn is_dead(&self, id: u64) -> bool {
         self.dead.get((id / 64) as usize).is_some_and(|w| w & (1 << (id % 64)) != 0)
     }
@@ -657,6 +738,46 @@ mod tests {
         assert!(slab <= 4, "slab grew to {slab}");
         assert_eq!(spill, 0, "spill retained {spill} entries");
         assert!(buckets <= 4096, "bucket capacity grew to {buckets}");
+    }
+
+    #[test]
+    fn keyed_events_order_by_key_regardless_of_insertion_order() {
+        const K: u64 = 1 << 63;
+        // Two wheels fed the same (at, key) pairs in opposite insertion
+        // orders must pop identically — and keyed events must sort after
+        // counter-scheduled events at the same nanosecond.
+        let mut a = TimingWheel::new();
+        let mut b = TimingWheel::new();
+        a.schedule_keyed(t(100), K | 7, 'x');
+        a.schedule_keyed(t(100), K | 3, 'y');
+        a.schedule(t(100), 'n');
+        b.schedule(t(100), 'n');
+        b.schedule_keyed(t(100), K | 3, 'y');
+        b.schedule_keyed(t(100), K | 7, 'x');
+        let got_a = drain(&mut a);
+        let got_b = drain(&mut b);
+        assert_eq!(got_a, got_b);
+        assert_eq!(got_a, vec![(100, 'n'), (100, 'y'), (100, 'x')]);
+    }
+
+    #[test]
+    fn next_at_bound_is_a_lower_bound() {
+        let mut w = TimingWheel::new();
+        assert!(w.next_at_bound().is_none());
+        w.schedule(t(5_000), 1); // level-2 slot: bound may round down
+        let b = w.next_at_bound().unwrap().as_nanos();
+        assert!(b <= 5_000, "bound {b} exceeds true minimum");
+        w.schedule(t(12), 2);
+        let b = w.next_at_bound().unwrap().as_nanos();
+        assert!(b <= 12);
+        // Spill entries participate too.
+        let mut s = TimingWheel::new();
+        s.schedule(t(1 << 40), 3);
+        let b = s.next_at_bound().unwrap().as_nanos();
+        assert!(b <= (1 << 40));
+        // After popping everything the bound disappears.
+        drain(&mut w);
+        assert!(w.next_at_bound().is_none());
     }
 
     #[test]
