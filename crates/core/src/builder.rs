@@ -21,7 +21,7 @@
 
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
-use vnet_net::TopologySpec;
+use vnet_net::{FaultScheduleSpec, TopologySpec};
 
 type ConfigTweak = Box<dyn FnOnce(&mut ClusterConfig)>;
 
@@ -39,6 +39,7 @@ pub struct ClusterBuilder {
     telemetry: bool,
     tracing: bool,
     shards: Option<u32>,
+    faults: Option<FaultScheduleSpec>,
     tweaks: Vec<ConfigTweak>,
 }
 
@@ -64,6 +65,7 @@ impl ClusterBuilder {
             telemetry: false,
             tracing: false,
             shards: None,
+            faults: None,
             tweaks: Vec::new(),
         }
     }
@@ -146,6 +148,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Scheduled fault campaign: timed link flaps, switch failures,
+    /// degrade windows, bursty errors (see
+    /// [`vnet_net::FaultScheduleSpec`]). Default: none.
+    pub fn faults(mut self, spec: FaultScheduleSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// Escape hatch: arbitrary configuration surgery, applied after every
     /// other builder option, in registration order.
     pub fn tweak(mut self, f: impl FnOnce(&mut ClusterConfig) + 'static) -> Self {
@@ -181,6 +191,9 @@ impl ClusterBuilder {
         cfg.telemetry = self.telemetry;
         if let Some(s) = self.shards {
             cfg.shards = s.max(1);
+        }
+        if let Some(f) = &self.faults {
+            cfg.faults = f.clone();
         }
         cfg
     }

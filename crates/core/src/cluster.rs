@@ -90,6 +90,9 @@ pub struct Cluster {
     /// [`Cluster::audit`] themselves. A `Cell` so the shared-borrow
     /// [`ClusterTelemetry`] facade can flip it.
     debug_audit: Cell<bool>,
+    /// Last scheduled fault-campaign transition (`SimTime::ZERO` when no
+    /// campaign is configured); see [`Cluster::check_recovery`].
+    fault_horizon: SimTime,
 }
 
 impl Cluster {
@@ -99,13 +102,55 @@ impl Cluster {
         let part = Partition::plan(world.fabric.topology(), &world.cfg.net, world.cfg.shards);
         let par = (part.shards() > 1)
             .then(|| Par { engines: (0..part.shards()).map(|_| Engine::new()).collect(), part });
-        Cluster {
+        let mut c = Cluster {
             engine: Engine::new(),
             world,
             par,
             names: NameService::new(),
             debug_audit: Cell::new(true),
+            fault_horizon: SimTime::ZERO,
+        };
+        c.schedule_campaign();
+        c
+    }
+
+    /// Lower the configured fault campaign into engine events: every
+    /// transition is scheduled once per `(transition, host)` at its exact
+    /// simulated time, keyed above the ingress band so same-instant
+    /// ordering against packets is canonical. Each shard world applies
+    /// the op on its base host's event (see `Event::Fault`), so the
+    /// campaign is byte-identical under any shard count.
+    fn schedule_campaign(&mut self) {
+        let spec = self.world.cfg.faults.clone();
+        if spec.is_empty() {
+            return;
         }
+        let ops = spec.compile(self.world.fabric.topology());
+        self.fault_horizon = ops.last().map_or(SimTime::ZERO, |&(t, _)| t);
+        let hosts = self.world.hosts() as u32;
+        for (i, (at, op)) in ops.into_iter().enumerate() {
+            for host in 0..hosts {
+                let key = (1 << 63) | (1 << 62) | ((i as u64) << 20) | host as u64;
+                self.sched_keyed_at(at, key, Event::Fault { host, op });
+            }
+        }
+    }
+
+    /// The last scheduled fault-campaign transition instant
+    /// (`SimTime::ZERO` when no campaign is configured) — the horizon
+    /// after which [`Cluster::check_recovery`] demands quiescence.
+    pub fn fault_horizon(&self) -> SimTime {
+        self.fault_horizon
+    }
+
+    /// Check the bounded time-to-recovery invariant: every message posted
+    /// to the delivery ledger must have reached a terminal fate (acked,
+    /// returned to sender, or dropped pre-binding) by the fault horizon
+    /// plus `bound`. Call after the run; violations land in the auditor
+    /// and surface through [`Cluster::audit`]. A no-op while `now` is
+    /// still inside the grace window.
+    pub fn check_recovery(&self, bound: SimDuration) {
+        self.world.auditor.borrow_mut().check_recovery(self.now(), self.fault_horizon, bound);
     }
 
     /// Number of worker shards the cluster actually runs with (after

@@ -1,6 +1,6 @@
 //! Cluster configuration and the calibrated host cost model.
 
-use vnet_net::{NetConfig, TopologySpec};
+use vnet_net::{FaultScheduleSpec, NetConfig, TopologySpec};
 use vnet_nic::NicConfig;
 use vnet_os::{OsConfig, SchedConfig};
 use vnet_sim::SimDuration;
@@ -87,6 +87,13 @@ pub struct ClusterConfig {
     pub drop_prob: f64,
     /// Random corruption probability per routed packet.
     pub corrupt_prob: f64,
+    /// Scheduled fault campaign: timed link flaps, whole-switch failures,
+    /// degraded-link windows, and the optional Gilbert–Elliott bursty
+    /// error model. Empty (the default) adds no events and no per-packet
+    /// cost beyond the existing uniform-error draws. Campaign transitions
+    /// are delivered through the engine's event queue, so results are
+    /// byte-identical under sequential and sharded execution.
+    pub faults: FaultScheduleSpec,
     /// Master seed; every component derives its stream from this.
     pub seed: u64,
     /// User-level request credits per destination endpoint (§6.4.1: 32,
@@ -133,6 +140,7 @@ impl ClusterConfig {
             cost: CostModel::now_am(),
             drop_prob: 0.0,
             corrupt_prob: 0.0,
+            faults: FaultScheduleSpec::none(),
             seed: 0x5EED,
             credits: 32,
             audit: cfg!(debug_assertions),
@@ -180,6 +188,13 @@ impl ClusterConfig {
     /// registry and span tracing; see `Cluster::telemetry`).
     pub fn with_telemetry(mut self, telemetry: bool) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Builder-style fault-campaign override (scheduled link/switch
+    /// failures, degrade windows, bursty errors).
+    pub fn with_faults(mut self, faults: FaultScheduleSpec) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -8,7 +8,8 @@ use crate::user::UserEpState;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use vnet_net::{Fabric, FaultPlan, HostId, Packet, Partition, Phase1, Topology};
+use std::sync::Arc;
+use vnet_net::{Fabric, FaultOp, FaultPlan, HostId, Packet, Partition, Phase1, RouteOracle, Topology};
 use vnet_nic::{
     DriverMsg, EpId, Frame, GlobalEp, Nic, NicConfig, NicEvent, NicMode, NicOut, ProtectionKey,
 };
@@ -84,6 +85,18 @@ pub enum Event {
         /// The thread.
         tid: Tid,
     },
+    /// A fault-campaign transition (link flap edge, switch failure edge,
+    /// degrade-window edge). Scheduled once per `(transition, host)` so
+    /// every shard world receives it; each world applies the op to its
+    /// fabric copy exactly once — on its own base host's event — which
+    /// keeps every copy of the [`FaultPlan`] byte-identical at the same
+    /// simulated instant regardless of the shard count.
+    Fault {
+        /// Host index (routing only; the op is fabric-global).
+        host: u32,
+        /// The state transition to apply.
+        op: FaultOp,
+    },
 }
 
 impl Event {
@@ -97,7 +110,8 @@ impl Event {
             | Event::Deliver { host, .. }
             | Event::DriverMsg { host, .. }
             | Event::Cpu { host, .. }
-            | Event::WakeThread { host, .. } => *host,
+            | Event::WakeThread { host, .. }
+            | Event::Fault { host, .. } => *host,
         }
     }
 }
@@ -162,10 +176,21 @@ impl World {
     pub fn new(cfg: ClusterConfig) -> Self {
         let topo = Topology::build(cfg.topology.clone());
         let n = topo.host_count() as usize;
-        let faults = if cfg.drop_prob > 0.0 || cfg.corrupt_prob > 0.0 {
+        let mut faults = if cfg.drop_prob > 0.0 || cfg.corrupt_prob > 0.0 {
             FaultPlan::with_errors(cfg.seed ^ 0xFA17, cfg.drop_prob, cfg.corrupt_prob)
         } else {
             FaultPlan::none(cfg.seed ^ 0xFA17)
+        };
+        if let Some(ge) = cfg.faults.bursty {
+            faults.install_bursty(ge);
+        }
+        // The route oracle is the NICs' read-only view of the *scheduled*
+        // campaign (administrative hot-swaps stay invisible to it). Built
+        // once, shared by every NIC on every shard.
+        let oracle: Option<Arc<RouteOracle>> = if cfg.faults.is_empty() {
+            None
+        } else {
+            Some(Arc::new(RouteOracle::new(topo.clone(), &cfg.faults)))
         };
         let fabric = Fabric::new(cfg.net.clone(), topo, faults);
         let mut nic_cfg: NicConfig = cfg.nic.clone();
@@ -185,6 +210,11 @@ impl World {
         }
         let mut nics: Vec<Nic> =
             (0..n).map(|i| Nic::new(HostId(i as u32), nic_cfg.clone(), cfg.seed)).collect();
+        if let Some(o) = &oracle {
+            for nic in nics.iter_mut() {
+                nic.attach_route_oracle(Arc::clone(o));
+            }
+        }
         let mut oses: Vec<SegmentDriver> = (0..n)
             .map(|i| SegmentDriver::new(cfg.os.clone(), nic_cfg.frames, cfg.seed ^ (i as u64)))
             .collect();
@@ -773,6 +803,25 @@ impl SimWorld for World {
                 let h = self.hx(host);
                 if self.scheds[h].wake(tid) {
                     self.kick_cpu(h, ctx);
+                }
+            }
+            Event::Fault { host, op } => {
+                debug_assert!(self.owns(host), "fault op routed to the wrong shard");
+                // One application per fabric copy: the base host's event is
+                // the shard's designated carrier; the others only exist so
+                // the transition is schedulable under any partition.
+                if host == self.base {
+                    self.fabric.faults_mut().apply(&op);
+                }
+                // Observability fires once globally (host 0 lives on the
+                // first shard, whose trace/telemetry absorb first).
+                if host == 0 {
+                    self.trace
+                        .borrow_mut()
+                        .record_with(ctx.now(), 0, "fault.op", || format!("{op:?}"));
+                    if let Some(tel) = &self.telemetry {
+                        tel.borrow_mut().instant(ctx.now(), 0, "net", "fault", format!("{op:?}"));
+                    }
                 }
             }
         }

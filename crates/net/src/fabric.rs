@@ -178,7 +178,7 @@ impl Fabric {
     pub fn inject_src<P>(&mut self, now: SimTime, pkt: Packet<P>) -> Phase1<P> {
         self.route_buf.clear();
         self.topo.route(pkt.src, pkt.dst, pkt.channel, &mut self.route_buf);
-        let corrupt = match self.faults.judge(pkt.src.0, &self.route_buf) {
+        let corrupt = match self.faults.judge(now, pkt.src.0, &self.route_buf) {
             Some(DropReason::Corrupted) => true, // still consumes wire time
             Some(reason) => return Phase1::Dropped { reason, pkt },
             None => false,
@@ -279,6 +279,14 @@ impl MetricSet for Fabric {
         v.metric("packets", MetricValue::Counter(packets));
         v.metric("bytes", MetricValue::Counter(bytes));
         v.metric("link_busy_ns", MetricValue::Counter(busy));
+        // Fault counters, broken down by `DropReason` (§3.2: the substrate
+        // masks transient errors — these count what it had to mask).
+        let c = self.faults.counts();
+        v.metric("drop_link_down", MetricValue::Counter(c.link_down));
+        v.metric("drop_transmission", MetricValue::Counter(c.transmission));
+        v.metric("drop_degraded", MetricValue::Counter(c.degraded));
+        v.metric("drop_burst", MetricValue::Counter(c.burst));
+        v.metric("corruptions", MetricValue::Counter(c.corrupted));
     }
 }
 

@@ -31,11 +31,13 @@ pub mod fault;
 pub mod packet;
 pub mod partition;
 pub mod routing;
+pub mod schedule;
 pub mod topology;
 
 pub use fabric::{Fabric, InjectOutcome, LinkStats, NetConfig, Phase1};
-pub use fault::{DropReason, FaultPlan};
+pub use fault::{DropCounts, DropReason, FaultOp, FaultPlan, GilbertElliott};
 pub use partition::Partition;
 pub use packet::{HostId, Packet};
 pub use routing::Route;
+pub use schedule::{DegradeWindow, FaultScheduleSpec, LinkFlap, RouteOracle, SwitchFailure};
 pub use topology::{LinkId, Topology, TopologySpec};

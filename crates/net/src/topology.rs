@@ -214,6 +214,44 @@ impl Topology {
         }
     }
 
+    /// All links attached to switch `sw` (both directions), appended to
+    /// `out`. A whole-switch failure downs exactly this set. Switch
+    /// numbering: fat-tree leaves are `0..leaves`, spines are
+    /// `leaves..leaves+spines`; the crossbar's single switch owns every
+    /// link; the ring has no switches.
+    ///
+    /// # Panics
+    /// Panics if `sw` is not a valid switch id for this topology.
+    pub fn switch_links(&self, sw: u32, out: &mut Vec<LinkId>) {
+        assert!(sw < self.n_switches, "switch {sw} out of range (topology has {})", self.n_switches);
+        match self.spec {
+            TopologySpec::FatTree { leaves, hosts_per_leaf, spines } => {
+                let hosts = leaves * hosts_per_leaf;
+                if sw < leaves {
+                    let l = sw;
+                    for h in l * hosts_per_leaf..(l + 1) * hosts_per_leaf {
+                        out.push(LinkId(h)); // host up into this leaf
+                        out.push(LinkId(hosts + h)); // leaf down to host
+                    }
+                    for s in 0..spines {
+                        out.push(LinkId(2 * hosts + l * spines + s)); // leaf up
+                        out.push(LinkId(2 * hosts + leaves * spines + l * spines + s)); // spine down
+                    }
+                } else {
+                    let s = sw - leaves;
+                    for l in 0..leaves {
+                        out.push(LinkId(2 * hosts + l * spines + s)); // leaf up into this spine
+                        out.push(LinkId(2 * hosts + leaves * spines + l * spines + s)); // spine down
+                    }
+                }
+            }
+            TopologySpec::Crossbar { .. } => {
+                out.extend((0..self.n_links).map(LinkId));
+            }
+            TopologySpec::Ring { .. } => unreachable!("ring has no switches"),
+        }
+    }
+
     /// The final (delivery) link into `dst` — the host's receive link. Used
     /// by incast instrumentation.
     pub fn host_down_link(&self, dst: HostId) -> LinkId {
@@ -299,6 +337,41 @@ mod tests {
         let t = Topology::build(TopologySpec::Crossbar { hosts: 2 });
         let mut r = vec![];
         t.route(HostId(0), HostId(0), 0, &mut r);
+    }
+
+    #[test]
+    fn switch_links_cover_routes_through_the_switch() {
+        let t = Topology::build(TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 3, spines: 2 });
+        // Every link belongs to exactly two switches on the fat tree's
+        // trunk segment, or one switch (its leaf) on the host segment.
+        let mut all = vec![];
+        for sw in 0..t.switch_count() {
+            t.switch_links(sw, &mut all);
+        }
+        let mut counts = vec![0u32; t.link_count() as usize];
+        for l in &all {
+            counts[l.idx()] += 1;
+        }
+        let hosts = t.host_count() as usize;
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = if i < 2 * hosts { 1 } else { 2 };
+            assert_eq!(c, expect, "link {i}");
+        }
+        // Downing spine 0 (switch id = leaves + 0) must cover channel-0
+        // inter-leaf routes to leaf 0 (spine = (0 + ch) % 2).
+        let mut spine0 = vec![];
+        t.switch_links(4, &mut spine0);
+        let mut r = vec![];
+        t.route(HostId(3), HostId(0), 0, &mut r);
+        assert!(r.iter().any(|l| spine0.contains(l)), "route {r:?} misses spine 0 {spine0:?}");
+    }
+
+    #[test]
+    fn crossbar_switch_owns_every_link() {
+        let t = Topology::build(TopologySpec::Crossbar { hosts: 3 });
+        let mut l = vec![];
+        t.switch_links(0, &mut l);
+        assert_eq!(l.len(), t.link_count() as usize);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! All interaction with the outside world is via [`NicOut`] effects; the
 //! composing world maps them onto the global event graph.
 
-use crate::channel::{ChannelKey, ChannelState, InFlight, RxChannel};
+use crate::channel::{ChannelKey, ChannelState, InFlight, RxChannel, SeqClass};
 use crate::config::{NicConfig, NicMode};
 use crate::dma::{DmaDirection, DmaEngine};
 use crate::endpoint::{FrameSlot, PendingSend};
@@ -25,7 +25,8 @@ use crate::stats::NicStats;
 use crate::tel::NicTelemetry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
-use vnet_net::{HostId, Packet};
+use std::sync::Arc;
+use vnet_net::{HostId, LinkId, Packet, RouteOracle};
 use vnet_sim::{AuditHandle, Auditor, SimDuration, SimRng, SimTime, TelemetryHandle, TraceHandle};
 
 /// Events delivered to a NIC by the simulation engine.
@@ -195,6 +196,14 @@ pub struct Nic {
     trace: Option<TraceHandle>,
     /// Unified telemetry (hooks are no-ops when detached).
     tel: Option<NicTelemetry>,
+    /// Scheduled-fault route oracle (campaign failover planning); `None`
+    /// outside fault campaigns. Shared plain data, safe across shard moves.
+    oracle: Option<Arc<RouteOracle>>,
+    /// Scratch route buffer for oracle queries.
+    oracle_buf: Vec<LinkId>,
+    /// Messages in a retransmission episode: uid → first timer-expiry
+    /// time. Sampled into `recovery_us` when the ack finally lands.
+    troubled: HashMap<u64, SimTime>,
 }
 
 impl Nic {
@@ -236,6 +245,9 @@ impl Nic {
             auditor: None,
             trace: None,
             tel: None,
+            oracle: None,
+            oracle_buf: Vec::new(),
+            troubled: HashMap::new(),
             cfg,
         }
     }
@@ -266,6 +278,32 @@ impl Nic {
     pub fn rebind_telemetry(&mut self, tel: TelemetryHandle) {
         if let Some(t) = &mut self.tel {
             t.rebind(tel);
+        }
+    }
+
+    /// Attach the fault campaign's route oracle. Scheduled down windows
+    /// become visible to the send path: channel allocation prefers routes
+    /// that are up, and a bound message whose route goes down fails over
+    /// to an alternate channel (§5.1 multipath used for §3.2 hot-swap).
+    pub fn attach_route_oracle(&mut self, oracle: Arc<RouteOracle>) {
+        self.oracle = Some(oracle);
+    }
+
+    /// Whether failover planning is active (an oracle with at least one
+    /// scheduled down window is attached).
+    fn oracle_active(&self) -> bool {
+        self.oracle.as_ref().is_some_and(|o| o.has_windows())
+    }
+
+    /// Whether the route that channel `idx` to `peer` maps onto is free
+    /// of scheduled-down links at `now`. Vacuously true without an
+    /// active oracle — the no-campaign fast path stays byte-identical.
+    fn route_is_up(&mut self, now: SimTime, peer: HostId, idx: u8) -> bool {
+        match self.oracle.clone() {
+            Some(o) if o.has_windows() => {
+                o.route_up(self.host, peer, idx, now, &mut self.oracle_buf)
+            }
+            _ => true,
         }
     }
 
@@ -761,18 +799,104 @@ impl Nic {
 
     // ------------------------------------------------------------- send path
 
-    fn alloc_channel(&mut self, peer: HostId) -> Option<ChannelKey> {
+    fn alloc_channel(&mut self, now: SimTime, peer: HostId) -> Option<ChannelKey> {
         let start = *self.chan_rr.entry(peer).or_insert(0);
+        // Two-pass preference under a fault campaign: a free channel whose
+        // route is up beats any free channel whose route is scheduled
+        // down. Without an oracle every free channel is "up" and the
+        // first pass decides, exactly as before.
+        let mut fallback = None;
         for step in 0..self.cfg.channels_per_peer {
             let idx = (start + step) % self.cfg.channels_per_peer;
             let key = ChannelKey { peer, idx };
-            let ch = self.tx.entry(key).or_insert_with(|| ChannelState::new(self.cfg.rto_base));
-            if ch.is_free() {
+            let free =
+                self.tx.entry(key).or_insert_with(|| ChannelState::new(self.cfg.rto_base)).is_free();
+            if !free {
+                continue;
+            }
+            if self.route_is_up(now, peer, idx) {
                 self.chan_rr.insert(peer, (idx + 1) % self.cfg.channels_per_peer);
+                return Some(key);
+            }
+            if fallback.is_none() {
+                fallback = Some(key);
+            }
+        }
+        if let Some(key) = fallback {
+            self.chan_rr.insert(peer, (key.idx + 1) % self.cfg.channels_per_peer);
+            return Some(key);
+        }
+        None
+    }
+
+    /// Find a free channel to `avoid.peer`, other than `avoid`, whose
+    /// route is fully up at `now` — the failover target. No fallback: if
+    /// every alternative is busy or scheduled down, the caller keeps
+    /// retransmitting on the original binding.
+    fn pick_up_channel(&mut self, now: SimTime, avoid: ChannelKey) -> Option<ChannelKey> {
+        let start = *self.chan_rr.entry(avoid.peer).or_insert(0);
+        for step in 0..self.cfg.channels_per_peer {
+            let idx = (start + step) % self.cfg.channels_per_peer;
+            if idx == avoid.idx {
+                continue;
+            }
+            let key = ChannelKey { peer: avoid.peer, idx };
+            let free =
+                self.tx.entry(key).or_insert_with(|| ChannelState::new(self.cfg.rto_base)).is_free();
+            if free && self.route_is_up(now, avoid.peer, idx) {
+                self.chan_rr.insert(avoid.peer, (idx + 1) % self.cfg.channels_per_peer);
                 return Some(key);
             }
         }
         None
+    }
+
+    /// Move the message bound on `from` to channel `to`, whose route is
+    /// up (§5.1 multipath as failover). The old binding is unbound
+    /// (invalidating its timer generation) and the message transmits on
+    /// `to` immediately. The receiver's per-channel sequence state
+    /// self-resynchronizes on the next frame ([`SeqClass::Resync`]) and
+    /// the uid dedup window filters any copy still crawling along the old
+    /// route, so FIFO-per-channel ordering (§5.3) and exactly-once
+    /// delivery both survive the switch. `in_flight_per_ep` is untouched:
+    /// the message never stops being in flight.
+    fn failover(
+        &mut self,
+        now: SimTime,
+        from: ChannelKey,
+        to: ChannelKey,
+        out: &mut Vec<NicOut>,
+    ) -> SimDuration {
+        let inf = self
+            .tx
+            .get_mut(&from)
+            .and_then(|ch| ch.unbind(self.cfg.rto_base))
+            .expect("failover with nothing bound");
+        let uid = inf.uid;
+        let h = self.host.0;
+        self.audit(|a| a.on_channel_unbind(now, h, from.peer.0, from.idx, uid));
+        let meta = self.pending_meta.remove(&uid);
+        let (nacks, unbind_cycles, dst, pkey) =
+            meta.unwrap_or((0, 0, GlobalEp::new(from.peer, inf.frame.dst_ep), inf.frame.key));
+        let msg = match inf.frame.kind {
+            FrameKind::Data(m) => m,
+            _ => unreachable!("in-flight frames carry data"),
+        };
+        self.stats.failovers.inc();
+        self.audit(|a| a.on_failover(now, h, uid));
+        self.trace_with(now, "nic.failover", || {
+            format!(
+                "uid {uid} h{}#{} → #{} around scheduled-down route",
+                from.peer.0, from.idx, to.idx
+            )
+        });
+        if let Some(t) = &mut self.tel {
+            t.retx_end(now, &from);
+            t.instant(now, "failover", format!("uid={uid:#x} chan {} → {}", from.idx, to.idx));
+        }
+        let ps = PendingSend { uid, dst, key: pkey, msg, not_before: now, nacks, unbind_cycles };
+        self.transmit(now, inf.src_ep, ps, to, out);
+        self.cfg.costs.retransmit
     }
 
     fn process_send(&mut self, now: SimTime, fi: usize, out: &mut Vec<NicOut>) -> SimDuration {
@@ -785,7 +909,7 @@ impl Nic {
         if self.cfg.mode == NicMode::Gam {
             return self.gam_send(now, ps, bulk, out);
         }
-        let Some(chan) = self.alloc_channel(ps.dst.host) else {
+        let Some(chan) = self.alloc_channel(now, ps.dst.host) else {
             // Raced: the oracle saw a free channel but another frame's work
             // took it within this step. Put the descriptor back.
             let image = self.frames[fi].image_mut().unwrap();
@@ -870,6 +994,34 @@ impl Nic {
         self.stats.data_sent.inc();
         let h = self.host.0;
         self.audit(|a| a.on_channel_bind(now, h, chan.peer.0, chan.idx, ps.uid, _seq));
+        // Recovery invariant (§3.2): with a campaign oracle attached, a
+        // send planned over a scheduled-down route while a free channel
+        // with an up route existed means failover failed to do its job.
+        if self.oracle_active()
+            && !self.route_is_up(now, chan.peer, chan.idx)
+            && self.has_free_up_alternative(now, chan)
+        {
+            self.audit(|a| a.on_down_route_send(now, h, chan.peer.0, chan.idx, ps.uid));
+        }
+    }
+
+    /// Whether a channel other than `chan` to the same peer is free and
+    /// has a fully-up route at `now` (the "could have routed around it"
+    /// half of the down-route recovery invariant).
+    fn has_free_up_alternative(&mut self, now: SimTime, chan: ChannelKey) -> bool {
+        for idx in 0..self.cfg.channels_per_peer {
+            if idx == chan.idx {
+                continue;
+            }
+            let free = self
+                .tx
+                .get(&ChannelKey { peer: chan.peer, idx })
+                .is_none_or(ChannelState::is_free);
+            if free && self.route_is_up(now, chan.peer, idx) {
+                return true;
+            }
+        }
+        false
     }
 
     fn gam_send(
@@ -952,7 +1104,11 @@ impl Nic {
         // Sequence bookkeeping (self-synchronizing; exactness comes from the
         // dedup window below).
         let rxk = ChannelKey { peer: src, idx: frame.chan };
-        self.rx.entry(rxk).or_default().accept(frame.seq);
+        if self.rx.entry(rxk).or_default().accept(frame.seq) == SeqClass::Resync {
+            // Sender epoch advanced (unbind churn or failover rebind);
+            // sequencing state adopted (§5.1 self-resynchronization).
+            self.stats.resyncs.inc();
+        }
 
         if self.cfg.mode == NicMode::Gam {
             return self.gam_receive(now, src, frame, msg, bulk, out);
@@ -1245,6 +1401,12 @@ impl Nic {
         match nack {
             None => {
                 self.stats.acks_rx.inc();
+                // If this message had entered a retransmission episode,
+                // the ack ends it: sample the time from first timer
+                // expiry to acknowledgment (the recovery distribution).
+                if let Some(t0) = self.troubled.remove(&inf.uid) {
+                    self.stats.recovery_us.record((now - t0).as_micros_f64());
+                }
             }
             Some(reason) => {
                 self.stats.record_nack_rx(reason);
@@ -1331,6 +1493,7 @@ impl Nic {
             }
         }
         // Endpoint gone mid-flight (freed): teardown discards its traffic.
+        self.troubled.remove(&ps.uid);
         let h = self.host.0;
         self.audit(|a| a.on_send_aborted(now, h, ps.uid));
         self.trace_with(now, "nic.abort", || format!("uid {} dropped: {ep} gone", ps.uid));
@@ -1345,6 +1508,7 @@ impl Nic {
         self.stats.returned_to_sender.inc();
         let h = self.host.0;
         let uid = msg.uid;
+        self.troubled.remove(&uid); // bounced, not recovered: no sample
         self.audit(|a| a.on_bounced(now, h, uid));
         self.trace_with(now, "nic.bounce", || format!("uid {uid} returned to sender ({ep})"));
         if let Some(t) = &mut self.tel {
@@ -1384,6 +1548,21 @@ impl Nic {
     // ----------------------------------------------------------- retransmit
 
     fn process_retx(&mut self, now: SimTime, key: ChannelKey, out: &mut Vec<NicOut>) -> SimDuration {
+        let Some(ch) = self.tx.get_mut(&key) else { return SimDuration::ZERO };
+        let Some(inf) = ch.in_flight.as_ref() else { return SimDuration::ZERO };
+        // A retransmission timer fired: this message is in trouble. Note
+        // when the episode began for the time-to-recovery distribution.
+        self.troubled.entry(inf.uid).or_insert(now);
+        // Failover first (§5.1 multipath as §3.2 hot-swap recovery): if
+        // the bound route crosses a *scheduled* down link and a free
+        // channel with an up route exists, move the message there instead
+        // of retransmitting into a known hole. With no alternate route
+        // the normal retransmit-until-unbind path below takes over.
+        if self.oracle_active() && !self.route_is_up(now, key.peer, key.idx) {
+            if let Some(alt) = self.pick_up_channel(now, key) {
+                return self.failover(now, key, alt, out);
+            }
+        }
         let Some(ch) = self.tx.get_mut(&key) else { return SimDuration::ZERO };
         let Some(inf) = ch.in_flight.as_ref() else { return SimDuration::ZERO };
         if inf.retx + 1 > self.cfg.max_retx_before_unbind {

@@ -55,6 +55,15 @@ pub struct NicStats {
     pub(crate) gam_overruns: Counter,
     /// Round-trip times observed via reflected timestamps, µs.
     pub(crate) rtt_us: Sampler,
+    /// Route failovers: bound messages moved to an alternate channel
+    /// around a scheduled-down link.
+    pub(crate) failovers: Counter,
+    /// Receive-side sequence resynchronizations (sender epoch advanced
+    /// past the expected sequence — unbind churn or failover rebinds).
+    pub(crate) resyncs: Counter,
+    /// Time from a message's first retransmission-timer expiry to its
+    /// acknowledgment, µs — the time-to-recovery distribution.
+    pub(crate) recovery_us: Sampler,
 }
 
 macro_rules! deprecated_counter_accessors {
@@ -97,6 +106,14 @@ impl NicStats {
     /// [`Summary`] cannot reconstruct.
     pub fn rtt_us(&self) -> Sampler {
         self.rtt_us.clone()
+    }
+
+    /// The raw time-to-recovery sampler (µs): first retransmission-timer
+    /// expiry to acknowledgment, per recovered message. Kept first-class
+    /// for the same reason as [`NicStats::rtt_us`] — campaign reports
+    /// want quantiles of the individual samples.
+    pub fn recovery_us(&self) -> Sampler {
+        self.recovery_us.clone()
     }
 
     deprecated_counter_accessors! {
@@ -158,6 +175,9 @@ impl MetricSet for NicStats {
         v.metric("resident_requests", MetricValue::Counter(self.resident_requests.get()));
         v.metric("gam_overruns", MetricValue::Counter(self.gam_overruns.get()));
         v.metric("rtt_us", MetricValue::Summary(Summary::from_sampler(&self.rtt_us)));
+        v.metric("failovers", MetricValue::Counter(self.failovers.get()));
+        v.metric("resyncs", MetricValue::Counter(self.resyncs.get()));
+        v.metric("recovery_us", MetricValue::Summary(Summary::from_sampler(&self.recovery_us)));
     }
 }
 

@@ -38,7 +38,7 @@
 //!   frame count, and the occupancy counter never underflows.
 
 use crate::fxhash::{fx_map_with_capacity, FxHashMap};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceRing;
 use std::cell::RefCell;
 use std::fmt;
@@ -146,6 +146,9 @@ pub struct AuditCounters {
     pub unbinds: u64,
     /// Stale-generation retransmit timers correctly suppressed.
     pub stale_timers_suppressed: u64,
+    /// Route failovers: a bound message re-planned around a scheduled
+    /// down link onto a channel whose route is up.
+    pub failovers: u64,
 }
 
 /// How many violations are kept verbatim; later ones only bump the count.
@@ -372,6 +375,54 @@ impl Auditor {
         self.counters.stale_timers_suppressed += 1;
     }
 
+    // ------------------------------------------------------ fault recovery
+
+    /// A sender re-planned a bound message around a scheduled down link
+    /// onto a channel whose route is up (§5.1 multipath used for
+    /// failover). Counted; the unbind/rebind pair itself is validated by
+    /// the stop-and-wait hooks.
+    pub fn on_failover(&mut self, _at: SimTime, _host: u32, _uid: u64) {
+        self.counters.failovers += 1;
+    }
+
+    /// A frame was transmitted over a route containing a *scheduled*
+    /// down link while a free channel with a fully-up route existed —
+    /// the failover machinery sent into a known failure it could have
+    /// routed around. The NIC evaluates the condition (it owns the route
+    /// oracle and the channel table); this hook records the verdict.
+    pub fn on_down_route_send(&mut self, at: SimTime, host: u32, peer: u32, idx: u8, uid: u64) {
+        self.violate(
+            "audit.down-route",
+            at,
+            host,
+            format!("uid {uid} sent on h{host}→h{peer}#{idx} over a scheduled-down route while an up route existed"),
+        );
+    }
+
+    /// Campaign-level time-to-recovery check: once `now` is at least
+    /// `bound` past the campaign's last scheduled transition (`horizon`),
+    /// every uid ever posted must have a resolved fate — delivered,
+    /// bounced, or aborted. A uid still `Posted` means the protocol
+    /// failed to recover after the final `link_up`. Call after the run,
+    /// on the merged auditor.
+    pub fn check_recovery(&mut self, now: SimTime, horizon: SimTime, bound: SimDuration) {
+        if now < horizon + bound {
+            return;
+        }
+        let mut stuck: Vec<u64> =
+            self.ledger.iter().filter(|&(_, f)| *f == MsgFate::Posted).map(|(u, _)| *u).collect();
+        stuck.sort_unstable(); // ledger is a hash map; order the report
+        for uid in stuck {
+            let host = (uid >> 40) as u32; // uid layout: (host << 40) | counter
+            self.violate(
+                "audit.recovery",
+                now,
+                host,
+                format!("uid {uid} still unresolved {bound} after the last fault transition at {horizon}"),
+            );
+        }
+    }
+
     // ------------------------------------------------------------- credits
 
     /// Request `uid` from `(host, ep)` consumed a credit toward
@@ -578,6 +629,7 @@ impl Auditor {
             self.counters.retransmits += c.retransmits;
             self.counters.unbinds += c.unbinds;
             self.counters.stale_timers_suppressed += c.stale_timers_suppressed;
+            self.counters.failovers += c.failovers;
             self.total_violations += sh.total_violations;
             incoming.append(&mut sh.violations);
             for (uid, fate) in sh.ledger.drain() {
@@ -895,5 +947,42 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn failover_counts_and_down_route_send_violates() {
+        let mut a = Auditor::new(32);
+        a.on_failover(t(1), 0, 100);
+        assert_eq!(a.counters().failovers, 1);
+        assert!(!a.has_violations());
+        a.on_down_route_send(t(2), 0, 1, 2, 100);
+        assert_eq!(named(&a), vec!["audit.down-route"]);
+    }
+
+    #[test]
+    fn failover_counter_survives_shard_absorb() {
+        let mut a = Auditor::new(32);
+        a.on_failover(t(0), 0, 1);
+        let mut sh = a.split_shard(1, 2);
+        sh.on_failover(t(1), 1, 2);
+        a.absorb_shards(vec![sh]);
+        assert_eq!(a.counters().failovers, 2);
+    }
+
+    #[test]
+    fn recovery_check_flags_stuck_uids_after_the_horizon() {
+        let mut a = Auditor::new(32);
+        let uid_h3 = (3u64 << 40) | 7;
+        a.on_posted(t(0), 3, uid_h3);
+        a.on_posted(t(0), 0, 8);
+        a.on_delivered(t(1), 1, 8);
+        // Before horizon + bound: no verdict yet.
+        a.check_recovery(t(10), t(5), SimDuration::from_micros(10));
+        assert!(!a.has_violations());
+        // Past the deadline: the unresolved uid is a recovery violation,
+        // attributed to its posting host (uid layout (host << 40) | n).
+        a.check_recovery(t(20), t(5), SimDuration::from_micros(10));
+        assert_eq!(named(&a), vec!["audit.recovery"]);
+        assert_eq!(a.violations()[0].host, 3);
     }
 }

@@ -124,6 +124,19 @@ impl Sampler {
         self.xs.len()
     }
 
+    /// The raw observations, in insertion order unless a quantile call
+    /// has sorted them (merge per-component samplers into one
+    /// distribution with `absorb`).
+    pub fn samples(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Fold another sampler's observations into this one.
+    pub fn absorb(&mut self, other: &Sampler) {
+        self.xs.extend_from_slice(&other.xs);
+        self.sorted = false;
+    }
+
     /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.xs.is_empty() {

@@ -7,7 +7,7 @@
 //! small fat tree), including a faulty-link configuration whose drops
 //! force cross-shard retransmissions.
 
-use vnet::net::TopologySpec;
+use vnet::net::{FaultScheduleSpec, GilbertElliott, LinkId, TopologySpec};
 use vnet::prelude::*;
 use vnet::sim::MsgFate;
 
@@ -93,6 +93,9 @@ struct Outcome {
     spans: String,
     trace: String,
     replies: Vec<(u32, u64)>,
+    /// Cluster-wide `(unbinds, resyncs, failovers)` from the NIC stats —
+    /// the recovery-path shape, compared exactly across shard counts.
+    recovery: (u64, u64, u64),
 }
 
 struct Scenario {
@@ -100,6 +103,7 @@ struct Scenario {
     seed: u64,
     drop_prob: f64,
     corrupt_prob: f64,
+    faults: FaultScheduleSpec,
     requests: u32,
     run_ms: u64,
 }
@@ -115,6 +119,7 @@ fn run(sc: &Scenario, shards: u32) -> Outcome {
     cfg.topology = sc.topology.clone();
     cfg.drop_prob = sc.drop_prob;
     cfg.corrupt_prob = sc.corrupt_prob;
+    cfg.faults = sc.faults.clone();
     let mut c = Cluster::new(cfg);
     c.telemetry().trace_enable();
 
@@ -158,6 +163,9 @@ fn run(sc: &Scenario, shards: u32) -> Outcome {
             (b.replies, b.sum)
         })
         .collect();
+    let snap = c.telemetry().snapshot();
+    let sum = |m: &str| (0..n).map(|h| snap.counter(&format!("host{h}.nic.{m}"))).sum::<u64>();
+    let recovery = (sum("unbinds"), sum("resyncs"), sum("failovers"));
     Outcome {
         shards_used: c.shards(),
         events: c.events_processed(),
@@ -167,10 +175,11 @@ fn run(sc: &Scenario, shards: u32) -> Outcome {
         spans,
         trace,
         replies,
+        recovery,
     }
 }
 
-fn check_scenario(sc: &Scenario, shard_counts: &[u32]) {
+fn check_scenario(sc: &Scenario, shard_counts: &[u32]) -> Outcome {
     let seq = run(sc, 1);
     assert_eq!(seq.shards_used, 1);
     assert!(
@@ -193,7 +202,13 @@ fn check_scenario(sc: &Scenario, shard_counts: &[u32]) {
         );
         assert_eq!(seq.spans, par.spans, "span log, {s} shards, seed {:#x}", sc.seed);
         assert_eq!(seq.trace, par.trace, "trace ring, {s} shards, seed {:#x}", sc.seed);
+        assert_eq!(
+            seq.recovery, par.recovery,
+            "unbind/resync/failover counts, {s} shards, seed {:#x}",
+            sc.seed
+        );
     }
+    seq
 }
 
 const SEEDS: [u64; 4] = [1, 7, 0xBEEF, 0xC0FFEE];
@@ -207,6 +222,7 @@ fn crossbar_matches_sequential() {
                 seed,
                 drop_prob: 0.0,
                 corrupt_prob: 0.0,
+                faults: FaultScheduleSpec::none(),
                 requests: 4,
                 run_ms: 4,
             },
@@ -224,6 +240,7 @@ fn fat_tree_matches_sequential() {
                 seed,
                 drop_prob: 0.0,
                 corrupt_prob: 0.0,
+                faults: FaultScheduleSpec::none(),
                 requests: 4,
                 run_ms: 4,
             },
@@ -243,6 +260,7 @@ fn faulty_fat_tree_matches_sequential() {
                 seed,
                 drop_prob: 0.05,
                 corrupt_prob: 0.02,
+                faults: FaultScheduleSpec::none(),
                 requests: 4,
                 run_ms: 6,
             },
@@ -261,6 +279,7 @@ fn cross_shard_retransmit_episodes_identical() {
         seed: 0x5EED_FA17,
         drop_prob: 0.2,
         corrupt_prob: 0.0,
+        faults: FaultScheduleSpec::none(),
         requests: 6,
         run_ms: 8,
     };
@@ -274,4 +293,80 @@ fn cross_shard_retransmit_episodes_identical() {
     );
     assert_eq!(seq.spans, par.spans, "retransmit span episodes diverged");
     assert_eq!(seq.ledger, par.ledger, "message fates diverged");
+}
+
+/// A full chaos campaign on the small fat tree: a link flap on leaf 0's
+/// spine-0 uplink, a whole-spine-switch failure, a degraded spine-down
+/// window, and Gilbert–Elliott bursty errors — all scheduled through the
+/// event queue, so every shard count replays the identical campaign.
+///
+/// Small-fat-tree link layout (H=8 hosts, L=4 leaves, S=2 spines):
+/// host-up `[0,8)`, leaf-down `[8,16)`, leaf-up `16 + l*S + s`,
+/// spine-down `24 + l*S + s`; switches: leaves `0..4`, spines `4..6`.
+fn at_us(us: u64) -> SimTime {
+    SimTime::from_nanos(us * 1_000)
+}
+
+fn chaos_campaign() -> FaultScheduleSpec {
+    let us = at_us;
+    FaultScheduleSpec::none()
+        .flap(LinkId(16), us(300), us(1_500))
+        .fail_switch(4, us(2_000), us(3_000))
+        .degrade(LinkId(27), us(1_000), us(4_000), 0.2, 0.05)
+        .with_bursty(GilbertElliott::mild())
+}
+
+#[test]
+fn chaos_campaign_matches_sequential() {
+    for &seed in &[1u64, 0xBEEF] {
+        let seq = check_scenario(
+            &Scenario {
+                topology: TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 2, spines: 2 },
+                seed,
+                drop_prob: 0.0,
+                corrupt_prob: 0.0,
+                faults: chaos_campaign(),
+                requests: 200,
+                run_ms: 24,
+            },
+            &[2, 4],
+        );
+        assert_eq!(seq.violations, 0, "campaign must complete clean (seed {seed:#x})");
+        assert!(
+            seq.replies.iter().all(|&(r, _)| r == 200),
+            "every client must finish despite the campaign (seed {seed:#x}): {:?}",
+            seq.replies
+        );
+    }
+}
+
+/// Satellite: a link-down window longer than the full
+/// retransmit→backoff→unbind cycle (8 doublings from the 120 µs base RTO
+/// sum to ~23 ms). Host 0's only uplink (crossbar) is down from the
+/// start, so failover has no alternate route: the NIC must ride the
+/// backoff, unbind after the bound, re-bind (advancing the channel
+/// epoch), and deliver after the window — the receiver resynchronizing
+/// its expected sequence. The whole episode must be field-by-field
+/// identical on 1 and 4 shards.
+#[test]
+fn long_down_window_unbind_resync_identical() {
+    let sc = Scenario {
+        topology: TopologySpec::Crossbar { hosts: 8 },
+        seed: 0xD05EED,
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+        faults: FaultScheduleSpec::none().flap(LinkId(0), at_us(0), at_us(30_000)),
+        requests: 8,
+        run_ms: 70,
+    };
+    let seq = check_scenario(&sc, &[4]);
+    let (unbinds, resyncs, failovers) = seq.recovery;
+    assert!(unbinds > 0, "an 18 ms dead uplink must exhaust the retransmission bound");
+    assert!(resyncs > 0, "post-window redelivery must resynchronize the receiver");
+    assert_eq!(failovers, 0, "a host's sole uplink admits no alternate route");
+    assert!(
+        seq.replies.iter().all(|&(r, _)| r == 8),
+        "all clients must finish once the window lifts: {:?}",
+        seq.replies
+    );
 }
