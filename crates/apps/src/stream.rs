@@ -198,7 +198,7 @@ mod tests {
         use vnet_nic::{DeliveredMsg, GlobalEp, ProtectionKey, UserMsg};
         use vnet_sim::SimTime;
         let mk = |seq: u64, bytes: u32| DeliveredMsg {
-            msg: std::rc::Rc::new(UserMsg {
+            msg: std::sync::Arc::new(UserMsg {
                 uid: seq,
                 is_request: true,
                 handler: STREAM_HANDLER,

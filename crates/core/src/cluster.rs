@@ -8,22 +8,24 @@ use crate::observe::ClusterTelemetry;
 use crate::sys::ThreadBody;
 use crate::world::{Event, World};
 use std::cell::Cell;
-use vnet_net::{HostId, Packet, Partition, Phase1};
+use vnet_net::{FaultOp, HostId, Packet, Partition, Phase1};
 use vnet_nic::{EpId, Frame, GlobalEp, Nic, NicOut};
 use vnet_os::{OsOut, Scheduler, SegmentDriver, Tid};
 use vnet_sim::{
-    run_conservative, AuditHandle, Engine, ParShard, SendCell, SimDuration, SimTime,
-    INGRESS_KEY_BIT,
+    run_conservative, AuditHandle, Engine, PairLookahead, ParShard, SendCell, SimDuration,
+    SimTime, INGRESS_KEY_BIT,
 };
 
 /// Parallel-execution state, present when the configuration asks for more
-/// than one shard: the stable host partition plus one *persistent* engine
-/// per shard. Engines persist across runs because events already in a
-/// shard's wheel may share `Rc` state with that shard's hosts; the
-/// partition never changes, so each host always returns to the engine
-/// holding its pending events.
+/// than one shard: the stable host partition, the per-shard-pair lookahead
+/// derived from it (sliced by fault-campaign interval), plus one
+/// *persistent* engine per shard. Engines persist across runs because
+/// events already in a shard's wheel may share `Rc` state with that
+/// shard's hosts; the partition never changes, so each host always returns
+/// to the engine holding its pending events.
 struct Par {
     part: Partition,
+    look: PairLookahead,
     engines: Vec<Engine<World>>,
 }
 
@@ -37,9 +39,10 @@ struct ShardRun {
 
 impl ParShard for ShardRun {
     // A cross-shard packet: `(canonical ingress key, corrupt, packet)`.
-    // The packet's payload was deep-cloned at the shard boundary, so the
-    // tuple is a closed graph and `SendCell` may carry it across threads.
-    type Mail = SendCell<(u64, bool, Packet<Frame>)>;
+    // Genuinely `Send`: the wire frame's payload is a frozen `Arc`, so
+    // crossing the shard boundary moves a pointer, never a copy of the
+    // message body.
+    type Mail = (u64, bool, Packet<Frame>);
 
     fn run_until(&mut self, deadline: SimTime) {
         self.engine.run_until(&mut self.world, deadline);
@@ -52,14 +55,11 @@ impl ParShard for ShardRun {
     fn drain_outbox(&mut self, out: &mut Vec<(usize, SimTime, Self::Mail)>) {
         for (at, key, corrupt, pkt) in self.world.outbox.drain(..) {
             let dst = self.part.shard_of(pkt.dst.0) as usize;
-            // SAFETY: the payload was deep-cloned when pushed to the
-            // outbox; nothing else references its `Rc` graph.
-            out.push((dst, at, unsafe { SendCell::new((key, corrupt, pkt)) }));
+            out.push((dst, at, (key, corrupt, pkt)));
         }
     }
 
-    fn ingest(&mut self, at: SimTime, mail: Self::Mail) {
-        let (key, corrupt, pkt) = mail.into_inner();
+    fn ingest(&mut self, at: SimTime, (key, corrupt, pkt): Self::Mail) {
         self.engine.schedule_keyed_at(at, key, Event::Ingress { host: pkt.dst.0, corrupt, pkt });
     }
 
@@ -99,9 +99,22 @@ impl Cluster {
     /// Build a cluster from configuration.
     pub fn new(cfg: ClusterConfig) -> Self {
         let world = World::new(cfg);
-        let part = Partition::plan(world.fabric.topology(), &world.cfg.net, world.cfg.shards);
-        let par = (part.shards() > 1)
-            .then(|| Par { engines: (0..part.shards()).map(|_| Engine::new()).collect(), part });
+        let topo = world.fabric.topology();
+        let part = Partition::plan(topo, &world.cfg.net, world.cfg.shards);
+        // Compile the fault campaign once; it both becomes engine events
+        // and slices the per-pair lookahead into validity intervals (a
+        // scheduled LinkUp can lower a pair's latency floor).
+        let ops = if world.cfg.faults.is_empty() {
+            Vec::new()
+        } else {
+            world.cfg.faults.compile(topo)
+        };
+        let look = part.pair_lookahead(topo, &world.cfg.net, &ops);
+        let par = (part.shards() > 1).then(|| Par {
+            engines: (0..part.shards()).map(|_| Engine::new()).collect(),
+            part,
+            look,
+        });
         let mut c = Cluster {
             engine: Engine::new(),
             world,
@@ -110,7 +123,7 @@ impl Cluster {
             debug_audit: Cell::new(true),
             fault_horizon: SimTime::ZERO,
         };
-        c.schedule_campaign();
+        c.schedule_campaign(ops);
         c
     }
 
@@ -120,12 +133,10 @@ impl Cluster {
     /// ordering against packets is canonical. Each shard world applies
     /// the op on its base host's event (see `Event::Fault`), so the
     /// campaign is byte-identical under any shard count.
-    fn schedule_campaign(&mut self) {
-        let spec = self.world.cfg.faults.clone();
-        if spec.is_empty() {
+    fn schedule_campaign(&mut self, ops: Vec<(SimTime, FaultOp)>) {
+        if ops.is_empty() {
             return;
         }
-        let ops = spec.compile(self.world.fabric.topology());
         self.fault_horizon = ops.last().map_or(SimTime::ZERO, |&(t, _)| t);
         let hosts = self.world.hosts() as u32;
         for (i, (at, op)) in ops.into_iter().enumerate() {
@@ -454,20 +465,37 @@ impl Cluster {
                     .map(|(world, engine)| {
                         // SAFETY: the shard world + its engine's pending
                         // events form one closed `Rc` graph (cross-shard
-                        // frames are deep-cloned, hosts always return to
-                        // the same shard), and the executor runs each
-                        // shard on exactly one thread at a time.
+                        // frames share only atomically counted frozen
+                        // payloads, hosts always return to the same
+                        // shard), and the executor runs each shard on
+                        // exactly one thread at a time.
                         unsafe {
                             SendCell::new(ShardRun { engine, world, part: par.part.clone() })
                         }
                     })
                     .collect();
-                let final_now = run_conservative(&mut shards, par.part.lookahead(), deadline);
+                let final_now = run_conservative(&mut shards, &par.look, deadline);
                 let mut worlds = Vec::with_capacity(shards.len());
                 for cell in shards {
                     let ShardRun { engine, world, .. } = cell.into_inner();
                     par.engines.push(engine);
                     worlds.push(world);
+                }
+                // The executor's final-epoch elision may leave cross-shard
+                // mail in shard outboxes — all of it timestamped past the
+                // deadline, destined for the next run slice. Relay it into
+                // the owning engines here (keyed, so order is canonical)
+                // before the absorb's outbox-empty check.
+                for world in &mut worlds {
+                    for (at, key, corrupt, pkt) in world.outbox.drain(..) {
+                        debug_assert!(at > deadline, "undelivered mail within the deadline");
+                        let s = par.part.shard_of(pkt.dst.0) as usize;
+                        par.engines[s].schedule_keyed_at(
+                            at,
+                            key,
+                            Event::Ingress { host: pkt.dst.0, corrupt, pkt },
+                        );
+                    }
                 }
                 self.world.absorb_shards(worlds, &par.part);
                 self.engine.sync_now(final_now);

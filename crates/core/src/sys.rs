@@ -260,7 +260,7 @@ impl<'a> Sys<'a> {
                     uid,
                     dst,
                     key,
-                    msg: std::rc::Rc::new(msg),
+                    msg: std::sync::Arc::new(msg),
                     not_before: ready_at,
                     nacks: 0,
                     unbind_cycles: 0,

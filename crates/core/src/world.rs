@@ -315,11 +315,9 @@ impl World {
                                 Event::Ingress { host: pkt.dst.0, corrupt, pkt },
                             );
                         } else {
-                            // Crossing a shard boundary: deep-clone so no
-                            // `Rc` graph spans two worker threads, and hand
-                            // the packet to the epoch barrier.
-                            let mut pkt = pkt;
-                            pkt.payload = pkt.payload.deep_clone();
+                            // Crossing a shard boundary: the frame payload
+                            // is a frozen `Arc`, so the epoch barrier moves
+                            // a pointer — no copy of the message body.
                             self.outbox.push((at, key, corrupt, pkt));
                         }
                     }

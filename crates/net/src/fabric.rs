@@ -14,6 +14,14 @@ pub struct NetConfig {
     pub link_mb_s: f64,
     /// Per-switch cut-through latency (the paper: ~300 ns) plus wire time.
     pub hop_latency: SimDuration,
+    /// Cut-through latency on *trunk* links (leaf↔spine in a fat tree)
+    /// when it differs from the edge links — long inter-pod cables, say.
+    /// `None` (the default) means trunks run at `hop_latency`, which
+    /// preserves every historical timing. The parallel executor's
+    /// per-shard-pair lookahead feeds on this asymmetry: cross-shard
+    /// routes all traverse a trunk, so a slow trunk widens the epoch
+    /// window without touching intra-shard timing.
+    pub trunk_latency: Option<SimDuration>,
     /// Link-level header bytes charged per packet (route bytes + CRC +
     /// 32-bit timestamp of §5.1).
     pub header_bytes: u32,
@@ -24,7 +32,20 @@ impl Default for NetConfig {
         NetConfig {
             link_mb_s: 160.0,
             hop_latency: SimDuration::from_nanos(300),
+            trunk_latency: None,
             header_bytes: 16,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Cut-through latency of one link: `hop_latency`, or `trunk_latency`
+    /// for trunk links when configured.
+    pub fn latency_of(&self, topo: &Topology, l: LinkId) -> SimDuration {
+        if topo.is_trunk(l) {
+            self.trunk_latency.unwrap_or(self.hop_latency)
+        } else {
+            self.hop_latency
         }
     }
 }
@@ -95,6 +116,9 @@ pub struct Fabric {
     faults: FaultPlan,
     /// Time until which each link is already reserved.
     busy_until: Vec<SimTime>,
+    /// Cut-through latency per link (precomputed from the config so the
+    /// walk stays one indexed load even with heterogeneous trunks).
+    latency: Vec<SimDuration>,
     stats: Vec<LinkStats>,
     /// Per-source ingress sequence numbers (see [`Phase1::Ingress`]).
     ingress_seq: Vec<u64>,
@@ -106,11 +130,13 @@ impl Fabric {
     pub fn new(cfg: NetConfig, topo: Topology, faults: FaultPlan) -> Self {
         let n = topo.link_count() as usize;
         let hosts = topo.host_count() as usize;
+        let latency = (0..n as u32).map(|l| cfg.latency_of(&topo, LinkId(l))).collect();
         Fabric {
             cfg,
             topo,
             faults,
             busy_until: vec![SimTime::ZERO; n],
+            latency,
             stats: vec![LinkStats::default(); n],
             ingress_seq: vec![0; hosts],
             route_buf: Vec::new(),
@@ -223,10 +249,10 @@ impl Fabric {
             st.packets += 1;
             st.bytes += wire_bytes as u64;
             st.busy_ns += ser.as_nanos();
-            // Cut-through: the head moves on after the switch latency; the
-            // body streams behind it. (Host injection, i==0, has no switch;
-            // likewise nothing follows the final link.)
-            head = enter + if i + 1 < len { self.cfg.hop_latency } else { SimDuration::ZERO };
+            // Cut-through: the head moves on after the link's switch
+            // latency; the body streams behind it. (Nothing follows the
+            // final link.)
+            head = enter + if i + 1 < len { self.latency[l] } else { SimDuration::ZERO };
         }
         head
     }
@@ -241,6 +267,7 @@ impl Fabric {
             topo: self.topo.clone(),
             faults: self.faults.clone(),
             busy_until: self.busy_until.clone(),
+            latency: self.latency.clone(),
             stats: self.stats.clone(),
             ingress_seq: self.ingress_seq.clone(),
             route_buf: Vec::new(),

@@ -17,8 +17,11 @@
 //! ingress is only one hop out) never crosses shards.
 
 use crate::fabric::NetConfig;
+use crate::fault::FaultOp;
+use crate::packet::HostId;
 use crate::topology::{LinkId, Topology, TopologySpec};
-use vnet_sim::SimDuration;
+use std::collections::HashMap;
+use vnet_sim::{PairLookahead, SimDuration, SimTime};
 
 /// A plan for splitting one simulation across shards.
 #[derive(Clone, Debug)]
@@ -46,7 +49,10 @@ impl Partition {
             _ if cfg.hop_latency == SimDuration::ZERO => (1, SimDuration::from_nanos(1)),
             TopologySpec::Crossbar { hosts } => (requested.min(hosts), cfg.hop_latency),
             TopologySpec::FatTree { leaves, .. } => {
-                (requested.min(leaves), cfg.hop_latency + cfg.hop_latency)
+                // Ascending inter-leaf segment: one host-up hop plus one
+                // leaf-to-spine trunk (which may be configured slower).
+                let trunk = cfg.trunk_latency.unwrap_or(cfg.hop_latency);
+                (requested.min(leaves), cfg.hop_latency + trunk)
             }
         };
         // Contiguous host ranges; for the fat tree, unit = whole leaves.
@@ -92,6 +98,111 @@ impl Partition {
     /// The shard that reserves `link` (precomputed at plan time).
     pub fn link_owner(&self, link: LinkId) -> u32 {
         self.link_owner[link.idx()]
+    }
+
+    /// Build the per-shard-pair lookahead for the parallel executor:
+    /// `edge[j][i]` = the minimum ascending-segment latency over every
+    /// usable route from a host in shard `j` to a host in shard `i` —
+    /// exactly the earliest a packet injected by `j` can reach `i`'s
+    /// ingress. One matrix is computed per fault-campaign interval
+    /// (`campaign` as produced by `FaultScheduleSpec::compile`): routes
+    /// with a scheduled-down link are excluded there, because the fault
+    /// plan judges the *whole* route at injection time, so such packets
+    /// never cross. Administrative (hot-swap) downs are ignored — they
+    /// only remove routes, which can only *raise* the true bound.
+    pub fn pair_lookahead(
+        &self,
+        topo: &Topology,
+        cfg: &NetConfig,
+        campaign: &[(SimTime, FaultOp)],
+    ) -> PairLookahead {
+        let n = self.shards() as usize;
+        if n <= 1 {
+            return PairLookahead::uniform(n, self.lookahead);
+        }
+        let mut down: HashMap<u32, u32> = HashMap::new();
+        let mut intervals = vec![(0u64, self.pair_edges(topo, cfg, &down))];
+        let mut i = 0;
+        while i < campaign.len() {
+            let t = campaign[i].0;
+            let mut touched = false;
+            // Fold all transitions at the same instant into one interval.
+            while i < campaign.len() && campaign[i].0 == t {
+                match campaign[i].1 {
+                    FaultOp::LinkDown(l) => {
+                        *down.entry(l.0).or_insert(0) += 1;
+                        touched = true;
+                    }
+                    FaultOp::LinkUp(l) => {
+                        if let Some(c) = down.get_mut(&l.0) {
+                            *c -= 1;
+                            if *c == 0 {
+                                down.remove(&l.0);
+                            }
+                            touched = true;
+                        }
+                    }
+                    // Degrades drop or corrupt packets; they never delay
+                    // the ones that get through, so the bound is
+                    // unaffected.
+                    FaultOp::Degrade(..) | FaultOp::ClearDegrade(..) => {}
+                }
+                i += 1;
+            }
+            if !touched {
+                continue;
+            }
+            let edges = self.pair_edges(topo, cfg, &down);
+            if edges != intervals.last().unwrap().1 {
+                let tns = t.as_nanos();
+                if tns == 0 {
+                    intervals[0].1 = edges;
+                } else {
+                    intervals.push((tns, edges));
+                }
+            }
+        }
+        PairLookahead::from_edge_intervals(n, intervals)
+    }
+
+    /// One `n × n` edge matrix: per ordered cross-shard pair, the minimum
+    /// over channels and host pairs of the ascending-segment latency
+    /// (`Σ latency_of(link)` for the links before the split point, the
+    /// same sum `Fabric::walk` adds to an uncongested packet's head),
+    /// skipping routes that traverse a link in `down`.
+    fn pair_edges(&self, topo: &Topology, cfg: &NetConfig, down: &HashMap<u32, u32>) -> Vec<u64> {
+        let n = self.shards() as usize;
+        let hosts = topo.host_count();
+        let channels = match *topo.spec() {
+            // Fat-tree routes differ per channel (spine choice); the
+            // others are channel-invariant.
+            TopologySpec::FatTree { spines, .. } => spines.min(256),
+            _ => 1,
+        };
+        let mut edges = vec![u64::MAX; n * n];
+        let mut route = Vec::new();
+        for s in 0..hosts {
+            let js = self.shard_of(s) as usize;
+            for d in 0..hosts {
+                if s == d || self.shard_of(d) as usize == js {
+                    continue;
+                }
+                let jd = self.shard_of(d) as usize;
+                let cell = &mut edges[js * n + jd];
+                for ch in 0..channels {
+                    route.clear();
+                    topo.route(HostId(s), HostId(d), ch as u8, &mut route);
+                    if route.iter().any(|l| down.contains_key(&l.0)) {
+                        continue;
+                    }
+                    let k = topo.split_point(HostId(s), HostId(d)) as usize;
+                    let lat: u64 =
+                        route[..k].iter().map(|&l| cfg.latency_of(topo, l).as_nanos()).sum();
+                    *cell = (*cell).min(lat);
+                }
+            }
+        }
+        edges
     }
 
     fn owner_of(&self, topo: &Topology, link: LinkId) -> u32 {
@@ -151,6 +262,48 @@ mod tests {
             }
         }
         assert_eq!(p.lookahead(), SimDuration::from_nanos(600));
+    }
+
+    #[test]
+    fn trunk_latency_widens_fat_tree_lookahead() {
+        let t = Topology::build(TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 3, spines: 2 });
+        let mut cfg = net();
+        cfg.trunk_latency = Some(SimDuration::from_nanos(1_200));
+        let p = Partition::plan(&t, &cfg, 4);
+        // Ascending inter-leaf segment: 300 ns host-up + 1200 ns trunk.
+        assert_eq!(p.lookahead(), SimDuration::from_nanos(1_500));
+        let look = p.pair_lookahead(&t, &cfg, &[]);
+        assert_eq!(look.min_pair(), Some(SimDuration::from_nanos(1_500)));
+    }
+
+    #[test]
+    fn campaign_down_window_slices_pair_lookahead() {
+        // Crossbar, 2 shards of 2 hosts. Taking hosts 0 and 1's in-links
+        // down removes every shard0 -> shard1 route for the window: the
+        // interval matrix goes unreachable on that pair, and the horizon
+        // must instead be capped at the next transition (the LinkUps).
+        let t = Topology::build(TopologySpec::Crossbar { hosts: 4 });
+        let p = Partition::plan(&t, &net(), 2);
+        let at = |ns: u64| SimTime::from_nanos(ns);
+        let ops = vec![
+            (at(1_000), FaultOp::LinkDown(LinkId(0))),
+            (at(1_000), FaultOp::LinkDown(LinkId(1))),
+            (at(2_000), FaultOp::LinkUp(LinkId(0))),
+            (at(2_000), FaultOp::LinkUp(LinkId(1))),
+        ];
+        let look = p.pair_lookahead(&t, &net(), &ops);
+        // Inside the window: shard 1 hears nothing from shard 0, but the
+        // epoch must still stop before the LinkUps restore the edge.
+        let eff = [1_000, u64::MAX];
+        assert_eq!(look.horizon(&eff, 1, u64::MAX), 1_999);
+        // After the window the static 300 ns edge rules again.
+        let eff = [2_500, u64::MAX];
+        assert_eq!(look.horizon(&eff, 1, u64::MAX), 2_500 + 300 - 1);
+        // Degrade-only campaigns do not slice at all.
+        let deg = vec![(at(1_000), FaultOp::Degrade(LinkId(0), 0.5, 0.0))];
+        let look = p.pair_lookahead(&t, &net(), &deg);
+        let eff = [1_500, u64::MAX];
+        assert_eq!(look.horizon(&eff, 1, u64::MAX), 1_500 + 300 - 1);
     }
 
     #[test]

@@ -252,6 +252,18 @@ impl Topology {
         }
     }
 
+    /// Whether `l` is a *trunk* link (leaf↔spine in a fat tree). Trunks
+    /// may run at a different cut-through latency
+    /// (`NetConfig::trunk_latency`); crossbars and rings have none.
+    pub fn is_trunk(&self, l: LinkId) -> bool {
+        match self.spec {
+            TopologySpec::FatTree { leaves, hosts_per_leaf, .. } => {
+                l.0 >= 2 * leaves * hosts_per_leaf
+            }
+            _ => false,
+        }
+    }
+
     /// The final (delivery) link into `dst` — the host's receive link. Used
     /// by incast instrumentation.
     pub fn host_down_link(&self, dst: HostId) -> LinkId {

@@ -186,7 +186,7 @@ mod tests {
             uid,
             src_ep: EpId(0),
             frame: Frame {
-                kind: FrameKind::Data(std::rc::Rc::new(msg)),
+                kind: FrameKind::Data(std::sync::Arc::new(msg)),
                 dst_ep: EpId(0),
                 key: ProtectionKey::OPEN,
                 chan: 0,

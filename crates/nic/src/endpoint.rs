@@ -9,7 +9,7 @@
 use crate::ids::{GlobalEp, ProtectionKey};
 use crate::msg::{DeliveredMsg, UserMsg};
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 use vnet_sim::SimTime;
 
 /// A send descriptor waiting in an endpoint's send queue (or parked there
@@ -23,7 +23,7 @@ pub struct PendingSend {
     /// Protection key for the destination.
     pub key: ProtectionKey,
     /// The message (shared with any wire frame currently carrying it).
-    pub msg: Rc<UserMsg>,
+    pub msg: Arc<UserMsg>,
     /// Earliest time the NI may (re)transmit it — backoff after transient
     /// NACKs and channel unbinds.
     pub not_before: SimTime,
@@ -166,7 +166,7 @@ mod tests {
             uid,
             dst: GlobalEp::new(HostId(1), EpId(0)),
             key: ProtectionKey::OPEN,
-            msg: Rc::new(UserMsg {
+            msg: Arc::new(UserMsg {
                 uid,
                 is_request: true,
                 handler: 0,

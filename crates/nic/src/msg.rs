@@ -3,7 +3,7 @@
 
 use crate::endpoint::EndpointImage;
 use crate::ids::{EpId, GlobalEp, ProtectionKey};
-use std::rc::Rc;
+use std::sync::Arc;
 use vnet_sim::SimTime;
 
 /// An Active Message as the user level sees it: a split-phase remote
@@ -73,8 +73,11 @@ impl NackReason {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FrameKind {
     /// User data (a [`UserMsg`]). Reference-counted so retransmission,
-    /// deposit, and staged-DMA paths clone a pointer, not the body.
-    Data(Rc<UserMsg>),
+    /// deposit, and staged-DMA paths clone a pointer, not the body. The
+    /// count is atomic (`Arc`) and the body is frozen at injection — no
+    /// interior mutability — so a wire frame crossing a shard boundary in
+    /// the parallel executor moves a pointer, never a copy of the bytes.
+    Data(Arc<UserMsg>),
     /// Positive acknowledgment: the message was deposited.
     Ack,
     /// Negative acknowledgment with reason.
@@ -120,26 +123,13 @@ pub struct Frame {
     pub timestamp: u32,
 }
 
-impl Frame {
-    /// A structurally independent copy: a `Data` payload's `Rc` is
-    /// re-allocated rather than reference-shared. The parallel executor
-    /// uses this for frames crossing shard boundaries so that no `Rc`
-    /// graph ever spans two threads.
-    pub fn deep_clone(&self) -> Frame {
-        let mut f = self.clone();
-        if let FrameKind::Data(m) = &self.kind {
-            f.kind = FrameKind::Data(Rc::new((**m).clone()));
-        }
-        f
-    }
-}
-
 /// A message as handed to the user on poll, plus delivery metadata.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeliveredMsg {
     /// The message (shared with the wire frame that carried it — the
-    /// deposit clones a reference, never the body).
-    pub msg: Rc<UserMsg>,
+    /// deposit clones a reference, never the body, even when the frame
+    /// crossed a shard boundary).
+    pub msg: Arc<UserMsg>,
     /// True when this is the sender's own message coming back — the
     /// "return to sender" error model of §3.2. The undeliverable handler
     /// runs instead of the addressed handler.

@@ -24,7 +24,6 @@ use crate::sched::WrrScheduler;
 use crate::stats::NicStats;
 use crate::tel::NicTelemetry;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
 use std::sync::Arc;
 use vnet_net::{HostId, LinkId, Packet, RouteOracle};
 use vnet_sim::{AuditHandle, Auditor, SimDuration, SimRng, SimTime, TelemetryHandle, TraceHandle};
@@ -473,7 +472,7 @@ impl Nic {
             uid,
             dst: req.dst,
             key: req.key,
-            msg: Rc::new(msg),
+            msg: Arc::new(msg),
             not_before: ready_at.max(now),
             nacks: 0,
             unbind_cycles: 0,
@@ -1077,7 +1076,7 @@ impl Nic {
     ) -> SimDuration {
         match frame.kind {
             FrameKind::Data(ref m) => {
-                let msg = Rc::clone(m);
+                let msg = Arc::clone(m);
                 self.process_data(now, src, frame, msg, out)
             }
             FrameKind::Ack => self.process_ack(now, src, frame, None, out),
@@ -1097,7 +1096,7 @@ impl Nic {
         now: SimTime,
         src: HostId,
         frame: Frame,
-        msg: Rc<UserMsg>,
+        msg: Arc<UserMsg>,
         out: &mut Vec<NicOut>,
     ) -> SimDuration {
         let bulk = msg.is_bulk(self.cfg.pio_threshold);
@@ -1213,7 +1212,7 @@ impl Nic {
         now: SimTime,
         _src: HostId,
         frame: Frame,
-        msg: Rc<UserMsg>,
+        msg: Arc<UserMsg>,
         bulk: bool,
         out: &mut Vec<NicOut>,
     ) -> SimDuration {
@@ -1253,7 +1252,7 @@ impl Nic {
         &mut self,
         now: SimTime,
         ep: EpId,
-        msg: Rc<UserMsg>,
+        msg: Arc<UserMsg>,
         undeliverable: bool,
         out: &mut Vec<NicOut>,
     ) -> Result<(), NackReason> {
@@ -1504,7 +1503,7 @@ impl Nic {
     }
 
     /// Deliver `msg` back to its source endpoint marked undeliverable.
-    fn return_to_sender(&mut self, now: SimTime, ep: EpId, msg: Rc<UserMsg>, out: &mut Vec<NicOut>) {
+    fn return_to_sender(&mut self, now: SimTime, ep: EpId, msg: Arc<UserMsg>, out: &mut Vec<NicOut>) {
         self.stats.returned_to_sender.inc();
         let h = self.host.0;
         let uid = msg.uid;

@@ -3,8 +3,10 @@
 //! observed round-trip times from reflected timestamps).
 //!
 //! `NicStats` is enumerated generically through
-//! [`vnet_sim::telemetry::MetricSet`]; the former pub-field surface is
-//! kept one release as `#[deprecated]` accessor forwarders.
+//! [`vnet_sim::telemetry::MetricSet`]: read a named counter with
+//! [`MetricSet::counter_value`] and walk everything with
+//! [`MetricSet::visit_metrics`]. Only samplers whose individual samples
+//! matter (`rtt_us`, `recovery_us`) keep first-class accessors.
 
 use crate::msg::NackReason;
 use vnet_sim::stats::{Counter, Sampler};
@@ -66,21 +68,6 @@ pub struct NicStats {
     pub(crate) recovery_us: Sampler,
 }
 
-macro_rules! deprecated_counter_accessors {
-    ($($(#[doc = $doc:literal])* $name:ident),* $(,)?) => {
-        $(
-            $(#[doc = $doc])*
-            #[deprecated(
-                since = "0.2.0",
-                note = "iterate via MetricSet::visit_metrics or use MetricSet::counter_value"
-            )]
-            pub fn $name(&self) -> u64 {
-                self.$name.get()
-            }
-        )*
-    };
-}
-
 impl NicStats {
     /// Record an incoming NACK by reason.
     pub fn record_nack_rx(&mut self, r: NackReason) {
@@ -114,43 +101,6 @@ impl NicStats {
     /// want quantiles of the individual samples.
     pub fn recovery_us(&self) -> Sampler {
         self.recovery_us.clone()
-    }
-
-    deprecated_counter_accessors! {
-        /// Data frames injected (first transmissions).
-        data_sent,
-        /// Data frames retransmitted.
-        retransmits,
-        /// Messages unbound after the consecutive-retransmission bound.
-        unbinds,
-        /// Messages returned to their sender as undeliverable.
-        returned_to_sender,
-        /// Data frames received and deposited.
-        deposits,
-        /// Duplicate data frames suppressed.
-        duplicates,
-        /// Positive acks received.
-        acks_rx,
-        /// NACKs received: destination endpoint not resident.
-        nacks_rx_not_resident,
-        /// NACKs received: receive queue full.
-        nacks_rx_queue_full,
-        /// NACKs received: bad key.
-        nacks_rx_bad_key,
-        /// NACKs received: no such endpoint.
-        nacks_rx_no_endpoint,
-        /// NACKs generated locally, by any reason.
-        nacks_tx,
-        /// Corrupted frames discarded on CRC check.
-        crc_drops,
-        /// Endpoint loads completed.
-        loads,
-        /// Endpoint unloads completed.
-        unloads,
-        /// NeedResident requests raised to the driver.
-        resident_requests,
-        /// GAM mode: frames dropped on receive-queue overrun.
-        gam_overruns,
     }
 }
 
@@ -218,11 +168,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_forwarders_still_answer() {
+    fn counter_value_is_the_per_counter_read_path() {
+        // The per-counter `#[deprecated]` forwarders are gone; named reads
+        // go through `MetricSet::counter_value` only.
         let mut s = NicStats::default();
         s.retransmits.inc();
-        assert_eq!(s.retransmits(), 1);
-        assert_eq!(s.data_sent(), 0);
+        assert_eq!(s.counter_value("retransmits"), 1);
+        assert_eq!(s.counter_value("data_sent"), 0);
     }
 }

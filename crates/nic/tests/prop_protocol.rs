@@ -19,7 +19,7 @@ fn inflight(uid: u64) -> InFlight {
         uid,
         src_ep: EpId(0),
         frame: Frame {
-            kind: FrameKind::Data(std::rc::Rc::new(UserMsg {
+            kind: FrameKind::Data(std::sync::Arc::new(UserMsg {
                 uid,
                 is_request: true,
                 handler: 0,

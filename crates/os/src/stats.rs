@@ -3,8 +3,10 @@
 //! endpoint re-mappings per second").
 //!
 //! `OsStats` is enumerated generically through
-//! [`vnet_sim::telemetry::MetricSet`]; the former pub-field surface is
-//! kept one release as `#[deprecated]` accessor forwarders.
+//! [`vnet_sim::telemetry::MetricSet`]: read a named counter with
+//! [`MetricSet::counter_value`] and walk everything with
+//! [`MetricSet::visit_metrics`]. Only the remap-latency sampler keeps a
+//! first-class accessor (distribution analysis needs the raw samples).
 
 use vnet_sim::stats::{Counter, Sampler};
 use vnet_sim::telemetry::{MetricSet, MetricValue, MetricVisitor, Summary};
@@ -37,21 +39,6 @@ pub struct OsStats {
     pub(crate) remap_latency_us: Sampler,
 }
 
-macro_rules! deprecated_counter_accessors {
-    ($($(#[doc = $doc:literal])* $name:ident),* $(,)?) => {
-        $(
-            $(#[doc = $doc])*
-            #[deprecated(
-                since = "0.2.0",
-                note = "iterate via MetricSet::visit_metrics or use MetricSet::counter_value"
-            )]
-            pub fn $name(&self) -> u64 {
-                self.$name.get()
-            }
-        )*
-    };
-}
-
 impl OsStats {
     /// Remaps per second of simulated time (loads are the unit the paper
     /// counts).
@@ -67,25 +54,6 @@ impl OsStats {
     /// because distribution analysis needs the individual samples.
     pub fn remap_latency_us(&self) -> Sampler {
         self.remap_latency_us.clone()
-    }
-
-    deprecated_counter_accessors! {
-        /// Write faults taken on non-resident endpoints.
-        write_faults,
-        /// Proxy faults taken on behalf of the NIC.
-        proxy_faults,
-        /// Endpoint loads completed.
-        loads,
-        /// Endpoint unloads completed (evictions).
-        unloads,
-        /// Page-ins from the swap area.
-        page_ins,
-        /// Pageouts to the swap area.
-        page_outs,
-        /// Threads woken by endpoint events.
-        event_wakes,
-        /// Threads woken by residency transitions.
-        residency_wakes,
     }
 }
 

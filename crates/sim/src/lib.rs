@@ -39,7 +39,8 @@ pub use audit::{AuditCounters, AuditHandle, Auditor, EpPhase, MsgFate, TraceHand
 pub use engine::{Ctx, Engine, EventId, SimWorld};
 pub use fxhash::{fx_map_with_capacity, FxHashMap, FxHashSet, FxHasher};
 pub use parallel::{
-    run_conservative, run_conservative_with, Driver, ParShard, SendCell, INGRESS_KEY_BIT,
+    run_conservative, run_conservative_with, Driver, PairLookahead, ParShard, SendCell,
+    INGRESS_KEY_BIT,
 };
 pub use telemetry::{
     CounterHandle, GaugeHandle, HistogramHandle, MetricSet, MetricValue, MetricVisitor,

@@ -3,25 +3,54 @@
 //! This module runs N *shards* — each a self-contained single-threaded
 //! simulation with its own [`TimingWheel`](crate::wheel::TimingWheel) —
 //! on `std::thread::scope` workers, synchronized in epochs bounded by a
-//! *lookahead* `L`: the minimum simulated latency any shard needs before
-//! an action it takes can be observed by another shard. For the vnet
-//! stack that is the minimum cross-shard link latency; a packet injected
-//! at time `t` cannot reach another shard's ingress before `t + L`.
+//! **per-shard-pair lookahead** [`PairLookahead`]: `L(j, i)` is the
+//! minimum simulated latency before an action shard `j` takes can be
+//! observed by shard `i`. For the vnet stack that is the minimum
+//! cross-shard ascending-path link latency from any of `j`'s hosts to
+//! any of `i`'s; a packet injected at `t` cannot reach the other
+//! shard's ingress before `t + L(j, i)`.
 //!
 //! ## Epoch protocol
 //!
-//! Each epoch: (1) every worker publishes a conservative lower bound on
-//! its next pending event (wheel bound, or pending outbound mail); (2)
-//! one spin barrier; (3) every worker independently computes the same
-//! global minimum `B` and epoch end `E = min(B + L − 1, deadline)`,
-//! ingests the mail addressed to it, and runs `run_until(E)`. Any event
-//! processed in the epoch has timestamp `≥ B`, so mail it generates is
-//! stamped `≥ B + L > E` — always delivered before the epoch that could
-//! observe it. Publication slots are double-buffered by epoch parity, so
-//! a single barrier per epoch suffices: a worker can be at most one epoch
-//! ahead of the slowest, and writes epoch `k+1` into the buffer the
-//! others are not reading. Empty stretches of simulated time cost
-//! nothing: `B` jumps straight to the next event anywhere in the system.
+//! Each epoch: (1) every worker publishes its wheel's next-event bound
+//! plus, per destination, the earliest delivery time of the cross-shard
+//! mail it generated last epoch; (2) one spin barrier; (3) every worker
+//! computes the same *effective bound* vector `Ḃ` — shard `i`'s wheel
+//! bound folded with the in-flight mail addressed to `i` (the mail is
+//! ingested this epoch, so it is accounted to its receiver) — then runs
+//! to its own horizon
+//!
+//! ```text
+//! E_i = min_j (Ḃ_j + D(j, i)) − 1
+//! ```
+//!
+//! where `D` is the shortest-path closure of `L` over the shard digraph
+//! (including `D(i, i)` = the shortest cycle through `i`, which covers
+//! the echo of a shard's own sends). Any event still unprocessed
+//! anywhere has timestamp `≥ Ḃ_j`, so mail it (transitively) generates
+//! for `i` is stamped `≥ Ḃ_j + D(j, i) > E_i` — always delivered before
+//! the epoch that could observe it. A shard pair joined only by slow
+//! links gets a wide window even while some other pair's fast links
+//! bound their own; with a single uniform latency the horizon
+//! degenerates to the classic `min(B) + L − 1` (and better: a lone busy
+//! shard gets `B + 2L − 1`, the self-echo bound). Publication slots are
+//! double-buffered by epoch parity, so a single barrier per epoch
+//! suffices. Empty stretches of simulated time cost nothing: the bounds
+//! jump straight to the next event anywhere in the system.
+//!
+//! ## Barrier elision
+//!
+//! Two epochs' worth of barrier crossings are removed outright. Mail
+//! scans are batched behind a per-epoch publication bitmap: a worker
+//! that published no mail never forces the other `n − 1` workers to
+//! touch its `n` mailbox slots. And the final epoch of a finite-deadline
+//! run is detected *inside* the epoch — when every shard's horizon
+//! already reaches the deadline (a fact each worker computes from the
+//! same published bounds) the workers run their last window and exit
+//! without re-publishing, re-barriering, or re-checking. Mail generated
+//! in that last window is provably timestamped past the deadline; it is
+//! left in each shard's outbox for the caller to relay (see
+//! [`run_conservative`]'s contract).
 //!
 //! ## Determinism
 //!
@@ -40,8 +69,9 @@
 //! is the audited escape hatch: constructing one is `unsafe`, with the
 //! invariant that the wrapped value is a *closed* `Rc` graph — every
 //! strong count is reachable only from inside the value — so moving the
-//! whole cell between threads is sound. Mail that crosses shards must be
-//! deep-cloned into a fresh graph before being wrapped.
+//! whole cell between threads is sound. Mail itself must be genuinely
+//! `Send` (the vnet stack's wire frames carry frozen `Arc` payloads, so
+//! crossing a shard moves a pointer, not a copy of the body).
 
 use crate::time::{SimDuration, SimTime};
 use std::cell::UnsafeCell;
@@ -52,14 +82,172 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 /// counter can never reach bit 63).
 pub const INGRESS_KEY_BIT: u64 = 1 << 63;
 
+/// Fallback epoch width when a shard digraph has no cycle information at
+/// all (a single shard, or a campaign interval with every cross link
+/// down): ~18 simulated minutes, far beyond any workload's horizon, so
+/// the "epoch" degenerates to one `run_until` per bounds refresh.
+const OPEN_HORIZON: u64 = 1 << 40;
+
+/// Per-shard-pair conservative lookahead, closed over relay paths and
+/// sliced by fault-campaign interval.
+///
+/// Built from one or more `n × n` *edge* matrices (`edge[j * n + i]` =
+/// minimum latency of direct mail `j → i` in nanoseconds, `u64::MAX`
+/// when no such mail is possible), each tagged with the simulated time
+/// at which it takes effect. Construction runs a min-plus Floyd–Warshall
+/// per interval, producing the closure `D(j, i)` = cheapest way any
+/// influence can travel from `j` to `i` through any sequence of shards —
+/// including `D(i, i)`, the cheapest *cycle* through `i`.
+///
+/// Campaign intervals exist because a scheduled `LinkUp` can *lower* a
+/// pair's latency floor mid-run; an epoch computed from the wider
+/// pre-transition matrix must therefore never extend past the next
+/// transition instant, which [`PairLookahead::horizon`] enforces.
+#[derive(Clone, Debug)]
+pub struct PairLookahead {
+    n: usize,
+    /// Interval start times in nanoseconds; `starts[0] == 0`.
+    starts: Vec<u64>,
+    /// One closure matrix per interval (`mats[k][j * n + i]`), entries
+    /// saturating at `u64::MAX`, floor-clamped to 1 ns.
+    mats: Vec<Vec<u64>>,
+}
+
+impl PairLookahead {
+    /// A single-interval lookahead with the same latency `l` between
+    /// every ordered pair — the pre-per-pair behavior, used by harness
+    /// tests and as the degenerate plan for uniform topologies.
+    ///
+    /// # Panics
+    /// Panics if `l` is zero (no conservative window exists).
+    pub fn uniform(n: usize, l: SimDuration) -> Self {
+        assert!(l.as_nanos() > 0, "lookahead must be positive");
+        let lns = l.as_nanos();
+        let mut edges = vec![u64::MAX; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                if i != j {
+                    edges[j * n + i] = lns;
+                }
+            }
+        }
+        Self::from_edge_intervals(n, vec![(0, edges)])
+    }
+
+    /// Build from `(start_ns, edge_matrix)` intervals (see type docs).
+    /// Intervals must be sorted by start time with `intervals[0].0 == 0`.
+    ///
+    /// # Panics
+    /// Panics on an empty interval list, a misordered schedule, a matrix
+    /// of the wrong dimension, or a zero edge latency.
+    pub fn from_edge_intervals(n: usize, intervals: Vec<(u64, Vec<u64>)>) -> Self {
+        assert!(n >= 1, "no shards");
+        assert!(!intervals.is_empty(), "no lookahead intervals");
+        assert_eq!(intervals[0].0, 0, "first interval must start at time zero");
+        let mut starts = Vec::with_capacity(intervals.len());
+        let mut mats = Vec::with_capacity(intervals.len());
+        for (start, edges) in intervals {
+            assert!(starts.last().is_none_or(|&p| p < start), "intervals out of order");
+            assert_eq!(edges.len(), n * n, "edge matrix dimension mismatch");
+            assert!(
+                edges.iter().all(|&e| e > 0),
+                "zero-latency cross-shard edge destroys the lookahead bound"
+            );
+            starts.push(start);
+            mats.push(closure(n, edges));
+        }
+        PairLookahead { n, starts, mats }
+    }
+
+    /// Number of shards this plan covers.
+    pub fn shards(&self) -> usize {
+        self.n
+    }
+
+    /// The tightest pair bound in the static (time-zero) matrix — what a
+    /// single global lookahead would have been. Informational.
+    pub fn min_pair(&self) -> Option<SimDuration> {
+        self.mats[0]
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k / self.n != k % self.n)
+            .map(|(_, &d)| d)
+            .min()
+            .filter(|&d| d != u64::MAX)
+            .map(SimDuration::from_nanos)
+    }
+
+    /// Index of the interval containing time `t`.
+    fn interval(&self, t: u64) -> usize {
+        self.starts.partition_point(|&s| s <= t) - 1
+    }
+
+    /// Shard `me`'s epoch horizon given the effective bound vector `eff`
+    /// (one entry per shard, `u64::MAX` = idle), clamped to the deadline
+    /// and to the end of the campaign interval the epoch starts in.
+    /// Every worker evaluates this from identical published data, so any
+    /// worker can also evaluate any *other* shard's horizon (the final-
+    /// epoch elision depends on that).
+    pub fn horizon(&self, eff: &[u64], me: usize, deadline_ns: u64) -> u64 {
+        debug_assert_eq!(eff.len(), self.n);
+        let g = eff.iter().copied().min().unwrap_or(u64::MAX);
+        debug_assert_ne!(g, u64::MAX, "horizon of an idle system");
+        let k = self.interval(g);
+        let mat = &self.mats[k];
+        let mut e = u64::MAX;
+        for (j, &b) in eff.iter().enumerate() {
+            e = e.min(b.saturating_add(mat[j * self.n + me]));
+        }
+        // No relay path constrains this shard (single shard, or every
+        // cross link scheduled down): take a huge but finite window so
+        // quiescence detection still loops.
+        if e == u64::MAX {
+            e = g.saturating_add(OPEN_HORIZON);
+        }
+        let mut e = e - 1;
+        if k + 1 < self.starts.len() {
+            // The matrix is only valid up to the next campaign
+            // transition: a LinkUp there may lower latency floors.
+            e = e.min(self.starts[k + 1] - 1);
+        }
+        e.min(deadline_ns)
+    }
+}
+
+/// Min-plus Floyd–Warshall closure with saturating arithmetic. The
+/// diagonal starts unreachable, so `out[i * n + i]` ends as the shortest
+/// cycle through `i`. Entries are floor-clamped to 1 ns so a horizon is
+/// always at least the bound itself.
+fn closure(n: usize, edges: Vec<u64>) -> Vec<u64> {
+    let mut d = edges;
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i * n + k];
+            if dik == u64::MAX {
+                continue;
+            }
+            for j in 0..n {
+                let via = dik.saturating_add(d[k * n + j]);
+                if via < d[i * n + j] {
+                    d[i * n + j] = via;
+                }
+            }
+        }
+    }
+    for v in d.iter_mut() {
+        *v = (*v).max(1);
+    }
+    d
+}
+
 /// One shard of a partitioned simulation, as seen by the executor.
 ///
 /// Implementations are single-threaded simulations; the executor moves
 /// each shard to a worker thread for the duration of a run and calls
 /// these hooks strictly from that worker, separated by barriers.
 pub trait ParShard {
-    /// A cross-shard message. Must be (or wrap) a graph with no external
-    /// `Rc` references — see [`SendCell`].
+    /// A cross-shard message. Sent by value between workers, so it must
+    /// be genuinely `Send` (share only atomically counted, frozen data).
     type Mail: Send;
 
     /// Process all pending events with timestamp ≤ `deadline`, leaving
@@ -122,10 +310,18 @@ impl<T> SendCell<T> {
     }
 }
 
-/// Sense-reversing centralized spin barrier. `std::sync::Barrier` parks
-/// and wakes through a mutex — tens of microseconds per crossing — while
-/// an epoch here is often shorter than that; spinning (with a yield once
-/// oversubscribed) keeps the barrier in the hundreds of nanoseconds.
+/// Busy-spin iterations before a waiter starts yielding its timeslice.
+/// Epochs are often shorter than a mutex park/unpark (tens of µs), so a
+/// short spin wins when every worker has a core; past the limit the
+/// waiter must assume it is oversubscribed (shards > cores, or a peer
+/// got descheduled) and `yield_now` so the peer can actually run —
+/// unbounded spinning there collapses throughput to the scheduler tick.
+const SPIN_LIMIT: u32 = 64;
+
+/// Sense-reversing centralized spin barrier with a bounded spin (see
+/// [`SPIN_LIMIT`]). `std::sync::Barrier` parks and wakes through a
+/// mutex — tens of microseconds per crossing — while an epoch here is
+/// often shorter than that.
 struct SpinBarrier {
     count: AtomicUsize,
     sense: AtomicBool,
@@ -145,12 +341,10 @@ impl SpinBarrier {
         } else {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != *local_sense {
-                spins += 1;
-                if spins < 64 {
+                if spins < SPIN_LIMIT {
+                    spins += 1;
                     std::hint::spin_loop();
                 } else {
-                    // Oversubscribed (or the peer is descheduled): yield so
-                    // a single core can still make progress.
                     std::thread::yield_now();
                 }
             }
@@ -160,17 +354,26 @@ impl SpinBarrier {
 
 /// Double-buffered per-epoch publication slots. All writes happen before
 /// the epoch barrier and all reads after it (one parity apart for the
-/// mail a worker is still draining), which is exactly the discipline that
-/// makes the `UnsafeCell` sound; see the module docs for the lag
+/// mail a worker is still draining), which is exactly the discipline
+/// that makes the `UnsafeCell` sound; see the module docs for the lag
 /// argument.
 struct Mailboxes<M> {
     n: usize,
     /// `[parity][src * n + dst]` — mail published by `src` for `dst`.
     #[allow(clippy::type_complexity)]
     slots: [Vec<UnsafeCell<Vec<(SimTime, M)>>>; 2],
-    /// `[parity][shard]` — published next-event bound (min of wheel bound
-    /// and outbound mail), `u64::MAX` when idle.
-    bounds: [Vec<AtomicU64>; 2],
+    /// `[parity][shard]` — published wheel bound (`u64::MAX` when idle).
+    /// Outbound mail is *not* folded in here; it is published per
+    /// destination below and accounted to its receiver.
+    wheel: [Vec<AtomicU64>; 2],
+    /// `[parity][src * n + dst]` — earliest delivery time of the mail
+    /// `src` published for `dst` this epoch (`u64::MAX` if none).
+    mail_min: [Vec<AtomicU64>; 2],
+    /// `[parity]` — bit `src` set iff `src` published any mail this
+    /// epoch. Readers skip the whole slot scan when their senders' bits
+    /// are clear, so quiet epochs touch one shared word instead of
+    /// `n − 1` slot vectors.
+    mail_bits: [AtomicU64; 2],
 }
 
 unsafe impl<M> Sync for Mailboxes<M> {}
@@ -178,16 +381,32 @@ unsafe impl<M> Sync for Mailboxes<M> {}
 impl<M> Mailboxes<M> {
     fn new(n: usize) -> Self {
         let mk_slots = || (0..n * n).map(|_| UnsafeCell::new(Vec::new())).collect();
-        let mk_bounds = || (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-        Mailboxes { n, slots: [mk_slots(), mk_slots()], bounds: [mk_bounds(), mk_bounds()] }
+        let mk_wheel = || (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let mk_mail = || (0..n * n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        Mailboxes {
+            n,
+            slots: [mk_slots(), mk_slots()],
+            wheel: [mk_wheel(), mk_wheel()],
+            mail_min: [mk_mail(), mk_mail()],
+            mail_bits: [AtomicU64::new(0), AtomicU64::new(0)],
+        }
     }
 }
 
 /// Run `shards` to `deadline` (or to quiescence when `deadline` is
 /// [`SimTime::MAX`]) under conservative epoch synchronization with the
-/// given `lookahead`. Returns the final simulated time: `deadline` when
-/// finite, otherwise the timestamp of the last event processed anywhere.
-/// Every shard's clock is synchronized to that time on return.
+/// given per-pair `lookahead`. Returns the final simulated time:
+/// `deadline` when finite, otherwise the timestamp of the last event
+/// processed anywhere. Every shard's clock is synchronized to that time
+/// on return.
+///
+/// **Leftover-mail contract:** a finite-deadline run may end through the
+/// final-epoch elision, in which case cross-shard mail generated in the
+/// last window — all of it provably timestamped *after* the deadline —
+/// is still sitting in shard outboxes. The caller must drain each
+/// shard's outbox after the run and re-inject the mail (keyed) before
+/// the next run; delivery order is fixed by `(time, key)`, so relaying
+/// on one thread preserves byte-identical results.
 ///
 /// With a single shard no threads are spawned and no barriers run; the
 /// loop degenerates to plain sequential execution of that shard. With no
@@ -198,7 +417,7 @@ impl<M> Mailboxes<M> {
 /// way) is identical.
 pub fn run_conservative<S: ParShard>(
     shards: &mut [SendCell<S>],
-    lookahead: SimDuration,
+    lookahead: &PairLookahead,
     deadline: SimTime,
 ) -> SimTime {
     // `VNET_PAR_DRIVER=threads|serial` pins the driver (results are
@@ -237,13 +456,14 @@ pub enum Driver {
 /// single-core machines.
 pub fn run_conservative_with<S: ParShard>(
     shards: &mut [SendCell<S>],
-    lookahead: SimDuration,
+    lookahead: &PairLookahead,
     deadline: SimTime,
     driver: Driver,
 ) -> SimTime {
-    assert!(!shards.is_empty(), "no shards");
-    assert!(lookahead.as_nanos() > 0, "lookahead must be positive");
     let n = shards.len();
+    assert!(n > 0, "no shards");
+    assert!(n <= 64, "publication bitmap caps the executor at 64 shards");
+    assert_eq!(lookahead.shards(), n, "lookahead planned for a different shard count");
     let entry_now = shards.iter().map(|c| c.get().now()).max().unwrap();
 
     if n > 1 && driver == Driver::Serial {
@@ -297,7 +517,7 @@ fn worker_loop<S: ParShard>(
     cell: &mut SendCell<S>,
     boxes: &Mailboxes<S::Mail>,
     barrier: &SpinBarrier,
-    lookahead: SimDuration,
+    look: &PairLookahead,
     deadline: SimTime,
 ) {
     let shard = cell.get_mut();
@@ -305,40 +525,74 @@ fn worker_loop<S: ParShard>(
     let deadline_ns = deadline.as_nanos();
     let mut local_sense = false;
     let mut outbox: Vec<(usize, SimTime, S::Mail)> = Vec::new();
+    let mut dst_min = vec![u64::MAX; n];
+    let mut eff = vec![u64::MAX; n];
+    // Whether our publication bit is currently set, per parity, so the
+    // shared bitmap word is only touched on a state change.
+    let mut bit_set = [false; 2];
     let mut epoch: usize = 0;
     loop {
         let p = epoch % 2;
-        // Publish: route the previous epoch's mail and our next-event
-        // bound. Outbound mail counts toward the bound — it is an event
-        // of the system even though it has left our wheel.
-        let mut bound = shard.next_at_bound().map_or(u64::MAX, |t| t.as_nanos());
+        // Publish: the wheel bound, and the previous epoch's mail with
+        // its per-destination delivery minima. In-flight mail counts
+        // toward its *receiver's* effective bound — it is delivered (and
+        // ingested) this very epoch, so accounting it there is exact and
+        // lets the per-pair horizon argument go through.
+        let wheel = shard.next_at_bound().map_or(u64::MAX, |t| t.as_nanos());
+        dst_min.iter_mut().for_each(|m| *m = u64::MAX);
+        let any_mail = !outbox.is_empty();
         for (dst, at, mail) in outbox.drain(..) {
             debug_assert!(dst < n && dst != me, "bad mail routing");
-            bound = bound.min(at.as_nanos());
+            dst_min[dst] = dst_min[dst].min(at.as_nanos());
             // SAFETY: slot (p, me, dst) is written only by `me` before
             // barrier `epoch` and read only by `dst` after it.
             unsafe { (*boxes.slots[p][me * n + dst].get()).push((at, mail)) };
         }
-        boxes.bounds[p][me].store(bound, Ordering::Relaxed);
+        boxes.wheel[p][me].store(wheel, Ordering::Relaxed);
+        for (dst, &m) in dst_min.iter().enumerate() {
+            if dst != me {
+                boxes.mail_min[p][me * n + dst].store(m, Ordering::Relaxed);
+            }
+        }
+        if any_mail != bit_set[p] {
+            let bit = 1u64 << me;
+            if any_mail {
+                boxes.mail_bits[p].fetch_or(bit, Ordering::Relaxed);
+            } else {
+                boxes.mail_bits[p].fetch_and(!bit, Ordering::Relaxed);
+            }
+            bit_set[p] = any_mail;
+        }
 
         barrier.wait(&mut local_sense);
 
-        // Everyone computes the same global bound from the same slots.
-        let mut global = u64::MAX;
-        for b in &boxes.bounds[p] {
-            global = global.min(b.load(Ordering::Relaxed));
-        }
-        // Ingest mail addressed to us. Arrival order across sources is
-        // irrelevant: delivery order is fixed by the (time, key) pairs.
-        for src in 0..n {
-            if src == me {
-                continue;
+        // Everyone computes the same effective bounds from the same
+        // slots: Ḃ_i = min(wheel_i, earliest mail addressed to i).
+        for (i, e) in eff.iter_mut().enumerate() {
+            let mut b = boxes.wheel[p][i].load(Ordering::Relaxed);
+            for j in 0..n {
+                if j != i {
+                    b = b.min(boxes.mail_min[p][j * n + i].load(Ordering::Relaxed));
+                }
             }
-            // SAFETY: slot (p, src, me) was sealed at barrier `epoch`;
-            // `src` will not touch it again until barrier `epoch + 1`.
-            let slot = unsafe { &mut *boxes.slots[p][src * n + me].get() };
-            for (at, mail) in slot.drain(..) {
-                shard.ingest(at, mail);
+            *e = b;
+        }
+        let global = eff.iter().copied().min().unwrap();
+        // Ingest mail addressed to us, scanning only senders that
+        // actually published. Arrival order across sources is
+        // irrelevant: delivery order is fixed by the (time, key) pairs.
+        let bits = boxes.mail_bits[p].load(Ordering::Relaxed);
+        if bits != 0 {
+            for src in 0..n {
+                if src == me || bits & (1u64 << src) == 0 {
+                    continue;
+                }
+                // SAFETY: slot (p, src, me) was sealed at barrier `epoch`;
+                // `src` will not touch it again until barrier `epoch + 1`.
+                let slot = unsafe { &mut *boxes.slots[p][src * n + me].get() };
+                for (at, mail) in slot.drain(..) {
+                    shard.ingest(at, mail);
+                }
             }
         }
 
@@ -351,7 +605,23 @@ fn worker_loop<S: ParShard>(
             }
             return;
         }
-        let end = SimTime::from_nanos(global.saturating_add(lookahead.as_nanos() - 1).min(deadline_ns));
+        let end_ns = look.horizon(&eff, me, deadline_ns);
+        if end_ns >= deadline_ns
+            && (0..n).all(|i| i == me || look.horizon(&eff, i, deadline_ns) >= deadline_ns)
+        {
+            // Final-epoch elision: every shard's horizon reaches the
+            // deadline, so after this window there is nothing left to
+            // exchange *before* it — each worker proves the same fact
+            // from the same bounds and exits without another barrier.
+            // Mail born in this window is stamped past the deadline (the
+            // horizon argument, applied at the deadline) and stays in
+            // the outbox for the caller to relay.
+            shard.run_until(deadline);
+            return;
+        }
+        // Horizons are monotone in practice but the published bounds are
+        // only *lower* bounds; never ask the wheel to run backwards.
+        let end = SimTime::from_nanos(end_ns).max(shard.now());
         shard.run_until(end);
         shard.drain_outbox(&mut outbox);
         epoch += 1;
@@ -360,14 +630,14 @@ fn worker_loop<S: ParShard>(
 
 /// The epoch protocol on one thread: every shard is stepped in turn each
 /// epoch, mail moves through plain per-destination queues, and there are
-/// no barriers or atomics. Epoch boundaries — the global bound, the
-/// horizon `min(B + L − 1, deadline)`, the termination test — are
-/// computed from exactly the same values as in [`worker_loop`], so the
-/// two drivers process the same events in the same epochs (and keyed
+/// no barriers or atomics. Epoch boundaries — the effective bounds, the
+/// per-shard horizons, the termination test, the final-epoch elision —
+/// are computed from exactly the same values as in [`worker_loop`], so
+/// the two drivers process the same events in the same epochs (and keyed
 /// scheduling makes results independent of ingestion order anyway).
 fn serial_loop<S: ParShard>(
     shards: &mut [SendCell<S>],
-    lookahead: SimDuration,
+    look: &PairLookahead,
     deadline: SimTime,
 ) {
     let n = shards.len();
@@ -375,18 +645,22 @@ fn serial_loop<S: ParShard>(
     // Mail awaiting delivery, per destination shard.
     let mut mail: Vec<Vec<(SimTime, S::Mail)>> = (0..n).map(|_| Vec::new()).collect();
     let mut outbox: Vec<(usize, SimTime, S::Mail)> = Vec::new();
+    let mut eff = vec![u64::MAX; n];
     loop {
-        // Global bound over wheel bounds and in-flight mail, then deliver.
-        let mut global = u64::MAX;
-        for (i, cell) in shards.iter_mut().enumerate() {
-            if let Some(t) = cell.get().next_at_bound() {
-                global = global.min(t.as_nanos());
+        // Effective bounds over wheels and in-flight mail, then deliver.
+        for (i, e) in eff.iter_mut().enumerate() {
+            let mut b = shards[i].get().next_at_bound().map_or(u64::MAX, |t| t.as_nanos());
+            for &(at, _) in &mail[i] {
+                b = b.min(at.as_nanos());
             }
+            *e = b;
+        }
+        for (i, cell) in shards.iter_mut().enumerate() {
             for (at, m) in mail[i].drain(..) {
-                global = global.min(at.as_nanos());
                 cell.get_mut().ingest(at, m);
             }
         }
+        let global = eff.iter().copied().min().unwrap();
         if global == u64::MAX || global > deadline_ns {
             if deadline != SimTime::MAX {
                 for cell in shards.iter_mut() {
@@ -395,14 +669,26 @@ fn serial_loop<S: ParShard>(
             }
             return;
         }
-        let end = SimTime::from_nanos(global.saturating_add(lookahead.as_nanos() - 1).min(deadline_ns));
-        for cell in shards.iter_mut() {
+        let last = deadline != SimTime::MAX
+            && (0..n).all(|i| look.horizon(&eff, i, deadline_ns) >= deadline_ns);
+        for (i, cell) in shards.iter_mut().enumerate() {
             let shard = cell.get_mut();
+            if last {
+                // Final-epoch elision (see worker_loop): leftover mail
+                // stays in the shard outbox for the caller to relay.
+                shard.run_until(deadline);
+                continue;
+            }
+            let end_ns = look.horizon(&eff, i, deadline_ns);
+            let end = SimTime::from_nanos(end_ns).max(shard.now());
             shard.run_until(end);
             shard.drain_outbox(&mut outbox);
             for (dst, at, m) in outbox.drain(..) {
                 mail[dst].push((at, m));
             }
+        }
+        if last {
+            return;
         }
     }
 }
@@ -518,9 +804,22 @@ mod tests {
                 unsafe { SendCell::new(sh) }
             })
             .collect();
-        run_conservative_with(&mut shards, SimDuration::from_nanos(LAT), deadline, driver);
-        let mut log: Vec<(u64, u32, u64)> =
-            shards.into_iter().flat_map(|c| c.into_inner().world.log).collect();
+        let look = PairLookahead::uniform(n_shards as usize, SimDuration::from_nanos(LAT));
+        run_conservative_with(&mut shards, &look, deadline, driver);
+        let mut log: Vec<(u64, u32, u64)> = shards
+            .into_iter()
+            .flat_map(|c| {
+                let sh = c.into_inner();
+                // The final-epoch elision may leave cross-shard mail in
+                // the outbox (timestamped past the deadline); the real
+                // cluster relays it into the destination engines. The
+                // token test just asserts it is indeed past the deadline.
+                for &(_, at, _, _) in &sh.world.outbox {
+                    assert!(at > deadline, "undelivered mail within the deadline");
+                }
+                sh.world.log
+            })
+            .collect();
         log.sort();
         log
     }
@@ -550,5 +849,147 @@ mod tests {
             assert_eq!(run_sharded(2, 4, 37, cut, driver), want);
             assert_eq!(run_sharded(4, 4, 37, cut, driver), want);
         }
+    }
+
+    #[test]
+    fn oversubscribed_threads_still_complete_and_match() {
+        // Regression for the bounded-spin barrier: more worker threads
+        // than this machine has cores must neither livelock nor diverge.
+        // (On a 1-core box this is the worst case: every barrier crossing
+        // relies on the yield fallback.)
+        let want = run_sharded(1, 8, 64, SimTime::MAX, Driver::Serial);
+        assert_eq!(run_sharded(8, 8, 64, SimTime::MAX, Driver::Threads), want);
+        let cut = SimTime::from_nanos(1 + 20 * LAT);
+        let want = run_sharded(1, 8, 64, cut, Driver::Serial);
+        assert_eq!(run_sharded(8, 8, 64, cut, Driver::Threads), want);
+    }
+
+    #[test]
+    fn uniform_closure_degenerates_to_global_min_plus_echo() {
+        let l = PairLookahead::uniform(3, SimDuration::from_nanos(100));
+        // Direct pairs keep the edge latency; the self-cycle is the
+        // round trip, which is what widens a lone busy shard's window.
+        let eff = [500, u64::MAX, u64::MAX];
+        assert_eq!(l.horizon(&eff, 1, u64::MAX), 500 + 100 - 1);
+        assert_eq!(l.horizon(&eff, 0, u64::MAX), 500 + 200 - 1, "self-echo doubles the window");
+        assert_eq!(l.min_pair(), Some(SimDuration::from_nanos(100)));
+    }
+
+    #[test]
+    fn asymmetric_closure_relays_through_the_fast_path() {
+        // 0 -> 1 slow (1000), 1 -> 2 fast (10), 0 -> 2 direct (2000):
+        // the closure must take the relay 0 -> 1 -> 2 = 1010.
+        let mut edges = vec![u64::MAX; 9];
+        edges[1] = 1000; // 0 -> 1
+        edges[5] = 10; // 1 -> 2
+        edges[2] = 2000; // 0 -> 2
+        edges[3] = 50; // 1 -> 0
+        edges[7] = 300; // 2 -> 1
+        edges[6] = 400; // 2 -> 0
+        let l = PairLookahead::from_edge_intervals(3, vec![(0, edges)]);
+        let eff = [100, u64::MAX, u64::MAX];
+        assert_eq!(l.horizon(&eff, 2, u64::MAX), 100 + 1010 - 1);
+        // Shard 1 is bounded by the direct slow edge.
+        assert_eq!(l.horizon(&eff, 1, u64::MAX), 100 + 1000 - 1);
+        // Shard 0's own echo: 0 -> 1 -> 0 = 1050.
+        assert_eq!(l.horizon(&eff, 0, u64::MAX), 100 + 1050 - 1);
+    }
+
+    #[test]
+    fn campaign_interval_caps_the_horizon() {
+        let mk = |lat: u64| {
+            let mut e = vec![u64::MAX; 4];
+            e[1] = lat;
+            e[2] = lat;
+            e
+        };
+        // Wide window until t=10_000, then (post-LinkUp) a tighter one.
+        let l = PairLookahead::from_edge_intervals(2, vec![(0, mk(5_000)), (10_000, mk(100))]);
+        let eff = [8_000, u64::MAX];
+        // Uncapped the horizon would be 8_000 + 10_000 - 1; the interval
+        // boundary must cut it to 9_999.
+        assert_eq!(l.horizon(&eff, 1, u64::MAX), 9_999);
+        // Inside the second interval the tight matrix rules: the direct
+        // 100ns edge bounds shard 1, the 200ns echo bounds shard 0.
+        let eff = [12_000, u64::MAX];
+        assert_eq!(l.horizon(&eff, 1, u64::MAX), 12_000 + 100 - 1);
+        assert_eq!(l.horizon(&eff, 0, u64::MAX), 12_000 + 200 - 1);
+    }
+
+    #[test]
+    fn mailboxes_move_arcs_by_pointer() {
+        use std::sync::Arc;
+        // A frozen Arc payload crossing the executor must arrive as the
+        // same allocation (zero-copy), not a clone of the bytes.
+        struct ArcShard {
+            engine: Engine<ArcWorld>,
+            world: ArcWorld,
+        }
+        struct ArcWorld {
+            me: usize,
+            received: Vec<Arc<Vec<u64>>>,
+            outbox: Vec<(usize, SimTime, Arc<Vec<u64>>)>,
+        }
+        impl SimWorld for ArcWorld {
+            type Event = Arc<Vec<u64>>;
+            fn handle(&mut self, ev: Arc<Vec<u64>>, ctx: &mut Ctx<'_, Self::Event>) {
+                if self.me == 0 {
+                    // Shard 0 originates: forward the payload untouched.
+                    self.outbox.push((1, ctx.now() + SimDuration::from_nanos(LAT), ev));
+                } else {
+                    self.received.push(ev);
+                }
+            }
+        }
+        impl ParShard for ArcShard {
+            type Mail = Arc<Vec<u64>>;
+            fn run_until(&mut self, deadline: SimTime) {
+                self.engine.run_until(&mut self.world, deadline);
+            }
+            fn next_at_bound(&self) -> Option<SimTime> {
+                self.engine.next_at_bound()
+            }
+            fn drain_outbox(&mut self, out: &mut Vec<(usize, SimTime, Self::Mail)>) {
+                for (dst, at, m) in self.world.outbox.drain(..) {
+                    out.push((dst, at, m));
+                }
+            }
+            fn ingest(&mut self, at: SimTime, mail: Self::Mail) {
+                self.engine.schedule_keyed_at(at, INGRESS_KEY_BIT, mail);
+            }
+            fn last_event_at(&self) -> Option<SimTime> {
+                self.engine.last_event_at()
+            }
+            fn now(&self) -> SimTime {
+                self.engine.now()
+            }
+            fn sync_now(&mut self, t: SimTime) {
+                self.engine.sync_now(t);
+            }
+        }
+        let payload = Arc::new(vec![1u64, 2, 3, 4]);
+        let before = Arc::as_ptr(&payload);
+        let mut shards: Vec<SendCell<ArcShard>> = (0..2)
+            .map(|me| {
+                let mut sh = ArcShard {
+                    engine: Engine::new(),
+                    world: ArcWorld { me, received: Vec::new(), outbox: Vec::new() },
+                };
+                if me == 0 {
+                    sh.engine.schedule(SimDuration::from_nanos(1), Arc::clone(&payload));
+                }
+                unsafe { SendCell::new(sh) }
+            })
+            .collect();
+        let look = PairLookahead::uniform(2, SimDuration::from_nanos(LAT));
+        run_conservative_with(&mut shards, &look, SimTime::MAX, Driver::Threads);
+        let receiver = shards.pop().unwrap().into_inner();
+        assert_eq!(receiver.world.received.len(), 1);
+        let got = &receiver.world.received[0];
+        assert_eq!(Arc::as_ptr(got), before, "payload was copied, not moved");
+        assert_eq!(**got, vec![1, 2, 3, 4]);
+        // Sender kept its handle and the count survived the crossing:
+        // nothing along the path could have mutated the sealed payload.
+        assert!(Arc::strong_count(&payload) >= 2);
     }
 }

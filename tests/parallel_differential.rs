@@ -100,6 +100,11 @@ struct Outcome {
 
 struct Scenario {
     topology: TopologySpec,
+    /// Leaf↔spine link latency override (`None` = same as `hop_latency`).
+    /// A slow trunk makes the executor's per-shard-pair lookahead matrix
+    /// genuinely asymmetric: inter-leaf pairs get wide windows while any
+    /// intra-leaf traffic stays intra-shard under leaf alignment.
+    trunk_latency: Option<SimDuration>,
     seed: u64,
     drop_prob: f64,
     corrupt_prob: f64,
@@ -117,6 +122,7 @@ fn run(sc: &Scenario, shards: u32) -> Outcome {
         .with_telemetry(true)
         .with_shards(shards);
     cfg.topology = sc.topology.clone();
+    cfg.net.trunk_latency = sc.trunk_latency;
     cfg.drop_prob = sc.drop_prob;
     cfg.corrupt_prob = sc.corrupt_prob;
     cfg.faults = sc.faults.clone();
@@ -219,6 +225,7 @@ fn crossbar_matches_sequential() {
         check_scenario(
             &Scenario {
                 topology: TopologySpec::Crossbar { hosts: 8 },
+                trunk_latency: None,
                 seed,
                 drop_prob: 0.0,
                 corrupt_prob: 0.0,
@@ -237,6 +244,7 @@ fn fat_tree_matches_sequential() {
         check_scenario(
             &Scenario {
                 topology: TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 2, spines: 2 },
+                trunk_latency: None,
                 seed,
                 drop_prob: 0.0,
                 corrupt_prob: 0.0,
@@ -257,6 +265,7 @@ fn faulty_fat_tree_matches_sequential() {
         check_scenario(
             &Scenario {
                 topology: TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 2, spines: 2 },
+                trunk_latency: None,
                 seed,
                 drop_prob: 0.05,
                 corrupt_prob: 0.02,
@@ -276,6 +285,7 @@ fn faulty_fat_tree_matches_sequential() {
 fn cross_shard_retransmit_episodes_identical() {
     let sc = Scenario {
         topology: TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 2, spines: 2 },
+        trunk_latency: None,
         seed: 0x5EED_FA17,
         drop_prob: 0.2,
         corrupt_prob: 0.0,
@@ -322,6 +332,7 @@ fn chaos_campaign_matches_sequential() {
         let seq = check_scenario(
             &Scenario {
                 topology: TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 2, spines: 2 },
+                trunk_latency: None,
                 seed,
                 drop_prob: 0.0,
                 corrupt_prob: 0.0,
@@ -352,6 +363,7 @@ fn chaos_campaign_matches_sequential() {
 fn long_down_window_unbind_resync_identical() {
     let sc = Scenario {
         topology: TopologySpec::Crossbar { hosts: 8 },
+        trunk_latency: None,
         seed: 0xD05EED,
         drop_prob: 0.0,
         corrupt_prob: 0.0,
@@ -369,4 +381,58 @@ fn long_down_window_unbind_resync_identical() {
         "all clients must finish once the window lifts: {:?}",
         seq.replies
     );
+}
+
+/// Tentpole: a fat tree whose leaf↔spine trunks are 4x slower than the
+/// host links. The per-shard-pair lookahead matrix is genuinely
+/// asymmetric — every cross-shard path pays `hop + trunk`, so epochs are
+/// much wider than the old global `2 × hop` bound — and results must
+/// stay byte-identical to sequential at every shard count.
+#[test]
+fn asymmetric_trunk_fat_tree_matches_sequential() {
+    for &seed in &SEEDS {
+        check_scenario(
+            &Scenario {
+                topology: TopologySpec::FatTree { leaves: 8, hosts_per_leaf: 2, spines: 2 },
+                trunk_latency: Some(SimDuration::from_nanos(1_200)),
+                seed,
+                drop_prob: 0.0,
+                corrupt_prob: 0.0,
+                faults: FaultScheduleSpec::none(),
+                requests: 4,
+                run_ms: 5,
+            },
+            &[2, 4, 8],
+        );
+    }
+}
+
+/// The same slow-trunk tree under the full chaos campaign: scheduled
+/// link flaps and switch failures slice the pair-lookahead matrix into
+/// campaign intervals (a LinkUp can lower a pair's latency floor, so
+/// epochs must not run past a transition), and the replay must still be
+/// byte-identical for every shard count.
+#[test]
+fn asymmetric_trunk_campaign_matches_sequential() {
+    for &seed in &[1u64, 0xBEEF] {
+        let seq = check_scenario(
+            &Scenario {
+                topology: TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 2, spines: 2 },
+                trunk_latency: Some(SimDuration::from_nanos(1_200)),
+                seed,
+                drop_prob: 0.0,
+                corrupt_prob: 0.0,
+                faults: chaos_campaign(),
+                requests: 100,
+                run_ms: 24,
+            },
+            &[2, 4],
+        );
+        assert_eq!(seq.violations, 0, "campaign must complete clean (seed {seed:#x})");
+        assert!(
+            seq.replies.iter().all(|&(r, _)| r == 100),
+            "every client must finish despite the campaign (seed {seed:#x}): {:?}",
+            seq.replies
+        );
+    }
 }
