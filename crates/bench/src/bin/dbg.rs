@@ -13,7 +13,7 @@ fn main() {
         let r = c.body::<BspRunner<NpbApp>>(h, t).unwrap();
         let st = &r.stats;
         let (step, sp, stot, got) = r.progress();
-        let out = c.world().user[i].get(&ep.ep).map(|u| u.outstanding_total());
+        let out = c.world().user_state(i, ep.ep).map(|u| u.outstanding_total());
         println!(
             "r{i}: steps={} sent={} fin={:?} prog=({step},{sp}/{stot},recv{got}) pend_rep={} outst={:?} runnable={} err={:?}",
             st.steps, st.msgs_sent, st.finished.map(|f| f.as_secs_f64()), r.pending_reply_count(), out,

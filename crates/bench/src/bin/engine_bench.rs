@@ -16,19 +16,28 @@
 //! 4. **scaling** — bulk transfers on 32 and 128 hosts under the
 //!    conservative parallel executor at 1/2/4/8 worker shards (results
 //!    are byte-identical at every count; only wall time changes).
+//! 5. **fidelity A/B** — the 128-host bulk exchange at full fidelity
+//!    everywhere vs. a mixed world (8 full hosts + 120 abstract LogP
+//!    hosts carrying the same per-host byte volume). The abstract model
+//!    spends a handful of trivial events per message where the full
+//!    stack runs the NIC/OS/residency machinery, so the mixed row must
+//!    come out strictly higher in events/s.
 //!
 //! The cluster workloads also measure the cross-layer auditor's overhead
 //! (hooks attached vs. detached) since release builds default to detached.
 //!
 //! Results print as tables and are written to `BENCH_engine.json` at the
-//! repo root (schema 4). Flags: `--quick` shrinks every workload for CI
+//! repo root (schema 5). Flags: `--quick` shrinks every workload for CI
 //! smoke runs; `--shards <n>` pins the executor for the non-scaling
-//! workloads; `--check` additionally compares the freshly measured
-//! wheel-vs-heap speedup against the committed `BENCH_engine.json` and
-//! exits non-zero on a >25% regression (a machine-neutral ratio, unlike
-//! absolute events/s), gates the telemetry-overhead confidence interval,
-//! and — on machines with enough cores — fails if 4-shard bulk-128 is not
-//! faster than sequential.
+//! workloads; `--fidelity <spec>` sets the preset fidelity default for
+//! workloads that don't pin their own (grammar of `VNET_FIDELITY`);
+//! `--check` additionally compares the freshly measured wheel-vs-heap
+//! speedup against the committed `BENCH_engine.json` and exits non-zero
+//! on a >25% regression (a machine-neutral ratio, unlike absolute
+//! events/s), gates the telemetry-overhead confidence interval, requires
+//! the mixed-fidelity bulk-128 row to beat the all-full row in events/s,
+//! and — on machines with enough cores — fails if 4-shard bulk-128 is
+//! not faster than sequential.
 //!
 //! Scaling rows are only measured where `shards_requested ≤ cores`: with
 //! more worker threads than cores the sweep would time barrier
@@ -41,7 +50,7 @@
 use std::time::Instant;
 use vnet_apps::bsp::{launch_job, BspApp, BspRunner, SuperStep};
 use vnet_apps::collectives;
-use vnet_bench::{emit_telemetry, f1, f2, quick_mode, with_shards_arg, Table};
+use vnet_bench::{emit_telemetry, f1, f2, init_fidelity_env, quick_mode, with_shards_arg, Table};
 use vnet_core::prelude::*;
 use vnet_sim::{Due, RefHeap, SimRng, TimingWheel};
 
@@ -400,6 +409,100 @@ fn bench_scaling(
     (points, skipped)
 }
 
+// ----------------------------------------------------------- fidelity A/B
+
+/// Hosts kept at full fidelity in the mixed side of the A/B.
+const AB_FULL_HOSTS: u32 = 8;
+
+/// One side of the fidelity A/B: throughput plus wall/simulated seconds.
+struct FidelitySide {
+    rate: Rate,
+    wall_s: f64,
+    sim_s: f64,
+}
+
+/// Run the mixed-fidelity bulk workload: ranks `0..scheds.len()` replay
+/// the full-stack all-to-all while hosts `scheds.len()..n` stream
+/// `count` abstract messages each to random abstract peers. Runs until
+/// the BSP ranks finish *and* every abstract source has drained.
+fn run_mixed_bulk(
+    cfg: ClusterConfig,
+    scheds: &[Vec<SuperStep>],
+    n: u32,
+    payload_bytes: u32,
+    count: u64,
+) -> (u64, f64, f64) {
+    let full_n = scheds.len() as u32;
+    let mut c = Cluster::new(cfg);
+    let hosts: Vec<HostId> = (0..full_n).map(HostId).collect();
+    let ranks = launch_job(&mut c, &hosts, |r| PrebuiltApp { sched: scheds[r].clone() });
+    for h in full_n..n {
+        let peers: Vec<HostId> = (full_n..n).filter(|&p| p != h).map(HostId).collect();
+        c.drive_abstract(
+            HostId(h),
+            AbstractTraffic {
+                peers,
+                payload_bytes,
+                mean_gap: SimDuration::from_micros(4),
+                count,
+            },
+        );
+    }
+    let start = Instant::now();
+    let slice = SimDuration::from_millis(10);
+    loop {
+        c.run_for(slice);
+        let bsp_done = ranks
+            .iter()
+            .all(|&(h, t, _)| c.body::<BspRunner<PrebuiltApp>>(h, t).expect("runner").is_done());
+        let abs_done =
+            (full_n..n).all(|h| c.abs_stats(HostId(h)).expect("abstract host").sent >= count);
+        if bsp_done && abs_done {
+            break;
+        }
+        assert!(c.now().as_secs_f64() < 300.0, "mixed workload wedged");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (c.events_processed(), wall, c.now().as_secs_f64())
+}
+
+/// A/B the 128-host bulk exchange: full fidelity everywhere vs. 8 full +
+/// `n - 8` abstract hosts carrying the same per-host byte volume (each
+/// abstract host sends `(n-1) * per_pair` bytes as MTU-sized abstract
+/// messages). One warm-up + one measured run per side.
+fn bench_fidelity_ab(n: u32, per_pair: u64, scheds: &[Vec<SuperStep>]) -> (FidelitySide, FidelitySide) {
+    let cfg_full = with_shards_arg(ClusterConfig::now(n).with_audit(false));
+    let _ = run_cluster(cfg_full.clone(), scheds);
+    let (ev, wall, sim, _) = run_cluster(cfg_full, scheds);
+    eprintln!("  [fidelity-full] {ev} events over {sim:.3} simulated s");
+    let full = FidelitySide {
+        rate: rate(ev, std::time::Duration::from_secs_f64(wall)),
+        wall_s: wall,
+        sim_s: sim,
+    };
+
+    let mut fid = FidelityMap::full();
+    fid.set_hosts(AB_FULL_HOSTS..n, Fidelity::Abstract);
+    let cfg_mixed =
+        with_shards_arg(ClusterConfig::now(n).with_audit(false)).with_fidelity(fid);
+    let payload: u32 = 8192;
+    let count = ((n as u64 - 1) * per_pair).div_ceil(payload as u64);
+    let full_scheds = alltoall_schedules(AB_FULL_HOSTS as usize, 1, per_pair, 8192);
+    let _ = run_mixed_bulk(cfg_mixed.clone(), &full_scheds, n, payload, count);
+    let (ev, wall, sim) = run_mixed_bulk(cfg_mixed, &full_scheds, n, payload, count);
+    eprintln!(
+        "  [fidelity-mixed] {ev} events over {sim:.3} simulated s \
+         ({AB_FULL_HOSTS} full + {} abstract, {count} msgs/abstract host)",
+        n - AB_FULL_HOSTS
+    );
+    let mixed = FidelitySide {
+        rate: rate(ev, std::time::Duration::from_secs_f64(wall)),
+        wall_s: wall,
+        sim_s: sim,
+    };
+    (full, mixed)
+}
+
 // --------------------------------------------------------------- output
 
 /// The workspace root. This binary is built both from `crates/bench` and
@@ -438,6 +541,8 @@ struct Report {
     scaling_32_skipped: Vec<u32>,
     scaling_128: Vec<ScalePoint>,
     scaling_128_skipped: Vec<u32>,
+    fidelity_full: FidelitySide,
+    fidelity_mixed: FidelitySide,
 }
 
 impl Report {
@@ -447,6 +552,12 @@ impl Report {
 
     fn telemetry_overhead_pct(&self) -> f64 {
         self.telemetry_overhead_pct
+    }
+
+    /// Mixed-fidelity events/s over all-full events/s on bulk-128.
+    fn fidelity_gain(&self) -> f64 {
+        self.fidelity_mixed.rate.events_per_sec
+            / self.fidelity_full.rate.events_per_sec.max(1e-12)
     }
 
     fn json(&self) -> String {
@@ -486,8 +597,14 @@ impl Report {
                 if skips.is_empty() { String::new() } else { format!("\n{skips}") }
             )
         }
+        fn fidelity_side(s: &FidelitySide) -> String {
+            format!(
+                "{{ \"events\": {}, \"events_per_sec\": {:.1}, \"wall_s\": {:.4}, \"sim_s\": {:.4} }}",
+                s.rate.events, s.rate.events_per_sec, s.wall_s, s.sim_s
+            )
+        }
         format!(
-            "{{\n  \"schema\": 4,\n  \"quick\": {},\n  \"cores\": {},\n  \"workloads\": {{\n    \"timer_churn\": {{\n      \"wheel\": {},\n      \"ref_heap\": {},\n      \"speedup_vs_heap\": {:.3}\n    }},\n    \"all_to_all_8\": {},\n    \"bulk_32\": {}\n  }},\n  \"audit_overhead\": {{\n    \"workload\": \"all_to_all_8\",\n    \"audit_on_events_per_sec\": {:.1},\n    \"audit_off_events_per_sec\": {:.1},\n    \"overhead_pct\": {:.2},\n    \"ci95_pct\": [{:.2}, {:.2}]\n  }},\n  \"telemetry_overhead\": {{\n    \"workload\": \"all_to_all_8\",\n    \"telemetry_on_events_per_sec\": {:.1},\n    \"telemetry_off_events_per_sec\": {:.1},\n    \"overhead_pct\": {:.2},\n    \"ci95_pct\": [{:.2}, {:.2}]\n  }},\n  \"scaling\": {{\n    \"bulk_32\": {},\n    \"bulk_128\": {}\n  }}\n}}\n",
+            "{{\n  \"schema\": 5,\n  \"quick\": {},\n  \"cores\": {},\n  \"workloads\": {{\n    \"timer_churn\": {{\n      \"wheel\": {},\n      \"ref_heap\": {},\n      \"speedup_vs_heap\": {:.3}\n    }},\n    \"all_to_all_8\": {},\n    \"bulk_32\": {}\n  }},\n  \"audit_overhead\": {{\n    \"workload\": \"all_to_all_8\",\n    \"audit_on_events_per_sec\": {:.1},\n    \"audit_off_events_per_sec\": {:.1},\n    \"overhead_pct\": {:.2},\n    \"ci95_pct\": [{:.2}, {:.2}]\n  }},\n  \"telemetry_overhead\": {{\n    \"workload\": \"all_to_all_8\",\n    \"telemetry_on_events_per_sec\": {:.1},\n    \"telemetry_off_events_per_sec\": {:.1},\n    \"overhead_pct\": {:.2},\n    \"ci95_pct\": [{:.2}, {:.2}]\n  }},\n  \"fidelity_ab\": {{\n    \"workload\": \"bulk_128\",\n    \"full\": {},\n    \"mixed_8_full_120_abstract\": {},\n    \"mixed_over_full_events_per_sec\": {:.3}\n  }},\n  \"scaling\": {{\n    \"bulk_32\": {},\n    \"bulk_128\": {}\n  }}\n}}\n",
             self.quick,
             self.cores,
             workload(&self.churn_wheel),
@@ -505,6 +622,9 @@ impl Report {
             self.telemetry_overhead_pct(),
             self.telemetry_overhead_ci_pct.0,
             self.telemetry_overhead_ci_pct.1,
+            fidelity_side(&self.fidelity_full),
+            fidelity_side(&self.fidelity_mixed),
+            self.fidelity_gain(),
             scaling(&self.scaling_32, &self.scaling_32_skipped, self.cores),
             scaling(&self.scaling_128, &self.scaling_128_skipped, self.cores),
         )
@@ -522,6 +642,7 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
 }
 
 fn main() {
+    init_fidelity_env();
     let quick = quick_mode();
     let check = std::env::args().any(|a| a == "--check");
     let json_path = repo_root().join("BENCH_engine.json");
@@ -609,6 +730,12 @@ fn main() {
         cores,
     );
 
+    eprintln!(
+        "fidelity A/B: bulk-128 full everywhere vs {AB_FULL_HOSTS} full + {} abstract...",
+        128 - AB_FULL_HOSTS
+    );
+    let (fidelity_full, fidelity_mixed) = bench_fidelity_ab(128, bulk128_bytes, &bulk128);
+
     let report = Report {
         quick,
         cores,
@@ -628,6 +755,8 @@ fn main() {
         scaling_32_skipped,
         scaling_128,
         scaling_128_skipped,
+        fidelity_full,
+        fidelity_mixed,
     };
 
     let mut t = Table::new(
@@ -674,6 +803,24 @@ fn main() {
     }
     println!("{}", st.render());
 
+    let mut ft = Table::new(
+        "Fidelity A/B (bulk-128: full everywhere vs 8 full + 120 abstract)",
+        &["configuration", "events", "events/s", "wall s", "sim s"],
+    );
+    for (name, s) in [
+        ("full everywhere", &report.fidelity_full),
+        ("8 full + 120 abstract", &report.fidelity_mixed),
+    ] {
+        ft.row(vec![
+            name.into(),
+            s.rate.events.to_string(),
+            f1(s.rate.events_per_sec),
+            format!("{:.4}", s.wall_s),
+            format!("{:.4}", s.sim_s),
+        ]);
+    }
+    println!("{}", ft.render());
+
     println!("wheel speedup vs heap on timer-churn: {:.2}x", report.speedup());
     println!(
         "auditor overhead on all-to-all-8: {:.1}% CI95 [{:.1}%, {:.1}%] (detached {} ev/s vs attached {} ev/s)",
@@ -715,6 +862,23 @@ fn main() {
             eprintln!(
                 "REGRESSION: telemetry hooks cost more than 2% on all-to-all-8 \
                  (CI upper bound, paired median-of-ratios estimator)"
+            );
+            std::process::exit(1);
+        }
+        // Fidelity gate: abstraction must PAY. If trading the NIC/OS
+        // machinery on 120 of 128 hosts for the LogP model doesn't raise
+        // engine throughput, the abstract path has grown full-path costs.
+        let gain = report.fidelity_gain();
+        println!(
+            "--check: fidelity A/B mixed/full events-per-sec ratio {gain:.2}x \
+             (mixed {} ev/s vs full {} ev/s)",
+            f1(report.fidelity_mixed.rate.events_per_sec),
+            f1(report.fidelity_full.rate.events_per_sec),
+        );
+        if gain <= 1.0 {
+            eprintln!(
+                "REGRESSION: mixed-fidelity bulk-128 is not faster per event than full \
+                 fidelity ({gain:.2}x <= 1.0x)"
             );
             std::process::exit(1);
         }

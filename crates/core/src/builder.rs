@@ -21,6 +21,7 @@
 
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
+use crate::model::{Fidelity, FidelityMap};
 use vnet_net::{FaultScheduleSpec, TopologySpec};
 
 type ConfigTweak = Box<dyn FnOnce(&mut ClusterConfig)>;
@@ -36,9 +37,10 @@ pub struct ClusterBuilder {
     drop_prob: Option<f64>,
     corrupt_prob: Option<f64>,
     audit: Option<bool>,
-    telemetry: bool,
+    telemetry: Option<bool>,
     tracing: bool,
     shards: Option<u32>,
+    fidelity: Option<FidelityMap>,
     faults: Option<FaultScheduleSpec>,
     tweaks: Vec<ConfigTweak>,
 }
@@ -62,9 +64,10 @@ impl ClusterBuilder {
             drop_prob: None,
             corrupt_prob: None,
             audit: None,
-            telemetry: false,
+            telemetry: None,
             tracing: false,
             shards: None,
+            fidelity: None,
             faults: None,
             tweaks: Vec::new(),
         }
@@ -127,9 +130,10 @@ impl ClusterBuilder {
     }
 
     /// Attach the unified telemetry registry (metrics handles + span
-    /// tracing; read back through `Cluster::telemetry`). Default: off.
+    /// tracing; read back through `Cluster::telemetry`). Default: the
+    /// `VNET_TELEMETRY` environment variable, else off.
     pub fn telemetry(mut self, on: bool) -> Self {
-        self.telemetry = on;
+        self.telemetry = Some(on);
         self
     }
 
@@ -145,6 +149,31 @@ impl ClusterBuilder {
     /// (sequential).
     pub fn shards(mut self, n: u32) -> Self {
         self.shards = Some(n);
+        self
+    }
+
+    /// Assign a fidelity class to the listed hosts (see
+    /// [`crate::model`]): `Fidelity::Abstract` hosts run the fast LogP
+    /// model, everything else stays `Fidelity::Full`. The first fidelity
+    /// call on a builder starts from full-everywhere and *replaces* any
+    /// `VNET_FIDELITY` environment default (the builder > env > default
+    /// contract in [`crate::config`]); later calls accumulate.
+    pub fn fidelity(mut self, hosts: impl IntoIterator<Item = u32>, f: Fidelity) -> Self {
+        self.fidelity.get_or_insert_with(FidelityMap::full).set_hosts(hosts, f);
+        self
+    }
+
+    /// The fidelity class unlisted hosts take (replaces/seeds the map the
+    /// same way as [`ClusterBuilder::fidelity`]).
+    pub fn default_fidelity(mut self, f: Fidelity) -> Self {
+        self.fidelity.get_or_insert_with(FidelityMap::full).set_default_host(f);
+        self
+    }
+
+    /// The fabric's fidelity (`Fidelity::Abstract` selects the delay-only
+    /// fabric; same map-seeding rule as [`ClusterBuilder::fidelity`]).
+    pub fn fabric_fidelity(mut self, f: Fidelity) -> Self {
+        self.fidelity.get_or_insert_with(FidelityMap::full).set_fabric(f);
         self
     }
 
@@ -188,9 +217,14 @@ impl ClusterBuilder {
         if let Some(a) = self.audit {
             cfg.audit = a;
         }
-        cfg.telemetry = self.telemetry;
+        if let Some(t) = self.telemetry {
+            cfg.telemetry = t;
+        }
         if let Some(s) = self.shards {
             cfg.shards = s.max(1);
+        }
+        if let Some(f) = &self.fidelity {
+            cfg.fidelity = f.clone();
         }
         if let Some(f) = &self.faults {
             cfg.faults = f.clone();
@@ -255,5 +289,18 @@ mod tests {
     fn builder_tracing_enables_ring() {
         let c = Cluster::builder().tracing(true).build();
         assert!(c.world().trace.borrow().is_enabled());
+    }
+
+    #[test]
+    fn builder_fidelity_map() {
+        let cfg = ClusterBuilder::new()
+            .hosts(8)
+            .fidelity(4..8, Fidelity::Abstract)
+            .fabric_fidelity(Fidelity::Abstract)
+            .config();
+        assert_eq!(cfg.fidelity.of(0), Fidelity::Full);
+        assert_eq!(cfg.fidelity.of(4), Fidelity::Abstract);
+        assert_eq!(cfg.fidelity.fabric(), Fidelity::Abstract);
+        assert!(cfg.fidelity.any_abstract(8));
     }
 }

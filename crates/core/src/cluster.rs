@@ -3,6 +3,7 @@
 
 use crate::builder::ClusterBuilder;
 use crate::config::ClusterConfig;
+use crate::model::{AbsEvent, AbsStats, AbstractTraffic, Fidelity};
 use crate::names::NameService;
 use crate::observe::ClusterTelemetry;
 use crate::sys::ThreadBody;
@@ -223,30 +224,10 @@ impl Cluster {
         &mut self.world
     }
 
-    /// Enable the residency/scheduling debug trace.
-    #[deprecated(since = "0.2.0", note = "use cluster.telemetry().trace_enable()")]
-    pub fn enable_trace(&mut self) {
-        self.telemetry().trace_enable();
-    }
-
-    /// Render the debug trace collected so far.
-    #[deprecated(since = "0.2.0", note = "use cluster.telemetry().trace_text()")]
-    pub fn trace_text(&self) -> String {
-        self.telemetry().trace_text()
-    }
-
     /// Handle on the cluster-wide invariant auditor (counters, message
     /// fates, raw violation records).
     pub fn auditor(&self) -> AuditHandle {
         self.world.auditor.clone()
-    }
-
-    /// Enable or disable the automatic debug-build audit at run
-    /// boundaries (see [`Cluster::audit`]). Mutation tests that provoke
-    /// violations on purpose disable it and inspect the report directly.
-    #[deprecated(since = "0.2.0", note = "use cluster.telemetry().set_debug_audit(on)")]
-    pub fn set_debug_audit(&mut self, on: bool) {
-        self.debug_audit.set(on);
     }
 
     pub(crate) fn set_debug_audit_flag(&self, on: bool) {
@@ -276,7 +257,10 @@ impl Cluster {
                 let _ = writeln!(report, "  {v}");
             }
         }
-        for (h, nic) in self.world.nics.iter().enumerate() {
+        for h in 0..self.world.hosts() {
+            // Live checks apply to full-fidelity hosts only; abstract
+            // hosts have no NIC residency machine to violate.
+            let Some(nic) = self.world.try_nic(h) else { continue };
             let frames = nic.config().frames;
             let resident = nic.resident_count();
             if resident > frames as usize {
@@ -310,19 +294,60 @@ impl Cluster {
         }
     }
 
-    /// The NIC of `host`.
+    /// The NIC of `host` (panics on an abstract-fidelity host).
     pub fn nic(&self, host: HostId) -> &Nic {
-        &self.world.nics[host.idx()]
+        self.world.nic(host.idx())
     }
 
-    /// The segment driver of `host`.
+    /// The segment driver of `host` (panics on an abstract-fidelity host).
     pub fn os(&self, host: HostId) -> &SegmentDriver {
-        &self.world.oses[host.idx()]
+        self.world.os(host.idx())
     }
 
-    /// The thread scheduler of `host`.
+    /// The thread scheduler of `host` (panics on an abstract-fidelity
+    /// host).
     pub fn sched(&self, host: HostId) -> &Scheduler {
-        &self.world.scheds[host.idx()]
+        self.world.sched(host.idx())
+    }
+
+    /// The fidelity class of `host`.
+    pub fn fidelity_of(&self, host: HostId) -> Fidelity {
+        self.world.fidelity_of(host.idx())
+    }
+
+    /// Coarse traffic counters of an abstract host (`None` for
+    /// full-fidelity hosts — read their NIC/OS stats instead).
+    pub fn abs_stats(&self, host: HostId) -> Option<AbsStats> {
+        self.world.abs_stats(host.idx()).copied()
+    }
+
+    /// Install a synthetic traffic pattern on an abstract host and start
+    /// driving it. Panics unless `host` and every peer are
+    /// [`Fidelity::Abstract`]: abstract traffic is forged wire frames
+    /// with no endpoint protocol behind them, so a full-fidelity receiver
+    /// would reject them (and a full host cannot source them). Coupling
+    /// with full-fidelity hosts happens through the shared fabric, where
+    /// abstract frames reserve links exactly like real ones.
+    pub fn drive_abstract(&mut self, host: HostId, traffic: AbstractTraffic) {
+        assert_eq!(
+            self.world.fidelity_of(host.idx()),
+            Fidelity::Abstract,
+            "drive_abstract: {host} is full-fidelity; spawn threads instead"
+        );
+        for p in &traffic.peers {
+            assert_eq!(
+                self.world.fidelity_of(p.idx()),
+                Fidelity::Abstract,
+                "drive_abstract: peer {p} of {host} is full-fidelity; abstract \
+                 traffic may only target abstract hosts"
+            );
+        }
+        assert!(!traffic.peers.is_empty(), "drive_abstract: no peers");
+        self.world
+            .abstract_host_mut(host.idx())
+            .expect("fidelity checked above")
+            .set_traffic(traffic);
+        self.sched_ev(SimDuration::ZERO, Event::Abs { host: host.0, ev: AbsEvent::Tick });
     }
 
     // ------------------------------------------------------------- setup
@@ -362,10 +387,7 @@ impl Cluster {
     /// Install translation `idx → dst` (with dst's key) on endpoint `from`.
     pub fn connect(&mut self, from: GlobalEp, idx: usize, dst: GlobalEp) {
         let key = self.world.keys.get(&dst).copied().unwrap_or_default();
-        self.world.user[from.host.idx()]
-            .entry(from.ep)
-            .or_default()
-            .set_translation(idx, dst, key);
+        self.world.user_entry(from.host.idx(), from.ep).set_translation(idx, dst, key);
     }
 
     /// Build a virtual network over `eps` (§3.1): every endpoint gets a
@@ -390,9 +412,9 @@ impl Cluster {
         let now = self.engine.now();
         let h = ep.host.idx();
         let mut outs = Vec::new();
-        self.world.oses[h].free_endpoint(now, ep.ep, &mut outs);
+        self.world.os_mut(h).free_endpoint(now, ep.ep, &mut outs);
         self.world.keys.remove(&ep);
-        self.world.user[h].remove(&ep.ep);
+        self.world.user_remove(h, ep.ep);
         self.world.auditor.borrow_mut().on_endpoint_destroyed(ep.host.0, ep.ep.0);
         self.apply_os_ext(h, outs);
     }
@@ -550,7 +572,7 @@ impl Cluster {
             match o {
                 OsOut::Nic(op) => {
                     let mut nic_outs = Vec::new();
-                    self.world.nics[host].driver_request(now, op, &mut nic_outs);
+                    self.world.nic_mut(host).driver_request(now, op, &mut nic_outs);
                     self.apply_nic_ext(host, nic_outs);
                 }
                 OsOut::Wake(tid) => {
@@ -595,21 +617,21 @@ impl Cluster {
         let h = ep.host.idx();
         let now = self.engine.now();
         let mut outs = Vec::new();
-        self.world.oses[h].proxy_fault(now, ep.ep, &mut outs);
+        self.world.os_mut(h).proxy_fault(now, ep.ep, &mut outs);
         self.apply_os_ext(h, outs);
         // Bounded settle: the remap takes well under 50 ms on an idle node.
         let deadline = self.engine.now() + SimDuration::from_millis(50);
-        while !self.world.nics[h].is_resident(ep.ep) && self.engine.now() < deadline {
+        while !self.world.nic(h).is_resident(ep.ep) && self.engine.now() < deadline {
             let step = self.engine.now() + SimDuration::from_micros(100);
             self.run_to(step);
-            if self.queue_len() == 0 && !self.world.nics[h].is_resident(ep.ep) {
+            if self.queue_len() == 0 && !self.world.nic(h).is_resident(ep.ep) {
                 // Queue drained without the load completing — nothing more
                 // will happen spontaneously.
                 break;
             }
         }
         assert!(
-            self.world.nics[h].is_resident(ep.ep),
+            self.world.nic(h).is_resident(ep.ep),
             "make_resident failed for {ep}: remap pipeline stalled"
         );
     }

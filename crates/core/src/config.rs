@@ -1,5 +1,26 @@
 //! Cluster configuration and the calibrated host cost model.
+//!
+//! # Knob precedence
+//!
+//! Every run-shape knob — [`ClusterConfig::shards`], [`ClusterConfig::audit`],
+//! [`ClusterConfig::telemetry`], [`ClusterConfig::fidelity`] — resolves the
+//! same way, and this is the one place the contract is written down:
+//!
+//! 1. **builder** — an explicit `with_*` call on `ClusterConfig` (or the
+//!    corresponding [`crate::ClusterBuilder`] method) always wins;
+//! 2. **environment** — otherwise the variable (`VNET_SHARDS`,
+//!    `VNET_AUDIT`, `VNET_TELEMETRY`, `VNET_FIDELITY`), read when the
+//!    config preset is constructed;
+//! 3. **default** — otherwise `1` shard, audit in debug builds only,
+//!    telemetry off, full fidelity everywhere.
+//!
+//! The environment is consulted once, inside the preset constructors
+//! ([`ClusterConfig::now`] and friends); a `with_*` call after that
+//! replaces the resolved value wholesale. Bench binaries map their
+//! `--shards` / `--fidelity` flags onto the same environment variables
+//! before building, so flags inherit this contract.
 
+use crate::model::FidelityMap;
 use vnet_net::{FaultScheduleSpec, NetConfig, TopologySpec};
 use vnet_nic::NicConfig;
 use vnet_os::{OsConfig, SchedConfig};
@@ -118,6 +139,12 @@ pub struct ClusterConfig {
     /// The `VNET_SHARDS` environment variable overrides the preset
     /// default (but not an explicit [`ClusterConfig::with_shards`]).
     pub shards: u32,
+    /// Per-node (and fabric) fidelity selection — which hosts run the
+    /// complete machinery and which run the abstract LogP model (see
+    /// [`crate::model`]). Defaults to full everywhere; the
+    /// `VNET_FIDELITY` environment variable overrides the preset default
+    /// (but not an explicit [`ClusterConfig::with_fidelity`]).
+    pub fidelity: FidelityMap,
 }
 
 impl ClusterConfig {
@@ -143,9 +170,10 @@ impl ClusterConfig {
             faults: FaultScheduleSpec::none(),
             seed: 0x5EED,
             credits: 32,
-            audit: cfg!(debug_assertions),
-            telemetry: false,
+            audit: env_flag("VNET_AUDIT").unwrap_or(cfg!(debug_assertions)),
+            telemetry: env_flag("VNET_TELEMETRY").unwrap_or(false),
             shards: env_shards().unwrap_or(1),
+            fidelity: env_fidelity().unwrap_or_default(),
         }
     }
 
@@ -206,6 +234,14 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder-style fidelity override. Takes precedence over the
+    /// `VNET_FIDELITY` environment default (see the module docs for the
+    /// knob-precedence contract).
+    pub fn with_fidelity(mut self, fidelity: FidelityMap) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
     /// Number of hosts.
     pub fn hosts(&self) -> u32 {
         self.topology.hosts()
@@ -214,7 +250,66 @@ impl ClusterConfig {
 
 /// The `VNET_SHARDS` environment default (None when unset or unparsable).
 pub(crate) fn env_shards() -> Option<u32> {
-    std::env::var("VNET_SHARDS").ok()?.trim().parse::<u32>().ok().map(|n| n.max(1))
+    env_lookup("VNET_SHARDS")?.trim().parse::<u32>().ok().map(|n| n.max(1))
+}
+
+/// A boolean environment default: `1`/`true`/`on`/`yes` or
+/// `0`/`false`/`off`/`no` (None when unset or unrecognized).
+pub(crate) fn env_flag(name: &str) -> Option<bool> {
+    match env_lookup(name)?.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+/// The `VNET_FIDELITY` environment default (None when unset). A set but
+/// malformed value panics — silently running everything at full fidelity
+/// when the user asked for abstraction would be worse.
+pub(crate) fn env_fidelity() -> Option<FidelityMap> {
+    let s = env_lookup("VNET_FIDELITY")?;
+    match FidelityMap::parse(&s) {
+        Ok(m) => Some(m),
+        Err(e) => panic!("VNET_FIDELITY={s:?}: {e}"),
+    }
+}
+
+/// One environment read path for every knob, with a thread-local test
+/// seam: precedence tests override variables per thread instead of racing
+/// on the process environment.
+pub(crate) fn env_lookup(name: &str) -> Option<String> {
+    #[cfg(test)]
+    if let Some(v) = test_env::get(name) {
+        return v;
+    }
+    std::env::var(name).ok()
+}
+
+/// Thread-local environment overrides for tests (`None` masks a variable
+/// that is genuinely set in the process environment).
+#[cfg(test)]
+pub(crate) mod test_env {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    thread_local! {
+        static OVERRIDES: RefCell<HashMap<String, Option<String>>> =
+            RefCell::new(HashMap::new());
+    }
+
+    pub(crate) fn set(name: &str, value: Option<&str>) {
+        OVERRIDES.with(|o| o.borrow_mut().insert(name.to_string(), value.map(String::from)));
+    }
+
+    pub(crate) fn clear(name: &str) {
+        OVERRIDES.with(|o| {
+            o.borrow_mut().remove(name);
+        });
+    }
+
+    pub(crate) fn get(name: &str) -> Option<Option<String>> {
+        OVERRIDES.with(|o| o.borrow().get(name).cloned())
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +341,47 @@ mod tests {
         assert_eq!(g.mode, Mode::Gam);
         assert_eq!(g.nic.frames, 1);
         assert_eq!(ClusterConfig::now(16).hosts(), 16);
+    }
+
+    /// The module-doc precedence contract (builder > env > default),
+    /// asserted for all four run-shape knobs through the thread-local
+    /// environment seam.
+    #[test]
+    fn knob_precedence_builder_over_env_over_default() {
+        use crate::model::Fidelity;
+        let knobs = ["VNET_SHARDS", "VNET_AUDIT", "VNET_TELEMETRY", "VNET_FIDELITY"];
+        // Defaults (masking anything leaked into the process environment).
+        for k in knobs {
+            test_env::set(k, None);
+        }
+        let c = ClusterConfig::now(4);
+        assert_eq!(c.shards, 1);
+        assert_eq!(c.audit, cfg!(debug_assertions));
+        assert!(!c.telemetry);
+        assert_eq!(c.fidelity, FidelityMap::full());
+        // The environment overrides the default...
+        test_env::set("VNET_SHARDS", Some("4"));
+        test_env::set("VNET_AUDIT", Some("on"));
+        test_env::set("VNET_TELEMETRY", Some("1"));
+        test_env::set("VNET_FIDELITY", Some("abstract:2-3"));
+        let c = ClusterConfig::now(4);
+        assert_eq!(c.shards, 4);
+        assert!(c.audit);
+        assert!(c.telemetry);
+        assert_eq!(c.fidelity.of(0), Fidelity::Full);
+        assert_eq!(c.fidelity.of(2), Fidelity::Abstract);
+        // ...and an explicit builder-style call beats the environment.
+        let c = ClusterConfig::now(4)
+            .with_shards(2)
+            .with_audit(false)
+            .with_telemetry(false)
+            .with_fidelity(FidelityMap::full());
+        assert_eq!(c.shards, 2);
+        assert!(!c.audit);
+        assert!(!c.telemetry);
+        assert_eq!(c.fidelity, FidelityMap::full());
+        for k in knobs {
+            test_env::clear(k);
+        }
     }
 }

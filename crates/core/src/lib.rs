@@ -74,6 +74,7 @@
 pub mod builder;
 pub mod cluster;
 pub mod config;
+pub mod model;
 pub mod names;
 pub mod observe;
 pub mod sys;
@@ -83,17 +84,21 @@ pub mod world;
 pub use builder::ClusterBuilder;
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, CostModel, Mode};
+pub use model::{
+    AbsStats, AbstractTraffic, FabricModel, FabricSlot, Fidelity, FidelityMap, HostModel, NicModel,
+};
 pub use names::NameService;
 pub use observe::ClusterTelemetry;
 pub use sys::{SendError, Step, Sys, ThreadBody};
 pub use user::{EpMode, UserEpState};
-pub use world::{Event, World};
+pub use world::{Event, FullHost, HostEnv, HostSlot, World};
 
 /// Common imports for applications built on virtual networks.
 pub mod prelude {
     pub use crate::builder::ClusterBuilder;
     pub use crate::cluster::Cluster;
     pub use crate::config::{ClusterConfig, CostModel, Mode};
+    pub use crate::model::{AbsStats, AbstractTraffic, Fidelity, FidelityMap};
     pub use crate::observe::ClusterTelemetry;
     pub use crate::sys::{SendError, Step, Sys, ThreadBody};
     pub use crate::user::EpMode;

@@ -1,0 +1,750 @@
+//! Pluggable fidelity boundaries: narrow traits between the composed
+//! world and its host / NIC / fabric models, plus one *abstract* fast
+//! model per boundary.
+//!
+//! The paper's value is its per-protocol detail — the NI firmware loop,
+//! the §4 residency machine, the §5.1 stop-and-wait channels — but a
+//! fleet-scale run (thousands of hosts under background traffic) cannot
+//! afford that detail at every node. Following the SimBricks recipe,
+//! the world composes *models of differing fidelity* behind narrow
+//! interfaces:
+//!
+//! * [`HostModel`] — everything above the wire on one host: OS, user
+//!   library, thread scheduler, cost model. The full implementation is
+//!   `world::FullHost` (the pre-existing machinery, unchanged); the
+//!   abstract one is [`AbstractHost`], a LogP source/sink that charges
+//!   `o_s`/`o_r` CPU overheads without running the residency machine.
+//! * [`NicModel`] — the wire-facing delivery seam. Full: [`vnet_nic::Nic`]
+//!   (CRC check, protection, NACK/retransmit). Abstract: [`AbstractNic`],
+//!   a counter that accepts every frame.
+//! * [`FabricModel`] — the network between hosts. Full:
+//!   [`vnet_net::Fabric`] (per-link bandwidth arbitration). Abstract:
+//!   [`vnet_net::DelayFabric`] (route latency only).
+//!
+//! Fidelity is chosen **per node** through [`FidelityMap`] (builder
+//! `fidelity(..)` > `VNET_FIDELITY` env > default Full — see
+//! [`crate::config`] for the precedence contract). Mixing is sound
+//! because the classes couple only through the shared fabric: abstract
+//! traffic reserves links (under the full fabric) exactly like real
+//! frames, so full-fidelity hosts feel its contention, while abstract
+//! hosts never participate in endpoint protocols. Endpoints, threads,
+//! and residency exist only on full hosts; abstract hosts are driven by
+//! [`crate::Cluster::drive_abstract`] and report coarse [`AbsStats`]
+//! counters (`host{N}.abs.*`).
+//!
+//! Determinism is preserved across fidelity choices: abstract hosts draw
+//! from the same per-host derived RNG streams, inject through the same
+//! two-phase `(time, source, sequence)`-keyed ingress protocol, and the
+//! delay fabric keeps the full fabric's per-hop latencies, so the
+//! parallel executor's lookahead bound and epoch protocol apply
+//! unchanged. Full-fidelity-everywhere through these seams is pinned
+//! byte-identical to the pre-refactor oracle by `tests/parallel_differential.rs`.
+
+use crate::world::{Event, HostEnv};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vnet_net::{DelayFabric, Fabric, FaultPlan, HostId, NetConfig, Packet, Phase1, Topology};
+use vnet_nic::{EpId, Frame, FrameKind, GlobalEp, Nic, NicOut, ProtectionKey, UserMsg};
+use vnet_sim::telemetry::{MetricSet, MetricValue, MetricVisitor, MetricsSnapshot};
+use vnet_sim::{Ctx, SimDuration, SimRng, SimTime};
+
+// ===================================================================
+// Fidelity selection
+// ===================================================================
+
+/// How much of the paper's machinery a node (or the fabric) simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// The complete model: NI firmware, residency, stop-and-wait
+    /// channels, credits, threads, auditor hooks.
+    Full,
+    /// The fast model: LogP overheads and route latency only.
+    Abstract,
+}
+
+/// Per-node fidelity assignment plus the fabric's own fidelity.
+///
+/// Defaults to Full everywhere. Host overrides are sparse; unlisted
+/// hosts take `default_host`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FidelityMap {
+    default_host: Fidelity,
+    overrides: BTreeMap<u32, Fidelity>,
+    fabric: Fidelity,
+}
+
+impl Default for FidelityMap {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl FidelityMap {
+    /// Full fidelity everywhere (the historical behavior).
+    pub fn full() -> Self {
+        FidelityMap {
+            default_host: Fidelity::Full,
+            overrides: BTreeMap::new(),
+            fabric: Fidelity::Full,
+        }
+    }
+
+    /// The fidelity of host `h`.
+    pub fn of(&self, h: u32) -> Fidelity {
+        self.overrides.get(&h).copied().unwrap_or(self.default_host)
+    }
+
+    /// The fabric's fidelity ([`Fidelity::Abstract`] selects the
+    /// delay-only [`vnet_net::DelayFabric`]).
+    pub fn fabric(&self) -> Fidelity {
+        self.fabric
+    }
+
+    /// Set the fabric fidelity.
+    pub fn set_fabric(&mut self, f: Fidelity) {
+        self.fabric = f;
+    }
+
+    /// The fidelity unlisted hosts take.
+    pub fn default_host(&self) -> Fidelity {
+        self.default_host
+    }
+
+    /// Set the fidelity unlisted hosts take (and clear nothing).
+    pub fn set_default_host(&mut self, f: Fidelity) {
+        self.default_host = f;
+    }
+
+    /// Assign fidelity `f` to each listed host.
+    pub fn set_hosts(&mut self, hosts: impl IntoIterator<Item = u32>, f: Fidelity) {
+        for h in hosts {
+            self.overrides.insert(h, f);
+        }
+    }
+
+    /// Whether any of hosts `0..n` (or the fabric) is abstract.
+    pub fn any_abstract(&self, n: u32) -> bool {
+        self.fabric == Fidelity::Abstract
+            || self.default_host == Fidelity::Abstract
+            || (0..n).any(|h| self.of(h) == Fidelity::Abstract)
+    }
+
+    /// Parse the `VNET_FIDELITY` grammar:
+    ///
+    /// ```text
+    /// full                        everything full (the default)
+    /// abstract                    every host abstract
+    /// abstract:4-15,20            listed hosts abstract, the rest full
+    /// full:0-3                    listed hosts full, the rest abstract
+    /// ...;fabric=abstract         append to select the delay-only fabric
+    /// ```
+    ///
+    /// Ranges are inclusive. The fabric defaults to full unless the
+    /// `fabric=` suffix says otherwise.
+    pub fn parse(s: &str) -> Result<FidelityMap, String> {
+        let mut map = FidelityMap::full();
+        for (i, part) in s.trim().split(';').enumerate() {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if i == 0 {
+                let (kind, ranges) = match part.split_once(':') {
+                    Some((k, r)) => (k.trim(), Some(r)),
+                    None => (part, None),
+                };
+                let listed = match kind {
+                    "full" => Fidelity::Full,
+                    "abstract" => Fidelity::Abstract,
+                    other => return Err(format!("unknown fidelity {other:?}")),
+                };
+                match ranges {
+                    None => map.default_host = listed,
+                    Some(r) => {
+                        map.default_host = match listed {
+                            Fidelity::Full => Fidelity::Abstract,
+                            Fidelity::Abstract => Fidelity::Full,
+                        };
+                        map.set_hosts(parse_ranges(r)?, listed);
+                    }
+                }
+            } else {
+                let Some((key, val)) = part.split_once('=') else {
+                    return Err(format!("expected key=value, got {part:?}"));
+                };
+                match (key.trim(), val.trim()) {
+                    ("fabric", "full") => map.fabric = Fidelity::Full,
+                    ("fabric", "abstract" | "delay") => map.fabric = Fidelity::Abstract,
+                    (k, v) => return Err(format!("unknown option {k}={v}")),
+                }
+            }
+        }
+        Ok(map)
+    }
+}
+
+/// Parse `"4-15,20"` into the listed host ids.
+fn parse_ranges(s: &str) -> Result<Vec<u32>, String> {
+    let mut out = Vec::new();
+    for item in s.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        match item.split_once('-') {
+            Some((a, b)) => {
+                let lo: u32 = a.trim().parse().map_err(|_| format!("bad range {item:?}"))?;
+                let hi: u32 = b.trim().parse().map_err(|_| format!("bad range {item:?}"))?;
+                if lo > hi {
+                    return Err(format!("inverted range {item:?}"));
+                }
+                out.extend(lo..=hi);
+            }
+            None => out.push(item.parse().map_err(|_| format!("bad host id {item:?}"))?),
+        }
+    }
+    Ok(out)
+}
+
+// ===================================================================
+// FabricModel
+// ===================================================================
+
+/// The network between hosts, as the composed world sees it: deterministic
+/// source routing, the two-phase `(inject_src, complete_ingress)` timing
+/// protocol, and a fault plan judged on the sender's own stream. Both
+/// implementations keep per-source ingress sequences and identical per-hop
+/// latencies, so the parallel executor's lookahead bound holds for either.
+pub trait FabricModel {
+    /// The topology in use.
+    fn topology(&self) -> &Topology;
+    /// The physical parameters in use.
+    fn net_config(&self) -> &NetConfig;
+    /// The fault plan (read).
+    fn faults(&self) -> &FaultPlan;
+    /// The fault plan (campaign ops, hot-swap control).
+    fn faults_mut(&mut self) -> &mut FaultPlan;
+    /// Phase 1: judge faults and time the ascending hops.
+    fn inject_src(&mut self, now: SimTime, pkt: Packet<Frame>) -> Phase1<Frame>;
+    /// Phase 2: time the descending hops from the ingress instant.
+    fn complete_ingress(&mut self, at: SimTime, pkt: &Packet<Frame>) -> SimDuration;
+}
+
+impl FabricModel for Fabric {
+    fn topology(&self) -> &Topology {
+        Fabric::topology(self)
+    }
+    fn net_config(&self) -> &NetConfig {
+        Fabric::config(self)
+    }
+    fn faults(&self) -> &FaultPlan {
+        Fabric::faults(self)
+    }
+    fn faults_mut(&mut self) -> &mut FaultPlan {
+        Fabric::faults_mut(self)
+    }
+    fn inject_src(&mut self, now: SimTime, pkt: Packet<Frame>) -> Phase1<Frame> {
+        Fabric::inject_src(self, now, pkt)
+    }
+    fn complete_ingress(&mut self, at: SimTime, pkt: &Packet<Frame>) -> SimDuration {
+        Fabric::complete_ingress(self, at, pkt)
+    }
+}
+
+impl FabricModel for DelayFabric {
+    fn topology(&self) -> &Topology {
+        DelayFabric::topology(self)
+    }
+    fn net_config(&self) -> &NetConfig {
+        DelayFabric::config(self)
+    }
+    fn faults(&self) -> &FaultPlan {
+        DelayFabric::faults(self)
+    }
+    fn faults_mut(&mut self) -> &mut FaultPlan {
+        DelayFabric::faults_mut(self)
+    }
+    fn inject_src(&mut self, now: SimTime, pkt: Packet<Frame>) -> Phase1<Frame> {
+        DelayFabric::inject_src(self, now, pkt)
+    }
+    fn complete_ingress(&mut self, at: SimTime, pkt: &Packet<Frame>) -> SimDuration {
+        DelayFabric::complete_ingress(self, at, pkt)
+    }
+}
+
+/// The world's fabric: one registered [`FabricModel`], dispatched
+/// statically so the hot path stays branch-predictable and the shard
+/// split/absorb protocol stays concrete.
+pub enum FabricSlot {
+    /// Full bandwidth-arbitrating fabric.
+    Full(Fabric),
+    /// Delay-only fabric (no link reservation).
+    Delay(DelayFabric),
+}
+
+impl FabricSlot {
+    /// Build the fabric selected by `f`.
+    pub fn build(f: Fidelity, cfg: NetConfig, topo: Topology, faults: FaultPlan) -> Self {
+        match f {
+            Fidelity::Full => FabricSlot::Full(Fabric::new(cfg, topo, faults)),
+            Fidelity::Abstract => FabricSlot::Delay(DelayFabric::new(cfg, topo, faults)),
+        }
+    }
+
+    /// The full fabric, when that is what is registered (tests and
+    /// benchmarks that inspect link reservation state).
+    pub fn as_full(&self) -> Option<&Fabric> {
+        match self {
+            FabricSlot::Full(f) => Some(f),
+            FabricSlot::Delay(_) => None,
+        }
+    }
+
+    // Inherent mirrors of the [`FabricModel`] surface, so callers holding
+    // a `World` need no trait import for plain inspection and fault
+    // control (the trait impl below forwards here).
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        match self {
+            FabricSlot::Full(f) => f.topology(),
+            FabricSlot::Delay(f) => f.topology(),
+        }
+    }
+
+    /// The physical parameters in use.
+    pub fn config(&self) -> &NetConfig {
+        match self {
+            FabricSlot::Full(f) => f.config(),
+            FabricSlot::Delay(f) => f.config(),
+        }
+    }
+
+    /// The fault plan (read).
+    pub fn faults(&self) -> &FaultPlan {
+        match self {
+            FabricSlot::Full(f) => f.faults(),
+            FabricSlot::Delay(f) => f.faults(),
+        }
+    }
+
+    /// The fault plan (campaign ops, administrative hot-swap control).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        match self {
+            FabricSlot::Full(f) => f.faults_mut(),
+            FabricSlot::Delay(f) => f.faults_mut(),
+        }
+    }
+
+    /// Phase 1 of injection: judge faults and time the ascending hops.
+    pub fn inject_src(&mut self, now: SimTime, pkt: Packet<Frame>) -> Phase1<Frame> {
+        match self {
+            FabricSlot::Full(f) => f.inject_src(now, pkt),
+            FabricSlot::Delay(f) => f.inject_src(now, pkt),
+        }
+    }
+
+    /// Phase 2 of injection: time the descending hops from the ingress
+    /// instant.
+    pub fn complete_ingress(&mut self, at: SimTime, pkt: &Packet<Frame>) -> SimDuration {
+        match self {
+            FabricSlot::Full(f) => f.complete_ingress(at, pkt),
+            FabricSlot::Delay(f) => f.complete_ingress(at, pkt),
+        }
+    }
+
+    /// Shard copy (same discipline as the underlying model).
+    pub(crate) fn split_shard(&self) -> FabricSlot {
+        match self {
+            FabricSlot::Full(f) => FabricSlot::Full(f.split_shard()),
+            FabricSlot::Delay(f) => FabricSlot::Delay(f.split_shard()),
+        }
+    }
+
+    /// Copy back a shard's owned link/fault/sequence state.
+    pub(crate) fn absorb_shard(
+        &mut self,
+        sh: &FabricSlot,
+        lo: u32,
+        hi: u32,
+        owns_link: impl Fn(vnet_net::LinkId) -> bool,
+    ) {
+        match (self, sh) {
+            (FabricSlot::Full(a), FabricSlot::Full(b)) => a.absorb_shard(b, lo, hi, owns_link),
+            (FabricSlot::Delay(a), FabricSlot::Delay(b)) => a.absorb_shard(b, lo, hi, owns_link),
+            _ => panic!("fabric fidelity changed between split and absorb"),
+        }
+    }
+}
+
+impl FabricModel for FabricSlot {
+    fn topology(&self) -> &Topology {
+        FabricSlot::topology(self)
+    }
+    fn net_config(&self) -> &NetConfig {
+        FabricSlot::config(self)
+    }
+    fn faults(&self) -> &FaultPlan {
+        FabricSlot::faults(self)
+    }
+    fn faults_mut(&mut self) -> &mut FaultPlan {
+        FabricSlot::faults_mut(self)
+    }
+    fn inject_src(&mut self, now: SimTime, pkt: Packet<Frame>) -> Phase1<Frame> {
+        FabricSlot::inject_src(self, now, pkt)
+    }
+    fn complete_ingress(&mut self, at: SimTime, pkt: &Packet<Frame>) -> SimDuration {
+        FabricSlot::complete_ingress(self, at, pkt)
+    }
+}
+
+/// Snapshot prefix `net.*`, whichever model is registered (the delay
+/// fabric reports the same counter names; `link_busy_ns` then counts
+/// serialization only, not queueing).
+impl MetricSet for FabricSlot {
+    fn visit_metrics(&self, v: &mut dyn MetricVisitor) {
+        match self {
+            FabricSlot::Full(f) => f.visit_metrics(v),
+            FabricSlot::Delay(f) => f.visit_metrics(v),
+        }
+    }
+}
+
+// ===================================================================
+// NicModel
+// ===================================================================
+
+/// The wire-facing seam of one host: what happens when a frame's tail
+/// arrives. The full NIC runs CRC/protection/NACK/retransmit and emits
+/// effects; the abstract NIC counts the frame and emits nothing.
+pub trait NicModel {
+    /// A frame's tail arrived from `src` (possibly corrupt in flight).
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        frame: Frame,
+        corrupt: bool,
+        outs: &mut Vec<NicOut>,
+    );
+}
+
+impl NicModel for Nic {
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        frame: Frame,
+        corrupt: bool,
+        outs: &mut Vec<NicOut>,
+    ) {
+        self.on_packet(now, src, frame, corrupt, outs);
+    }
+}
+
+/// Coarse counters an abstract node reports in place of the full
+/// NIC/OS stats (snapshot prefix `host{N}.abs.*`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbsStats {
+    /// Messages injected into the fabric.
+    pub sent: u64,
+    /// Payload bytes injected.
+    pub sent_bytes: u64,
+    /// Messages received intact.
+    pub recvd: u64,
+    /// Payload bytes received intact.
+    pub recv_bytes: u64,
+    /// Frames discarded on arrival for in-flight corruption.
+    pub corrupt_drops: u64,
+}
+
+impl MetricSet for AbsStats {
+    fn visit_metrics(&self, v: &mut dyn MetricVisitor) {
+        v.metric("sent", MetricValue::Counter(self.sent));
+        v.metric("sent_bytes", MetricValue::Counter(self.sent_bytes));
+        v.metric("recvd", MetricValue::Counter(self.recvd));
+        v.metric("recv_bytes", MetricValue::Counter(self.recv_bytes));
+        v.metric("corrupt_drops", MetricValue::Counter(self.corrupt_drops));
+    }
+}
+
+/// The abstract NIC: a frame source/sink with counters. No protection
+/// check, no sequencing, no acknowledgments — the §5.1 reliability
+/// machinery is exactly what this model drops, so frames lost or
+/// corrupted in the fabric stay lost (visible in [`AbsStats`]).
+pub struct AbstractNic {
+    host: HostId,
+    seq: u64,
+    /// Traffic counters.
+    pub stats: AbsStats,
+}
+
+impl AbstractNic {
+    /// A fresh abstract NIC on `host`.
+    pub fn new(host: HostId) -> Self {
+        AbstractNic { host, seq: 0, stats: AbsStats::default() }
+    }
+
+    /// Forge a wire frame carrying `bytes` of payload to `dst`, counting
+    /// it as sent. The frame is well-formed (the fabric charges its real
+    /// wire size; the channel spreads over multipath) but addressed to
+    /// endpoint 0 with the open key — only another abstract NIC may
+    /// receive it.
+    pub fn make_packet(&mut self, now: SimTime, dst: HostId, bytes: u32) -> Packet<Frame> {
+        self.seq += 1;
+        self.stats.sent += 1;
+        self.stats.sent_bytes += bytes as u64;
+        let msg = UserMsg {
+            uid: self.seq,
+            is_request: false,
+            handler: 0,
+            args: [0; 4],
+            payload_bytes: bytes,
+            src_ep: GlobalEp::new(self.host, EpId(0)),
+            reply_key: ProtectionKey::OPEN,
+            corr: 0,
+        };
+        let wire = msg.wire_bytes();
+        let frame = Frame {
+            kind: FrameKind::Data(Arc::new(msg)),
+            dst_ep: EpId(0),
+            key: ProtectionKey::OPEN,
+            chan: (self.seq & 3) as u8,
+            seq: self.seq,
+            ack_uid: 0,
+            timestamp: (now.as_nanos() / 1_000) as u32,
+        };
+        Packet { src: self.host, dst, channel: frame.chan, bytes: wire, payload: frame }
+    }
+}
+
+impl NicModel for AbstractNic {
+    fn deliver(
+        &mut self,
+        _now: SimTime,
+        _src: HostId,
+        frame: Frame,
+        corrupt: bool,
+        _outs: &mut Vec<NicOut>,
+    ) {
+        if corrupt {
+            self.stats.corrupt_drops += 1;
+            return;
+        }
+        self.stats.recvd += 1;
+        if let FrameKind::Data(m) = &frame.kind {
+            self.stats.recv_bytes += m.payload_bytes as u64;
+        }
+    }
+}
+
+// ===================================================================
+// HostModel
+// ===================================================================
+
+/// Everything above the wire on one host, as the composed world sees
+/// it: consume the events addressed to the host, produce injections and
+/// follow-up events through the shared [`HostEnv`], and report metrics.
+/// Implemented by `world::FullHost` (the complete §3–§6 machinery) and
+/// [`AbstractHost`].
+pub trait HostModel {
+    /// This host's fidelity class.
+    fn fidelity(&self) -> Fidelity;
+    /// Handle an event addressed to global host `gh`.
+    fn on_event(&mut self, gh: u32, ev: Event, env: &mut HostEnv<'_>, ctx: &mut Ctx<'_, Event>);
+    /// Report this host's metrics into a snapshot (`host{h}.…` scope).
+    fn record_metrics(&self, h: usize, out: &mut MetricsSnapshot);
+}
+
+/// Internal events of an abstract host (carried by `Event::Abs`).
+#[derive(Clone, Copy, Debug)]
+pub enum AbsEvent {
+    /// Decide the next message of the driven traffic pattern.
+    Tick,
+    /// A decided message reaches the wire (after its `o_s` overhead).
+    Send {
+        /// Destination host.
+        dst: HostId,
+        /// Payload bytes.
+        bytes: u32,
+    },
+}
+
+/// A synthetic traffic pattern driven on an abstract host (see
+/// [`crate::Cluster::drive_abstract`]): `count` messages of
+/// `payload_bytes` each, to peers drawn uniformly from `peers`, with
+/// uniformly jittered gaps averaging `mean_gap`.
+#[derive(Clone, Debug)]
+pub struct AbstractTraffic {
+    /// Destination hosts (drawn uniformly per message). Every peer must
+    /// itself be abstract.
+    pub peers: Vec<HostId>,
+    /// Payload bytes per message.
+    pub payload_bytes: u32,
+    /// Mean inter-message gap (jittered uniformly in `[g/2, 3g/2)`).
+    pub mean_gap: SimDuration,
+    /// Messages remaining to send.
+    pub count: u64,
+}
+
+/// The abstract host: a LogP traffic source/sink. Sends charge the
+/// cost model's `o_s` (`host_send`) on a single serial CPU before the
+/// message reaches the wire; receives charge `o_r` (`host_recv`). No
+/// endpoints, threads, residency, credits, or reliability — see
+/// DESIGN.md §13 for exactly what is dropped relative to the paper.
+pub struct AbstractHost {
+    nic: AbstractNic,
+    rng: SimRng,
+    /// The serial CPU: sends and receives occupy it back-to-back, so a
+    /// saturated abstract host is overhead-limited like a real LogP node.
+    cpu_free_at: SimTime,
+    traffic: Option<AbstractTraffic>,
+}
+
+impl AbstractHost {
+    /// A fresh abstract host for global host id `host`, drawing jitter
+    /// and peer choices from `rng` (the host's derived stream).
+    pub(crate) fn new(host: HostId, rng: SimRng) -> Self {
+        AbstractHost { nic: AbstractNic::new(host), rng, cpu_free_at: SimTime::ZERO, traffic: None }
+    }
+
+    /// Install (replacing any previous) driven traffic. The first
+    /// [`AbsEvent::Tick`] must be scheduled by the caller.
+    pub(crate) fn set_traffic(&mut self, t: AbstractTraffic) {
+        self.traffic = Some(t);
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &AbsStats {
+        &self.nic.stats
+    }
+}
+
+impl HostModel for AbstractHost {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Abstract
+    }
+
+    fn on_event(&mut self, gh: u32, ev: Event, env: &mut HostEnv<'_>, ctx: &mut Ctx<'_, Event>) {
+        match ev {
+            Event::Abs { ev: AbsEvent::Tick, .. } => {
+                let Some(t) = &mut self.traffic else { return };
+                if t.count == 0 {
+                    return;
+                }
+                t.count -= 1;
+                let dst = t.peers[self.rng.index(t.peers.len())];
+                let bytes = t.payload_bytes;
+                let now = ctx.now();
+                // The send occupies the serial CPU for o_s before the
+                // message reaches the wire.
+                let start = now.max(self.cpu_free_at);
+                let on_wire = start + env.cfg.cost.host_send;
+                self.cpu_free_at = on_wire;
+                ctx.schedule(on_wire - now, Event::Abs {
+                    host: gh,
+                    ev: AbsEvent::Send { dst, bytes },
+                });
+                if t.count > 0 {
+                    let g = t.mean_gap.as_nanos().max(2);
+                    let gap = g / 2 + self.rng.below(g);
+                    ctx.schedule(SimDuration::from_nanos(gap), Event::Abs {
+                        host: gh,
+                        ev: AbsEvent::Tick,
+                    });
+                }
+            }
+            Event::Abs { ev: AbsEvent::Send { dst, bytes }, .. } => {
+                let pkt = self.nic.make_packet(ctx.now(), dst, bytes);
+                env.inject(ctx.now(), pkt, ctx);
+            }
+            Event::Deliver { src, frame, corrupt, .. } => {
+                let now = ctx.now();
+                let mut outs = Vec::new();
+                NicModel::deliver(&mut self.nic, now, src, frame, corrupt, &mut outs);
+                debug_assert!(outs.is_empty(), "abstract NIC emitted effects");
+                // Receive overhead o_r occupies the serial CPU, delaying
+                // subsequent sends.
+                self.cpu_free_at = now.max(self.cpu_free_at) + env.cfg.cost.host_recv;
+            }
+            other => panic!(
+                "full-fidelity event {other:?} routed to abstract host {gh}; \
+                 endpoints and threads exist only on Fidelity::Full hosts"
+            ),
+        }
+    }
+
+    fn record_metrics(&self, h: usize, out: &mut MetricsSnapshot) {
+        out.record_set(&format!("host{h}.abs"), &self.nic.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_map_defaults_full() {
+        let m = FidelityMap::full();
+        assert_eq!(m.of(0), Fidelity::Full);
+        assert_eq!(m.of(999), Fidelity::Full);
+        assert_eq!(m.fabric(), Fidelity::Full);
+        assert!(!m.any_abstract(100));
+    }
+
+    #[test]
+    fn fidelity_map_overrides() {
+        let mut m = FidelityMap::full();
+        m.set_hosts(4..8, Fidelity::Abstract);
+        assert_eq!(m.of(3), Fidelity::Full);
+        assert_eq!(m.of(4), Fidelity::Abstract);
+        assert_eq!(m.of(7), Fidelity::Abstract);
+        assert_eq!(m.of(8), Fidelity::Full);
+        assert!(m.any_abstract(16));
+    }
+
+    #[test]
+    fn parse_grammar() {
+        assert_eq!(FidelityMap::parse("full").unwrap(), FidelityMap::full());
+        let m = FidelityMap::parse("abstract").unwrap();
+        assert_eq!(m.of(0), Fidelity::Abstract);
+        assert_eq!(m.fabric(), Fidelity::Full);
+
+        let m = FidelityMap::parse("abstract:4-15,20").unwrap();
+        assert_eq!(m.of(0), Fidelity::Full);
+        assert_eq!(m.of(4), Fidelity::Abstract);
+        assert_eq!(m.of(15), Fidelity::Abstract);
+        assert_eq!(m.of(16), Fidelity::Full);
+        assert_eq!(m.of(20), Fidelity::Abstract);
+
+        let m = FidelityMap::parse("full:0-3;fabric=abstract").unwrap();
+        assert_eq!(m.of(0), Fidelity::Full);
+        assert_eq!(m.of(4), Fidelity::Abstract);
+        assert_eq!(m.fabric(), Fidelity::Abstract);
+
+        assert!(FidelityMap::parse("med").is_err());
+        assert!(FidelityMap::parse("full:9-2").is_err());
+        assert!(FidelityMap::parse("full;fabric=med").is_err());
+    }
+
+    #[test]
+    fn abstract_nic_counts() {
+        let mut nic = AbstractNic::new(HostId(3));
+        let pkt = nic.make_packet(SimTime::ZERO, HostId(1), 256);
+        assert_eq!(pkt.src, HostId(3));
+        assert_eq!(pkt.dst, HostId(1));
+        assert_eq!(pkt.bytes, 48 + 256);
+        assert_eq!(nic.stats.sent, 1);
+        assert_eq!(nic.stats.sent_bytes, 256);
+
+        let mut rx = AbstractNic::new(HostId(1));
+        let mut outs = Vec::new();
+        rx.deliver(SimTime::ZERO, pkt.src, pkt.payload.clone(), false, &mut outs);
+        assert!(outs.is_empty());
+        assert_eq!(rx.stats.recvd, 1);
+        assert_eq!(rx.stats.recv_bytes, 256);
+        rx.deliver(SimTime::ZERO, pkt.src, pkt.payload, true, &mut outs);
+        assert_eq!(rx.stats.corrupt_drops, 1);
+        assert_eq!(rx.stats.recvd, 1, "corrupt frames are not received");
+    }
+}

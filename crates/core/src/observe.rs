@@ -52,8 +52,9 @@ impl<'a> ClusterTelemetry<'a> {
     }
 
     /// Flat snapshot of every metric in the cluster at the current
-    /// simulated time: per-host NIC and OS stats (`host{N}.nic.*`,
-    /// `host{N}.os.*`), fabric aggregates (`net.*`), engine progress
+    /// simulated time: per-host stats — `host{N}.nic.*` / `host{N}.os.*`
+    /// for full-fidelity hosts, coarse `host{N}.abs.*` counters for
+    /// abstract ones — fabric aggregates (`net.*`), engine progress
     /// (`engine.*`), trace-ring drop accounting (`trace.*`), and — when
     /// telemetry hooks are attached — every registry metric and the
     /// span-log drop counter (`telemetry.dropped_spans`).
@@ -61,8 +62,7 @@ impl<'a> ClusterTelemetry<'a> {
         let w = self.c.world();
         let mut s = MetricsSnapshot::new(self.c.now());
         for h in 0..w.hosts() {
-            s.record_set(&format!("host{h}.nic"), w.nics[h].stats());
-            s.record_set(&format!("host{h}.os"), w.oses[h].stats());
+            w.slot(h).record_metrics(h, &mut s);
         }
         s.record_set("net", &w.fabric);
         s.record("engine.events_processed", MetricValue::Counter(self.c.events_processed()));

@@ -1,19 +1,29 @@
-//! The composed cluster world: fabric + NICs + segment drivers + thread
-//! schedulers + application threads, wired into one deterministic
-//! event graph.
+//! The composed cluster world: fabric + per-host models (NIC, segment
+//! driver, thread scheduler, application threads — or an abstract LogP
+//! source/sink), wired into one deterministic event graph.
+//!
+//! Since PR 7 the world is fidelity-pluggable: each host slot holds one
+//! [`HostModel`] implementation ([`FullHost`] or
+//! [`crate::model::AbstractHost`]) and the fabric slot one
+//! [`crate::model::FabricModel`] implementation, selected per node by
+//! [`crate::config::ClusterConfig::fidelity`]. See [`crate::model`].
 
 use crate::config::{ClusterConfig, Mode};
+use crate::model::{
+    AbsEvent, AbsStats, AbstractHost, FabricSlot, Fidelity, HostModel, NicModel,
+};
 use crate::sys::{Step, Sys, ThreadBody};
 use crate::user::UserEpState;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
-use vnet_net::{Fabric, FaultOp, FaultPlan, HostId, Packet, Partition, Phase1, RouteOracle, Topology};
+use vnet_net::{FaultOp, FaultPlan, HostId, Packet, Partition, Phase1, RouteOracle, Topology};
 use vnet_nic::{
     DriverMsg, EpId, Frame, GlobalEp, Nic, NicConfig, NicEvent, NicMode, NicOut, ProtectionKey,
 };
 use vnet_os::{BlockReason, OsEvent, OsOut, Scheduler, SegmentDriver, Tid};
+use vnet_sim::telemetry::MetricsSnapshot;
 use vnet_sim::{
     AuditHandle, Auditor, Ctx, SimDuration, SimRng, SimTime, SimWorld, Telemetry, TelemetryHandle,
     TraceHandle, TraceRing, INGRESS_KEY_BIT,
@@ -85,6 +95,14 @@ pub enum Event {
         /// The thread.
         tid: Tid,
     },
+    /// Abstract-host internal event (traffic ticks and deferred sends);
+    /// only ever addressed to [`Fidelity::Abstract`] hosts.
+    Abs {
+        /// Host index.
+        host: u32,
+        /// The event.
+        ev: AbsEvent,
+    },
     /// A fault-campaign transition (link flap edge, switch failure edge,
     /// degrade-window edge). Scheduled once per `(transition, host)` so
     /// every shard world receives it; each world applies the op to its
@@ -111,6 +129,7 @@ impl Event {
             | Event::DriverMsg { host, .. }
             | Event::Cpu { host, .. }
             | Event::WakeThread { host, .. }
+            | Event::Abs { host, .. }
             | Event::Fault { host, .. } => *host,
         }
     }
@@ -127,20 +146,412 @@ struct CpuState {
     busy_until: SimTime,
 }
 
+/// The world-owned context a [`HostModel`] works against while handling
+/// one event: the shared fabric, the rendezvous key table, observability
+/// sinks, and this world's host-ownership window (for routing injected
+/// packets either into the local engine or into the cross-shard outbox).
+pub struct HostEnv<'a> {
+    pub(crate) cfg: &'a ClusterConfig,
+    pub(crate) fabric: &'a mut FabricSlot,
+    pub(crate) keys: &'a HashMap<GlobalEp, ProtectionKey>,
+    pub(crate) trace: &'a TraceHandle,
+    pub(crate) auditor: &'a AuditHandle,
+    pub(crate) outbox: &'a mut Vec<(SimTime, u64, bool, Packet<Frame>)>,
+    pub(crate) base: u32,
+    pub(crate) len: u32,
+}
+
+impl HostEnv<'_> {
+    /// Whether this world owns global host `gh`.
+    #[inline]
+    fn owns(&self, gh: u32) -> bool {
+        gh >= self.base && gh - self.base < self.len
+    }
+
+    /// Inject a packet into the fabric (phase 1) and route the resulting
+    /// ingress: scheduled locally under its canonical `(time, source,
+    /// sequence)` key when this world owns the destination, or pushed
+    /// into the cross-shard outbox for the epoch barrier otherwise.
+    /// The one injection path shared by every host model.
+    pub(crate) fn inject(&mut self, now: SimTime, pkt: Packet<Frame>, ctx: &mut Ctx<'_, Event>) {
+        match self.fabric.inject_src(now, pkt) {
+            Phase1::Ingress { at, seq, corrupt, pkt } => {
+                let key = INGRESS_KEY_BIT | ((pkt.src.0 as u64) << 40) | seq;
+                if self.owns(pkt.dst.0) {
+                    ctx.schedule_keyed_at(at, key, Event::Ingress { host: pkt.dst.0, corrupt, pkt });
+                } else {
+                    // Crossing a shard boundary: the frame payload is a
+                    // frozen `Arc`, so the epoch barrier moves a pointer —
+                    // no copy of the message body.
+                    self.outbox.push((at, key, corrupt, pkt));
+                }
+            }
+            Phase1::Dropped { .. } => {}
+        }
+    }
+}
+
+/// The full-fidelity host: the complete §3–§6 machinery — NIC, endpoint
+/// segment driver, thread scheduler, user-level endpoint state, thread
+/// bodies, CPU accounting, and the host's RNG stream — exactly the
+/// per-host state the pre-refactor `World` held in parallel vectors.
+pub struct FullHost {
+    /// The network interface.
+    pub nic: Nic,
+    /// The endpoint segment driver.
+    pub os: SegmentDriver,
+    /// The thread scheduler.
+    pub sched: Scheduler,
+    /// User-level endpoint state.
+    pub user: HashMap<EpId, UserEpState>,
+    threads: HashMap<Tid, ThreadRec>,
+    cpu: CpuState,
+    rng: SimRng,
+}
+
+impl FullHost {
+    /// Apply NIC effects inside an event handler.
+    fn apply_nic(
+        &mut self,
+        gh: u32,
+        outs: Vec<NicOut>,
+        env: &mut HostEnv<'_>,
+        ctx: &mut Ctx<'_, Event>,
+    ) {
+        for o in outs {
+            match o {
+                NicOut::After(d, ev) => {
+                    ctx.schedule(d, Event::Nic { host: gh, ev });
+                }
+                NicOut::Inject(pkt) => env.inject(ctx.now(), pkt, ctx),
+                NicOut::Driver(msg) => self.handle_driver_msg(gh, msg, env, ctx),
+            }
+        }
+    }
+
+    /// Apply OS effects inside an event handler.
+    fn apply_os(
+        &mut self,
+        gh: u32,
+        outs: Vec<OsOut>,
+        env: &mut HostEnv<'_>,
+        ctx: &mut Ctx<'_, Event>,
+    ) {
+        for o in outs {
+            match o {
+                OsOut::Nic(op) => {
+                    let mut nic_outs = Vec::new();
+                    self.nic.driver_request(ctx.now(), op, &mut nic_outs);
+                    self.apply_nic(gh, nic_outs, env, ctx);
+                }
+                OsOut::Wake(tid) => {
+                    if self.sched.wake(tid) {
+                        self.kick_cpu(gh, ctx);
+                    }
+                }
+                OsOut::After(d, ev) => {
+                    ctx.schedule(d, Event::Os { host: gh, ev });
+                }
+            }
+        }
+    }
+
+    /// Route a NIC→driver message: segment-driver bookkeeping plus thread
+    /// wakeups (the composing host owns the scheduler).
+    fn handle_driver_msg(
+        &mut self,
+        gh: u32,
+        msg: DriverMsg,
+        env: &mut HostEnv<'_>,
+        ctx: &mut Ctx<'_, Event>,
+    ) {
+        let wake_cost = env.cfg.os.wake_cost;
+        env.trace.borrow_mut().record_with(ctx.now(), gh, "driver.msg", || format!("{msg:?}"));
+        match &msg {
+            DriverMsg::Loaded { ep, .. } => {
+                let ep = *ep;
+                // Wake residency waiters, and event waiters too — a load
+                // can deposit flushed returns before any fresh Event fires,
+                // and spurious wakes are safe (bodies re-check and
+                // re-block).
+                let mut woken = 0;
+                let tids: Vec<Tid> = self
+                    .sched
+                    .blocked_on_residency(ep)
+                    .into_iter()
+                    .chain(self.sched.blocked_on_event(ep))
+                    .collect();
+                for tid in tids {
+                    ctx.schedule(wake_cost, Event::WakeThread { host: gh, tid });
+                    woken += 1;
+                }
+                self.os.note_residency_wakes(woken);
+            }
+            DriverMsg::Event { ep, .. } => {
+                let ep = *ep;
+                let tids = self.sched.blocked_on_event(ep);
+                self.os.note_event_wakes(tids.len() as u64);
+                for tid in tids {
+                    ctx.schedule(wake_cost, Event::WakeThread { host: gh, tid });
+                }
+            }
+            _ => {}
+        }
+        let mut os_outs = Vec::new();
+        self.os.on_nic_msg(ctx.now(), msg, &mut os_outs);
+        self.apply_os(gh, os_outs, env, ctx);
+    }
+
+    // ---------------------------------------------------------------- CPU
+
+    /// Ensure a CPU step is scheduled no later than the CPU's ready time.
+    fn kick_cpu(&mut self, gh: u32, ctx: &mut Ctx<'_, Event>) {
+        let ready = ctx.now().max(self.cpu.busy_until);
+        if self.cpu.sched_at <= ready {
+            return;
+        }
+        self.cpu.gen += 1;
+        self.cpu.sched_at = ready;
+        let gen = self.cpu.gen;
+        ctx.schedule(ready - ctx.now(), Event::Cpu { host: gh, gen });
+    }
+
+    fn on_cpu(&mut self, gh: u32, gen: u64, env: &mut HostEnv<'_>, ctx: &mut Ctx<'_, Event>) {
+        if gen != self.cpu.gen {
+            return;
+        }
+        self.cpu.sched_at = SimTime::MAX;
+        let now = ctx.now();
+        if now < self.cpu.busy_until {
+            self.kick_cpu(gh, ctx);
+            return;
+        }
+        // Dispatch / preempt.
+        if self.sched.current().is_none() {
+            if !self.sched.has_runnable() {
+                return; // CPU idles; wakes re-kick
+            }
+            let cost = self.sched.dispatch(now);
+            if cost > SimDuration::ZERO {
+                self.cpu.busy_until = now + cost;
+                self.kick_cpu(gh, ctx);
+                return;
+            }
+        } else if self.sched.preempt_if_due(now) {
+            self.kick_cpu(gh, ctx);
+            return;
+        }
+        let Some(tid) = self.sched.current() else {
+            self.kick_cpu(gh, ctx);
+            return;
+        };
+        // Continue a long compute without re-invoking the body.
+        let pending = self.threads.get(&tid).map(|r| r.pending_compute);
+        if let Some(pending) = pending {
+            if pending > SimDuration::ZERO {
+                let slice = if self.sched.ready_count() == 0 {
+                    pending
+                } else {
+                    pending.min(self.sched.quantum_left(now)).max(MIN_BURST)
+                };
+                self.threads.get_mut(&tid).unwrap().pending_compute = pending - slice;
+                self.cpu.busy_until = now + slice;
+                self.kick_cpu(gh, ctx);
+                return;
+            }
+        }
+        // Run one burst of the body.
+        let Some(rec) = self.threads.get_mut(&tid) else {
+            // Registered in the scheduler but no body (shouldn't happen).
+            self.sched.exit_current();
+            self.kick_cpu(gh, ctx);
+            return;
+        };
+        let Some(mut body) = rec.body.take() else {
+            self.sched.exit_current();
+            self.kick_cpu(gh, ctx);
+            return;
+        };
+        let mut sys = Sys {
+            now,
+            host: HostId(gh),
+            nic: &mut self.nic,
+            os: &mut self.os,
+            user: &mut self.user,
+            keys: env.keys,
+            cost: &env.cfg.cost,
+            credits: env.cfg.credits,
+            rng: &mut self.rng,
+            elapsed: SimDuration::ZERO,
+            nic_outs: Vec::new(),
+            os_outs: Vec::new(),
+            auditor: if env.cfg.audit { Some(env.auditor) } else { None },
+        };
+        let step = body.run(&mut sys);
+        let elapsed = sys.elapsed.max(MIN_BURST);
+        let nic_outs = std::mem::take(&mut sys.nic_outs);
+        let os_outs = std::mem::take(&mut sys.os_outs);
+        drop(sys);
+        self.threads.get_mut(&tid).unwrap().body = Some(body);
+        self.apply_nic(gh, nic_outs, env, ctx);
+        self.apply_os(gh, os_outs, env, ctx);
+
+        match step {
+            Step::Compute(d) => {
+                self.threads.get_mut(&tid).unwrap().pending_compute = d;
+            }
+            Step::Yield => {
+                self.sched.yield_current();
+            }
+            Step::Sleep(d) => {
+                self.sched.block_current(BlockReason::Sleep);
+                ctx.schedule(elapsed + d, Event::WakeThread { host: gh, tid });
+            }
+            Step::WaitEvent(ep) => {
+                // Arm the mask first, then re-check, to close the lost
+                // wakeup window.
+                if !self.nic.set_event_mask_direct(ep, true) {
+                    if let Some(img) = self.os.host_image_mut(ep) {
+                        img.notify_on_arrival = true;
+                    }
+                }
+                let has = if self.nic.is_resident(ep) {
+                    self.nic.recv_depths(ep).map(|(a, b)| a + b > 0).unwrap_or(false)
+                } else {
+                    self.os.host_image(ep).map(|i| i.has_received()).unwrap_or(false)
+                };
+                if has {
+                    self.sched.yield_current();
+                } else {
+                    self.sched.block_current(BlockReason::EndpointEvent(ep));
+                }
+            }
+            Step::WaitResident(ep) => {
+                if self.nic.is_resident(ep) {
+                    self.sched.yield_current();
+                } else {
+                    self.sched.block_current(BlockReason::Residency(ep));
+                }
+            }
+            Step::Exit => {
+                self.sched.exit_current();
+            }
+        }
+        self.cpu.busy_until = now + elapsed;
+        self.kick_cpu(gh, ctx);
+    }
+}
+
+impl HostModel for FullHost {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Full
+    }
+
+    fn on_event(&mut self, gh: u32, ev: Event, env: &mut HostEnv<'_>, ctx: &mut Ctx<'_, Event>) {
+        match ev {
+            Event::Nic { ev, .. } => {
+                let mut outs = Vec::new();
+                self.nic.on_event(ctx.now(), ev, &mut outs);
+                self.apply_nic(gh, outs, env, ctx);
+            }
+            Event::Os { ev, .. } => {
+                let mut outs = Vec::new();
+                match ev {
+                    OsEvent::DaemonStep => self.os.on_daemon_step(ctx.now(), &mut outs),
+                    OsEvent::PageInDone { ep } => self.os.on_page_in_done(ctx.now(), ep, &mut outs),
+                }
+                self.apply_os(gh, outs, env, ctx);
+            }
+            Event::Deliver { src, frame, corrupt, .. } => {
+                let mut outs = Vec::new();
+                NicModel::deliver(&mut self.nic, ctx.now(), src, frame, corrupt, &mut outs);
+                self.apply_nic(gh, outs, env, ctx);
+            }
+            Event::DriverMsg { msg, .. } => {
+                self.handle_driver_msg(gh, msg, env, ctx);
+            }
+            Event::Cpu { gen, .. } => {
+                self.on_cpu(gh, gen, env, ctx);
+            }
+            Event::WakeThread { tid, .. } => {
+                if self.sched.wake(tid) {
+                    self.kick_cpu(gh, ctx);
+                }
+            }
+            other => panic!("abstract/world event {other:?} routed to full host {gh}"),
+        }
+    }
+
+    fn record_metrics(&self, h: usize, out: &mut MetricsSnapshot) {
+        out.record_set(&format!("host{h}.nic"), self.nic.stats());
+        out.record_set(&format!("host{h}.os"), self.os.stats());
+    }
+}
+
+/// One host slot of the composed world: a registered [`HostModel`],
+/// dispatched statically (the same pattern as [`FabricSlot`]).
+// The size skew is deliberate: slots live one-per-host in `World::hosts`,
+// and inline storage keeps per-event dispatch free of a pointer chase —
+// boxing `FullHost` would tax the common all-full configuration to slim
+// a vector that is small either way.
+#[allow(clippy::large_enum_variant)]
+pub enum HostSlot {
+    /// The complete machinery.
+    Full(FullHost),
+    /// The LogP source/sink.
+    Abstract(AbstractHost),
+}
+
+impl HostSlot {
+    /// This slot's fidelity class.
+    pub fn fidelity(&self) -> Fidelity {
+        match self {
+            HostSlot::Full(_) => Fidelity::Full,
+            HostSlot::Abstract(_) => Fidelity::Abstract,
+        }
+    }
+
+    fn on_event(&mut self, gh: u32, ev: Event, env: &mut HostEnv<'_>, ctx: &mut Ctx<'_, Event>) {
+        match self {
+            HostSlot::Full(f) => f.on_event(gh, ev, env, ctx),
+            HostSlot::Abstract(a) => a.on_event(gh, ev, env, ctx),
+        }
+    }
+
+    pub(crate) fn record_metrics(&self, h: usize, out: &mut MetricsSnapshot) {
+        match self {
+            HostSlot::Full(f) => f.record_metrics(h, out),
+            HostSlot::Abstract(a) => a.record_metrics(h, out),
+        }
+    }
+
+    fn full_ref(&self, h: usize) -> &FullHost {
+        match self {
+            HostSlot::Full(f) => f,
+            HostSlot::Abstract(_) => panic!(
+                "host {h} is Fidelity::Abstract; this operation (endpoints, threads, \
+                 NIC/OS access) requires a full-fidelity host"
+            ),
+        }
+    }
+
+    fn full_mut(&mut self, h: usize) -> &mut FullHost {
+        match self {
+            HostSlot::Full(f) => f,
+            HostSlot::Abstract(_) => panic!(
+                "host {h} is Fidelity::Abstract; this operation (endpoints, threads, \
+                 NIC/OS access) requires a full-fidelity host"
+            ),
+        }
+    }
+}
+
 /// The composed world (see module docs).
 pub struct World {
     /// Build configuration.
     pub cfg: ClusterConfig,
-    /// The network.
-    pub fabric: Fabric,
-    /// One NIC per host.
-    pub nics: Vec<Nic>,
-    /// One endpoint segment driver per host.
-    pub oses: Vec<SegmentDriver>,
-    /// One thread scheduler per host.
-    pub scheds: Vec<Scheduler>,
-    /// User-level endpoint state per host.
-    pub user: Vec<HashMap<EpId, UserEpState>>,
+    /// The network model (full or delay-only; see [`FabricSlot`]).
+    pub fabric: FabricSlot,
     /// Protection keys of every endpoint (the rendezvous snapshot).
     pub keys: HashMap<GlobalEp, ProtectionKey>,
     /// Debug trace of residency and scheduling transitions; disabled by
@@ -148,17 +559,16 @@ pub struct World {
     /// segment driver, and the auditor so protocol-level events land in one
     /// causally ordered ring.
     pub trace: TraceHandle,
-    /// Cross-layer invariant auditor; every NIC and segment driver reports
-    /// protocol events into it (delivery ledger, credit conservation,
-    /// stop-and-wait channel discipline, endpoint frame accounting).
+    /// Cross-layer invariant auditor; every full-fidelity NIC and segment
+    /// driver reports protocol events into it (delivery ledger, credit
+    /// conservation, stop-and-wait channel discipline, endpoint frame
+    /// accounting). Abstract hosts report nothing.
     pub auditor: AuditHandle,
     /// Unified telemetry registry (metrics + span tracing). `Some` only
     /// when [`ClusterConfig::telemetry`] is set; with it absent no
     /// component holds hooks and the hot path pays nothing.
     pub telemetry: Option<TelemetryHandle>,
-    threads: Vec<HashMap<Tid, ThreadRec>>,
-    cpu: Vec<CpuState>,
-    rngs: Vec<SimRng>,
+    hosts: Vec<HostSlot>,
     key_rng: SimRng,
     /// First global host id owned by this world: `0` for the full world,
     /// the shard's partition start for a shard world. Events carry global
@@ -192,7 +602,7 @@ impl World {
         } else {
             Some(Arc::new(RouteOracle::new(topo.clone(), &cfg.faults)))
         };
-        let fabric = Fabric::new(cfg.net.clone(), topo, faults);
+        let fabric = FabricSlot::build(cfg.fidelity.fabric(), cfg.net.clone(), topo, faults);
         let mut nic_cfg: NicConfig = cfg.nic.clone();
         nic_cfg.mode = match cfg.mode {
             Mode::VirtualNetwork => NicMode::VirtualNetwork,
@@ -208,49 +618,52 @@ impl World {
                 a.register_host(i as u32, nic_cfg.frames);
             }
         }
-        let mut nics: Vec<Nic> =
-            (0..n).map(|i| Nic::new(HostId(i as u32), nic_cfg.clone(), cfg.seed)).collect();
-        if let Some(o) = &oracle {
-            for nic in nics.iter_mut() {
-                nic.attach_route_oracle(Arc::clone(o));
+        let telemetry = if cfg.telemetry { Some(Telemetry::handle()) } else { None };
+        let mut hosts: Vec<HostSlot> = Vec::with_capacity(n);
+        for i in 0..n {
+            // Every host draws the same derived RNG stream whatever its
+            // fidelity, so re-assigning fidelity never perturbs neighbors.
+            let rng = root.derive(0x7000 + i as u64);
+            match cfg.fidelity.of(i as u32) {
+                Fidelity::Abstract => {
+                    hosts.push(HostSlot::Abstract(AbstractHost::new(HostId(i as u32), rng)));
+                }
+                Fidelity::Full => {
+                    let mut nic = Nic::new(HostId(i as u32), nic_cfg.clone(), cfg.seed);
+                    if let Some(o) = &oracle {
+                        nic.attach_route_oracle(Arc::clone(o));
+                    }
+                    let mut os =
+                        SegmentDriver::new(cfg.os.clone(), nic_cfg.frames, cfg.seed ^ (i as u64));
+                    if cfg.audit {
+                        nic.attach_auditor(auditor.clone());
+                        nic.attach_trace(trace.clone());
+                        os.attach_instrumentation(i as u32, auditor.clone(), trace.clone());
+                    }
+                    if let Some(tel) = &telemetry {
+                        nic.attach_telemetry(tel.clone());
+                        os.attach_telemetry(i as u32, tel.clone());
+                    }
+                    hosts.push(HostSlot::Full(FullHost {
+                        nic,
+                        os,
+                        sched: Scheduler::new(cfg.sched.clone()),
+                        user: HashMap::new(),
+                        threads: HashMap::new(),
+                        cpu: CpuState {
+                            gen: 0,
+                            sched_at: SimTime::MAX,
+                            busy_until: SimTime::ZERO,
+                        },
+                        rng,
+                    }));
+                }
             }
         }
-        let mut oses: Vec<SegmentDriver> = (0..n)
-            .map(|i| SegmentDriver::new(cfg.os.clone(), nic_cfg.frames, cfg.seed ^ (i as u64)))
-            .collect();
-        if cfg.audit {
-            for nic in nics.iter_mut() {
-                nic.attach_auditor(auditor.clone());
-                nic.attach_trace(trace.clone());
-            }
-            for (i, os) in oses.iter_mut().enumerate() {
-                os.attach_instrumentation(i as u32, auditor.clone(), trace.clone());
-            }
-        }
-        let telemetry = if cfg.telemetry {
-            let tel = Telemetry::handle();
-            for nic in nics.iter_mut() {
-                nic.attach_telemetry(tel.clone());
-            }
-            for (i, os) in oses.iter_mut().enumerate() {
-                os.attach_telemetry(i as u32, tel.clone());
-            }
-            Some(tel)
-        } else {
-            None
-        };
         World {
             fabric,
-            nics,
-            oses,
-            scheds: (0..n).map(|_| Scheduler::new(cfg.sched.clone())).collect(),
-            user: (0..n).map(|_| HashMap::new()).collect(),
+            hosts,
             keys: HashMap::new(),
-            threads: (0..n).map(|_| HashMap::new()).collect(),
-            cpu: (0..n)
-                .map(|_| CpuState { gen: 0, sched_at: SimTime::MAX, busy_until: SimTime::ZERO })
-                .collect(),
-            rngs: (0..n).map(|i| root.derive(0x7000 + i as u64)).collect(),
             key_rng: root.derive(0x4B45_5953),
             trace,
             auditor,
@@ -268,7 +681,93 @@ impl World {
 
     /// Number of hosts.
     pub fn hosts(&self) -> usize {
-        self.nics.len()
+        self.hosts.len()
+    }
+
+    // ------------------------------------------------------ host access
+    //
+    // Accessors panic with a clear message on abstract slots: endpoints,
+    // threads, and the NIC/OS machinery exist only at full fidelity.
+
+    /// The host slot at local index `h` (fidelity inspection, metrics).
+    pub fn slot(&self, h: usize) -> &HostSlot {
+        &self.hosts[h]
+    }
+
+    /// The fidelity of host `h`.
+    pub fn fidelity_of(&self, h: usize) -> Fidelity {
+        self.hosts[h].fidelity()
+    }
+
+    /// The NIC of host `h`, when `h` is full-fidelity.
+    pub fn try_nic(&self, h: usize) -> Option<&Nic> {
+        match &self.hosts[h] {
+            HostSlot::Full(f) => Some(&f.nic),
+            HostSlot::Abstract(_) => None,
+        }
+    }
+
+    /// The NIC of host `h` (panics on an abstract host).
+    pub fn nic(&self, h: usize) -> &Nic {
+        &self.hosts[h].full_ref(h).nic
+    }
+
+    /// Mutable NIC of host `h` (panics on an abstract host).
+    pub fn nic_mut(&mut self, h: usize) -> &mut Nic {
+        &mut self.hosts[h].full_mut(h).nic
+    }
+
+    /// The segment driver of host `h` (panics on an abstract host).
+    pub fn os(&self, h: usize) -> &SegmentDriver {
+        &self.hosts[h].full_ref(h).os
+    }
+
+    /// Mutable segment driver of host `h` (panics on an abstract host) —
+    /// pageout control, fault proxying.
+    pub fn os_mut(&mut self, h: usize) -> &mut SegmentDriver {
+        &mut self.hosts[h].full_mut(h).os
+    }
+
+    /// The thread scheduler of host `h` (panics on an abstract host).
+    pub fn sched(&self, h: usize) -> &Scheduler {
+        &self.hosts[h].full_ref(h).sched
+    }
+
+    /// User-level endpoint state on host `h` (None when the endpoint does
+    /// not exist or the host is abstract).
+    pub fn user_state(&self, h: usize, ep: EpId) -> Option<&UserEpState> {
+        match &self.hosts[h] {
+            HostSlot::Full(f) => f.user.get(&ep),
+            HostSlot::Abstract(_) => None,
+        }
+    }
+
+    /// User-level endpoint state on host `h`, created if absent (panics
+    /// on an abstract host).
+    pub(crate) fn user_entry(&mut self, h: usize, ep: EpId) -> &mut UserEpState {
+        self.hosts[h].full_mut(h).user.entry(ep).or_default()
+    }
+
+    /// Remove user-level endpoint state on host `h`.
+    pub(crate) fn user_remove(&mut self, h: usize, ep: EpId) {
+        self.hosts[h].full_mut(h).user.remove(&ep);
+    }
+
+    /// The abstract host at `h`, when that is what is registered.
+    pub(crate) fn abstract_host_mut(&mut self, h: usize) -> Option<&mut AbstractHost> {
+        match &mut self.hosts[h] {
+            HostSlot::Abstract(a) => Some(a),
+            HostSlot::Full(_) => None,
+        }
+    }
+
+    /// Coarse counters of an abstract host (None for full-fidelity hosts,
+    /// which report full `host{N}.nic.*` / `host{N}.os.*` stats instead).
+    pub fn abs_stats(&self, h: usize) -> Option<&AbsStats> {
+        match &self.hosts[h] {
+            HostSlot::Abstract(a) => Some(a.stats()),
+            HostSlot::Full(_) => None,
+        }
     }
 
     // ------------------------------------------------------- host indexing
@@ -293,279 +792,61 @@ impl World {
     /// Whether this world owns global host `gh`.
     #[inline]
     fn owns(&self, gh: u32) -> bool {
-        gh >= self.base && ((gh - self.base) as usize) < self.nics.len()
+        gh >= self.base && ((gh - self.base) as usize) < self.hosts.len()
     }
 
-    // ------------------------------------------------------------ effects
-
-    /// Apply NIC effects inside an event handler.
-    pub(crate) fn apply_nic(&mut self, host: usize, outs: Vec<NicOut>, ctx: &mut Ctx<'_, Event>) {
-        for o in outs {
-            match o {
-                NicOut::After(d, ev) => {
-                    ctx.schedule(d, Event::Nic { host: self.gh(host), ev });
-                }
-                NicOut::Inject(pkt) => match self.fabric.inject_src(ctx.now(), pkt) {
-                    Phase1::Ingress { at, seq, corrupt, pkt } => {
-                        let key = INGRESS_KEY_BIT | ((pkt.src.0 as u64) << 40) | seq;
-                        if self.owns(pkt.dst.0) {
-                            ctx.schedule_keyed_at(
-                                at,
-                                key,
-                                Event::Ingress { host: pkt.dst.0, corrupt, pkt },
-                            );
-                        } else {
-                            // Crossing a shard boundary: the frame payload
-                            // is a frozen `Arc`, so the epoch barrier moves
-                            // a pointer — no copy of the message body.
-                            self.outbox.push((at, key, corrupt, pkt));
-                        }
-                    }
-                    Phase1::Dropped { .. } => {}
-                },
-                NicOut::Driver(msg) => self.handle_driver_msg(host, msg, ctx),
-            }
-        }
-    }
-
-    /// Apply OS effects inside an event handler.
-    pub(crate) fn apply_os(&mut self, host: usize, outs: Vec<OsOut>, ctx: &mut Ctx<'_, Event>) {
-        for o in outs {
-            match o {
-                OsOut::Nic(op) => {
-                    let mut nic_outs = Vec::new();
-                    self.nics[host].driver_request(ctx.now(), op, &mut nic_outs);
-                    self.apply_nic(host, nic_outs, ctx);
-                }
-                OsOut::Wake(tid) => {
-                    if self.scheds[host].wake(tid) {
-                        self.kick_cpu(host, ctx);
-                    }
-                }
-                OsOut::After(d, ev) => {
-                    ctx.schedule(d, Event::Os { host: self.gh(host), ev });
-                }
-            }
-        }
-    }
-
-    /// Route a NIC→driver message: segment-driver bookkeeping plus thread
-    /// wakeups (the composing world owns the scheduler).
-    fn handle_driver_msg(&mut self, host: usize, msg: DriverMsg, ctx: &mut Ctx<'_, Event>) {
-        let wake_cost = self.cfg.os.wake_cost;
-        self.trace.borrow_mut().record_with(ctx.now(), self.gh(host), "driver.msg", || {
-            format!("{msg:?}")
-        });
-        match &msg {
-            DriverMsg::Loaded { ep, .. } => {
-                let ep = *ep;
-                // Wake residency waiters, and event waiters too — a load
-                // can deposit flushed returns before any fresh Event fires,
-                // and spurious wakes are safe (bodies re-check and
-                // re-block).
-                let mut woken = 0;
-                let tids: Vec<Tid> = self.scheds[host]
-                    .blocked_on_residency(ep)
-                    .into_iter()
-                    .chain(self.scheds[host].blocked_on_event(ep))
-                    .collect();
-                for tid in tids {
-                    ctx.schedule(wake_cost, Event::WakeThread { host: self.gh(host), tid });
-                    woken += 1;
-                }
-                self.oses[host].note_residency_wakes(woken);
-            }
-            DriverMsg::Event { ep, .. } => {
-                let ep = *ep;
-                let tids = self.scheds[host].blocked_on_event(ep);
-                self.oses[host].note_event_wakes(tids.len() as u64);
-                for tid in tids {
-                    ctx.schedule(wake_cost, Event::WakeThread { host: self.gh(host), tid });
-                }
-            }
-            _ => {}
-        }
-        let mut os_outs = Vec::new();
-        self.oses[host].on_nic_msg(ctx.now(), msg, &mut os_outs);
-        self.apply_os(host, os_outs, ctx);
-    }
-
-    // ---------------------------------------------------------------- CPU
-
-    /// Ensure a CPU step is scheduled no later than the CPU's ready time.
-    pub(crate) fn kick_cpu(&mut self, host: usize, ctx: &mut Ctx<'_, Event>) {
-        let ready = ctx.now().max(self.cpu[host].busy_until);
-        if self.cpu[host].sched_at <= ready {
-            return;
-        }
-        self.cpu[host].gen += 1;
-        self.cpu[host].sched_at = ready;
-        let gen = self.cpu[host].gen;
-        ctx.schedule(ready - ctx.now(), Event::Cpu { host: self.gh(host), gen });
-    }
-
-    fn on_cpu(&mut self, host: usize, gen: u64, ctx: &mut Ctx<'_, Event>) {
-        if gen != self.cpu[host].gen {
-            return;
-        }
-        self.cpu[host].sched_at = SimTime::MAX;
-        let now = ctx.now();
-        if now < self.cpu[host].busy_until {
-            self.kick_cpu(host, ctx);
-            return;
-        }
-        // Dispatch / preempt.
-        if self.scheds[host].current().is_none() {
-            if !self.scheds[host].has_runnable() {
-                return; // CPU idles; wakes re-kick
-            }
-            let cost = self.scheds[host].dispatch(now);
-            if cost > SimDuration::ZERO {
-                self.cpu[host].busy_until = now + cost;
-                self.kick_cpu(host, ctx);
-                return;
-            }
-        } else if self.scheds[host].preempt_if_due(now) {
-            self.kick_cpu(host, ctx);
-            return;
-        }
-        let Some(tid) = self.scheds[host].current() else {
-            self.kick_cpu(host, ctx);
-            return;
-        };
-        // Continue a long compute without re-invoking the body.
-        let pending = self.threads[host].get(&tid).map(|r| r.pending_compute);
-        if let Some(pending) = pending {
-            if pending > SimDuration::ZERO {
-                let slice = if self.scheds[host].ready_count() == 0 {
-                    pending
-                } else {
-                    pending.min(self.scheds[host].quantum_left(now)).max(MIN_BURST)
-                };
-                self.threads[host].get_mut(&tid).unwrap().pending_compute = pending - slice;
-                self.cpu[host].busy_until = now + slice;
-                self.kick_cpu(host, ctx);
-                return;
-            }
-        }
-        // Run one burst of the body.
-        let Some(rec) = self.threads[host].get_mut(&tid) else {
-            // Registered in the scheduler but no body (shouldn't happen).
-            self.scheds[host].exit_current();
-            self.kick_cpu(host, ctx);
-            return;
-        };
-        let Some(mut body) = rec.body.take() else {
-            self.scheds[host].exit_current();
-            self.kick_cpu(host, ctx);
-            return;
-        };
-        let mut sys = Sys {
-            now,
-            host: HostId(self.gh(host)),
-            nic: &mut self.nics[host],
-            os: &mut self.oses[host],
-            user: &mut self.user[host],
-            keys: &self.keys,
-            cost: &self.cfg.cost,
-            credits: self.cfg.credits,
-            rng: &mut self.rngs[host],
-            elapsed: SimDuration::ZERO,
-            nic_outs: Vec::new(),
-            os_outs: Vec::new(),
-            auditor: if self.cfg.audit { Some(&self.auditor) } else { None },
-        };
-        let step = body.run(&mut sys);
-        let elapsed = sys.elapsed.max(MIN_BURST);
-        let nic_outs = std::mem::take(&mut sys.nic_outs);
-        let os_outs = std::mem::take(&mut sys.os_outs);
-        drop(sys);
-        self.threads[host].get_mut(&tid).unwrap().body = Some(body);
-        self.apply_nic(host, nic_outs, ctx);
-        self.apply_os(host, os_outs, ctx);
-
-        match step {
-            Step::Compute(d) => {
-                self.threads[host].get_mut(&tid).unwrap().pending_compute = d;
-            }
-            Step::Yield => {
-                self.scheds[host].yield_current();
-            }
-            Step::Sleep(d) => {
-                self.scheds[host].block_current(BlockReason::Sleep);
-                ctx.schedule(elapsed + d, Event::WakeThread { host: self.gh(host), tid });
-            }
-            Step::WaitEvent(ep) => {
-                // Arm the mask first, then re-check, to close the lost
-                // wakeup window.
-                if !self.nics[host].set_event_mask_direct(ep, true) {
-                    if let Some(img) = self.oses[host].host_image_mut(ep) {
-                        img.notify_on_arrival = true;
-                    }
-                }
-                let has = if self.nics[host].is_resident(ep) {
-                    self.nics[host].recv_depths(ep).map(|(a, b)| a + b > 0).unwrap_or(false)
-                } else {
-                    self.oses[host].host_image(ep).map(|i| i.has_received()).unwrap_or(false)
-                };
-                if has {
-                    self.scheds[host].yield_current();
-                } else {
-                    self.scheds[host].block_current(BlockReason::EndpointEvent(ep));
-                }
-            }
-            Step::WaitResident(ep) => {
-                if self.nics[host].is_resident(ep) {
-                    self.scheds[host].yield_current();
-                } else {
-                    self.scheds[host].block_current(BlockReason::Residency(ep));
-                }
-            }
-            Step::Exit => {
-                self.scheds[host].exit_current();
-            }
-        }
-        self.cpu[host].busy_until = now + elapsed;
-        self.kick_cpu(host, ctx);
+    /// Split-borrow helper: the slot at local index `h` plus the
+    /// [`HostEnv`] over every other field, ready for [`HostModel`]
+    /// dispatch.
+    fn dispatch(&mut self, h: usize, ev: Event, ctx: &mut Ctx<'_, Event>) {
+        let gh = self.gh(h);
+        let World { cfg, fabric, hosts, keys, trace, auditor, outbox, base, .. } = self;
+        let len = hosts.len() as u32;
+        let mut env = HostEnv { cfg, fabric, keys, trace, auditor, outbox, base: *base, len };
+        hosts[h].on_event(gh, ev, &mut env, ctx);
     }
 
     // ----------------------------------------------------- setup (no ctx)
 
     /// Allocate an endpoint on `host` with a fresh protection key.
     /// Effects are returned for the caller (the [`crate::Cluster`] facade)
-    /// to inject into the engine.
+    /// to inject into the engine. Panics if `host` is abstract.
     pub(crate) fn create_endpoint_raw(
         &mut self,
         now: SimTime,
         host: usize,
     ) -> (GlobalEp, Vec<OsOut>) {
+        let gh = self.gh(host);
         let key = ProtectionKey(self.key_rng.below(u64::MAX - 1) + 1);
+        let f = self.hosts[host].full_mut(host);
         let mut outs = Vec::new();
-        let ep = self.oses[host].create_endpoint(now, key, &mut outs);
-        let gep = GlobalEp::new(HostId(self.gh(host)), ep);
+        let ep = f.os.create_endpoint(now, key, &mut outs);
+        f.user.entry(ep).or_default();
+        let gep = GlobalEp::new(HostId(gh), ep);
         self.keys.insert(gep, key);
-        self.user[host].entry(ep).or_default();
         (gep, outs)
     }
 
-    /// Spawn a thread with `body` on `host`.
+    /// Spawn a thread with `body` on `host`. Panics if `host` is abstract.
     pub(crate) fn spawn_thread_raw(&mut self, host: usize, body: Box<dyn ThreadBody>) -> Tid {
-        let tid = self.scheds[host].spawn();
-        self.threads[host]
-            .insert(tid, ThreadRec { body: Some(body), pending_compute: SimDuration::ZERO });
+        let f = self.hosts[host].full_mut(host);
+        let tid = f.sched.spawn();
+        f.threads.insert(tid, ThreadRec { body: Some(body), pending_compute: SimDuration::ZERO });
         tid
     }
 
     /// Immutable access to a thread body, downcast to its concrete type.
     pub fn body<T: ThreadBody>(&self, host: usize, tid: Tid) -> Option<&T> {
-        let rec = self.threads[host].get(&tid)?;
+        let HostSlot::Full(f) = &self.hosts[host] else { return None };
+        let rec = f.threads.get(&tid)?;
         let body = rec.body.as_deref()?;
         (body as &dyn std::any::Any).downcast_ref::<T>()
     }
 
     /// Mutable access to a thread body, downcast to its concrete type.
     pub fn body_mut<T: ThreadBody>(&mut self, host: usize, tid: Tid) -> Option<&mut T> {
-        let rec = self.threads[host].get_mut(&tid)?;
+        let HostSlot::Full(f) = &mut self.hosts[host] else { return None };
+        let rec = f.threads.get_mut(&tid)?;
         let body = rec.body.as_deref_mut()?;
         (body as &mut dyn std::any::Any).downcast_mut::<T>()
     }
@@ -573,35 +854,42 @@ impl World {
     /// Forcibly terminate a thread (process exit): its body is dropped and
     /// it will never be scheduled again.
     pub(crate) fn kill_thread(&mut self, host: usize, tid: Tid) {
-        if let Some(rec) = self.threads[host].get_mut(&tid) {
+        let f = self.hosts[host].full_mut(host);
+        if let Some(rec) = f.threads.get_mut(&tid) {
             rec.body = None;
             rec.pending_compute = SimDuration::ZERO;
         }
         // If it is blocked, wake it so the scheduler can observe the exit
         // (the CPU loop exits bodies that have vanished).
-        self.scheds[host].wake(tid);
+        f.sched.wake(tid);
     }
 
     /// Prepare a CPU kick from outside an event handler (setup paths).
     /// Returns the event to schedule, if one is needed.
-    pub(crate) fn prep_cpu_kick(&mut self, host: usize, now: SimTime) -> Option<(SimDuration, Event)> {
-        let ready = now.max(self.cpu[host].busy_until);
-        if self.cpu[host].sched_at <= ready {
+    pub(crate) fn prep_cpu_kick(
+        &mut self,
+        host: usize,
+        now: SimTime,
+    ) -> Option<(SimDuration, Event)> {
+        let gh = self.gh(host);
+        let f = self.hosts[host].full_mut(host);
+        let ready = now.max(f.cpu.busy_until);
+        if f.cpu.sched_at <= ready {
             return None;
         }
-        self.cpu[host].gen += 1;
-        self.cpu[host].sched_at = ready;
-        let gen = self.cpu[host].gen;
-        Some((ready - now, Event::Cpu { host: self.gh(host), gen }))
+        f.cpu.gen += 1;
+        f.cpu.sched_at = ready;
+        let gen = f.cpu.gen;
+        Some((ready - now, Event::Cpu { host: gh, gen }))
     }
 
     // ------------------------------------------------- parallel sharding
 
     /// Split this world into one world per partition shard, leaving `self`
     /// an empty husk that retains the canonical fabric, trace, auditor,
-    /// and telemetry. Hosts move wholesale — NIC, driver, scheduler,
-    /// thread bodies, CPU state, RNG streams — so each shard world is a
-    /// closed `Rc` graph suitable for [`vnet_sim::SendCell`].
+    /// and telemetry. Host slots move wholesale — whatever their fidelity
+    /// — so each shard world is a closed `Rc` graph suitable for
+    /// [`vnet_sim::SendCell`].
     pub(crate) fn split_shards(&mut self, part: &Partition) -> Vec<World> {
         let n = part.shards();
         let mut out: Vec<Option<World>> = (0..n).map(|_| None).collect();
@@ -614,18 +902,11 @@ impl World {
     }
 
     /// Peel global hosts `[lo, hi)` — currently the tail of the host
-    /// vectors — into a shard world with its own observability sinks.
+    /// vector — into a shard world with its own observability sinks.
     fn split_range(&mut self, lo: u32, hi: u32) -> World {
         debug_assert_eq!(self.base, 0, "split_range on a shard world");
-        debug_assert_eq!(self.nics.len(), hi as usize, "shards must split tail-first");
-        let l = lo as usize;
-        let mut nics = self.nics.split_off(l);
-        let mut oses = self.oses.split_off(l);
-        let scheds = self.scheds.split_off(l);
-        let user = self.user.split_off(l);
-        let threads = self.threads.split_off(l);
-        let cpu = self.cpu.split_off(l);
-        let rngs = self.rngs.split_off(l);
+        debug_assert_eq!(self.hosts.len(), hi as usize, "shards must split tail-first");
+        let mut hosts = self.hosts.split_off(lo as usize);
         let trace: TraceHandle = Rc::new(RefCell::new(self.trace.borrow().split_shard()));
         let auditor: AuditHandle = {
             let mut shard = self.auditor.borrow_mut().split_shard(lo, hi);
@@ -633,21 +914,21 @@ impl World {
             Rc::new(RefCell::new(shard))
         };
         if self.cfg.audit {
-            for nic in nics.iter_mut() {
-                nic.attach_auditor(auditor.clone());
-                nic.attach_trace(trace.clone());
-            }
-            for (i, os) in oses.iter_mut().enumerate() {
-                os.attach_instrumentation(lo + i as u32, auditor.clone(), trace.clone());
+            for (i, slot) in hosts.iter_mut().enumerate() {
+                if let HostSlot::Full(f) = slot {
+                    f.nic.attach_auditor(auditor.clone());
+                    f.nic.attach_trace(trace.clone());
+                    f.os.attach_instrumentation(lo + i as u32, auditor.clone(), trace.clone());
+                }
             }
         }
         let telemetry = self.telemetry.as_ref().map(|main| {
             let tel: TelemetryHandle = Rc::new(RefCell::new(main.borrow().split_shard()));
-            for nic in nics.iter_mut() {
-                nic.rebind_telemetry(tel.clone());
-            }
-            for os in oses.iter_mut() {
-                os.rebind_telemetry(tel.clone());
+            for slot in hosts.iter_mut() {
+                if let HostSlot::Full(f) = slot {
+                    f.nic.rebind_telemetry(tel.clone());
+                    f.os.rebind_telemetry(tel.clone());
+                }
             }
             // Rebind registered this shard's metric names at zero; pull
             // their current values so counters keep accumulating.
@@ -657,17 +938,11 @@ impl World {
         World {
             cfg: self.cfg.clone(),
             fabric: self.fabric.split_shard(),
-            nics,
-            oses,
-            scheds,
-            user,
+            hosts,
             keys: self.keys.clone(),
             trace,
             auditor,
             telemetry,
-            threads,
-            cpu,
-            rngs,
             key_rng: self.key_rng.clone(),
             base: lo,
             outbox: Vec::new(),
@@ -685,17 +960,11 @@ impl World {
             let World {
                 cfg: _,
                 fabric,
-                mut nics,
-                mut oses,
-                scheds,
-                user,
+                mut hosts,
                 keys: _,
                 trace,
                 auditor,
                 telemetry,
-                threads,
-                cpu,
-                rngs,
                 key_rng: _,
                 base,
                 outbox,
@@ -703,37 +972,31 @@ impl World {
             debug_assert!(outbox.is_empty(), "cross-shard mail left unpublished");
             let (lo, hi) = part.range(s as u32);
             debug_assert_eq!(base, lo);
-            debug_assert_eq!(self.nics.len(), lo as usize, "shards must absorb in order");
+            debug_assert_eq!(self.hosts.len(), lo as usize, "shards must absorb in order");
             self.fabric.absorb_shard(&fabric, lo, hi, |l| part.link_owner(l) == s as u32);
             if self.cfg.audit {
-                for nic in nics.iter_mut() {
-                    nic.attach_auditor(self.auditor.clone());
-                    nic.attach_trace(self.trace.clone());
-                }
-                for (i, os) in oses.iter_mut().enumerate() {
-                    os.attach_instrumentation(
-                        lo + i as u32,
-                        self.auditor.clone(),
-                        self.trace.clone(),
-                    );
+                for (i, slot) in hosts.iter_mut().enumerate() {
+                    if let HostSlot::Full(f) = slot {
+                        f.nic.attach_auditor(self.auditor.clone());
+                        f.nic.attach_trace(self.trace.clone());
+                        f.os.attach_instrumentation(
+                            lo + i as u32,
+                            self.auditor.clone(),
+                            self.trace.clone(),
+                        );
+                    }
                 }
             }
             if let Some(main) = &self.telemetry {
-                for nic in nics.iter_mut() {
-                    nic.rebind_telemetry(main.clone());
-                }
-                for os in oses.iter_mut() {
-                    os.rebind_telemetry(main.clone());
+                for slot in hosts.iter_mut() {
+                    if let HostSlot::Full(f) = slot {
+                        f.nic.rebind_telemetry(main.clone());
+                        f.os.rebind_telemetry(main.clone());
+                    }
                 }
                 main.borrow_mut().absorb_shard(unwrap_handle(telemetry.expect("shard telemetry")));
             }
-            self.nics.append(&mut nics);
-            self.oses.append(&mut oses);
-            self.scheds.extend(scheds);
-            self.user.extend(user);
-            self.threads.extend(threads);
-            self.cpu.extend(cpu);
-            self.rngs.extend(rngs);
+            self.hosts.append(&mut hosts);
             // The shard auditor holds the shard trace handle; re-point it
             // at the main ring before unwrapping the shard ring below.
             let mut a = unwrap_handle(auditor);
@@ -759,49 +1022,12 @@ impl SimWorld for World {
 
     fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_, Event>) {
         match ev {
-            Event::Nic { host, ev } => {
-                let h = self.hx(host);
-                let mut outs = Vec::new();
-                self.nics[h].on_event(ctx.now(), ev, &mut outs);
-                self.apply_nic(h, outs, ctx);
-            }
-            Event::Os { host, ev } => {
-                let h = self.hx(host);
-                let mut outs = Vec::new();
-                match ev {
-                    OsEvent::DaemonStep => self.oses[h].on_daemon_step(ctx.now(), &mut outs),
-                    OsEvent::PageInDone { ep } => {
-                        self.oses[h].on_page_in_done(ctx.now(), ep, &mut outs)
-                    }
-                }
-                self.apply_os(h, outs, ctx);
-            }
             Event::Ingress { host, corrupt, pkt } => {
                 // Phase two of injection: reserve the descending-path links
                 // now, then deliver after the residual fabric delay.
                 let rest = self.fabric.complete_ingress(ctx.now(), &pkt);
                 let src = pkt.src;
                 ctx.schedule(rest, Event::Deliver { host, src, frame: pkt.payload, corrupt });
-            }
-            Event::Deliver { host, src, frame, corrupt } => {
-                let h = self.hx(host);
-                let mut outs = Vec::new();
-                self.nics[h].on_packet(ctx.now(), src, frame, corrupt, &mut outs);
-                self.apply_nic(h, outs, ctx);
-            }
-            Event::DriverMsg { host, msg } => {
-                let h = self.hx(host);
-                self.handle_driver_msg(h, msg, ctx);
-            }
-            Event::Cpu { host, gen } => {
-                let h = self.hx(host);
-                self.on_cpu(h, gen, ctx);
-            }
-            Event::WakeThread { host, tid } => {
-                let h = self.hx(host);
-                if self.scheds[h].wake(tid) {
-                    self.kick_cpu(h, ctx);
-                }
             }
             Event::Fault { host, op } => {
                 debug_assert!(self.owns(host), "fault op routed to the wrong shard");
@@ -821,6 +1047,12 @@ impl SimWorld for World {
                         tel.borrow_mut().instant(ctx.now(), 0, "net", "fault", format!("{op:?}"));
                     }
                 }
+            }
+            // Every remaining event is addressed to one host; dispatch
+            // through its registered model.
+            ev => {
+                let h = self.hx(ev.target_host());
+                self.dispatch(h, ev, ctx);
             }
         }
     }

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delay;
 pub mod fabric;
 pub mod fault;
 pub mod packet;
@@ -34,6 +35,7 @@ pub mod routing;
 pub mod schedule;
 pub mod topology;
 
+pub use delay::DelayFabric;
 pub use fabric::{Fabric, InjectOutcome, LinkStats, NetConfig, Phase1};
 pub use fault::{DropCounts, DropReason, FaultOp, FaultPlan, GilbertElliott};
 pub use partition::Partition;

@@ -261,7 +261,7 @@ fn pageout_endpoint_comes_back() {
     let b = c.create_endpoint(HostId(1));
     c.build_virtual_network(&[a, b]);
     // Page the client endpoint out to the swap area before any use.
-    assert!(c.world_mut().oses[0].pageout(a.ep));
+    assert!(c.world_mut().os_mut(0).pageout(a.ep));
     c.spawn_thread(HostId(1), Box::new(Echo::new(b.ep)));
     let t = c.spawn_thread(HostId(0), Box::new(Client::new(a.ep, 1, 10, 0)));
     c.run_for(SimDuration::from_secs(5));

@@ -383,6 +383,145 @@ fn long_down_window_unbind_resync_identical() {
     );
 }
 
+/// Everything a mixed-fidelity run observably produces: the full subset's
+/// outputs (replies, ledger, violations, spans, trace) plus every abstract
+/// host's coarse counters.
+#[derive(Debug, PartialEq)]
+struct MixedOutcome {
+    shards_used: u32,
+    events: u64,
+    now_ns: u64,
+    ledger: Vec<(u64, MsgFate)>,
+    violations: u64,
+    spans: String,
+    trace: String,
+    replies: Vec<(u32, u64)>,
+    abs: Vec<(u64, u64, u64, u64, u64)>,
+}
+
+/// 4 full + 12 abstract hosts on a 16-host fat tree: the full hosts (leaf
+/// 0) run the request ring among themselves while every abstract host
+/// streams driven traffic to abstract peers on other leaves — cross-shard
+/// under any partition. Gilbert–Elliott bursty errors hit both classes:
+/// full channels retransmit, abstract hosts count `corrupt_drops`.
+fn run_mixed(seed: u64, shards: u32) -> MixedOutcome {
+    const FULL: u32 = 4;
+    const HOSTS: u32 = 16;
+    let mut fid = FidelityMap::full();
+    fid.set_hosts(FULL..HOSTS, Fidelity::Abstract);
+    let mut cfg = ClusterConfig::now(HOSTS)
+        .with_seed(seed)
+        .with_telemetry(true)
+        .with_shards(shards)
+        .with_fidelity(fid);
+    cfg.topology = TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 4, spines: 2 };
+    cfg.faults = FaultScheduleSpec::none().with_bursty(GilbertElliott::mild());
+    let mut c = Cluster::new(cfg);
+    c.telemetry().trace_enable();
+
+    let servers: Vec<GlobalEp> = (0..FULL).map(|h| c.create_endpoint(HostId(h))).collect();
+    let clients_ep: Vec<GlobalEp> = (0..FULL).map(|h| c.create_endpoint(HostId(h))).collect();
+    let mut client_tids = Vec::new();
+    for h in 0..FULL {
+        c.connect(clients_ep[h as usize], 0, servers[((h + 1) % FULL) as usize]);
+        c.spawn_thread(HostId(h), Box::new(Echo::new(servers[h as usize].ep)));
+        let tid = c.spawn_thread(
+            HostId(h),
+            Box::new(Client {
+                ep: clients_ep[h as usize].ep,
+                total: 8,
+                sent: 0,
+                replies: 0,
+                sum: 0,
+            }),
+        );
+        client_tids.push((HostId(h), tid));
+    }
+    for h in FULL..HOSTS {
+        let peers: Vec<HostId> = (FULL..HOSTS).filter(|&p| p != h).map(HostId).collect();
+        c.drive_abstract(
+            HostId(h),
+            AbstractTraffic {
+                peers,
+                payload_bytes: 512,
+                mean_gap: SimDuration::from_micros(20),
+                count: 64,
+            },
+        );
+    }
+    c.run_for(SimDuration::from_millis(8));
+
+    let (ledger, violations) = {
+        let a = c.auditor();
+        let a = a.borrow();
+        (a.ledger_snapshot(), a.total_violations())
+    };
+    MixedOutcome {
+        shards_used: c.shards(),
+        events: c.events_processed(),
+        now_ns: c.now().as_nanos(),
+        ledger,
+        violations,
+        spans: c.telemetry().handle().map(|t| t.borrow().span_log()).unwrap_or_default(),
+        trace: c.telemetry().trace_text(),
+        replies: client_tids
+            .iter()
+            .map(|&(h, tid)| {
+                let b: &Client = c.body(h, tid).expect("client body");
+                (b.replies, b.sum)
+            })
+            .collect(),
+        abs: (FULL..HOSTS)
+            .map(|h| {
+                let s = c.abs_stats(HostId(h)).expect("abstract host");
+                (s.sent, s.sent_bytes, s.recvd, s.recv_bytes, s.corrupt_drops)
+            })
+            .collect(),
+    }
+}
+
+/// Satellite: mixed-fidelity determinism. A fixed-seed 4-full +
+/// 12-abstract world must be byte-identical across shard counts 1/2/4 —
+/// and, through the CI matrix's `VNET_PAR_DRIVER` axis, under both epoch
+/// drivers (this test, like the whole suite, runs once per driver there).
+#[test]
+fn mixed_fidelity_matches_sequential() {
+    for &seed in &[7u64, 0xBEEF] {
+        let seq = run_mixed(seed, 1);
+        assert_eq!(seq.shards_used, 1);
+        assert!(
+            seq.replies.iter().all(|&(r, _)| r == 8),
+            "full-fidelity ring must finish (seed {seed:#x}): {:?}",
+            seq.replies
+        );
+        assert!(
+            seq.abs.iter().all(|&(sent, ..)| sent == 64),
+            "every abstract host must drain its driven traffic (seed {seed:#x}): {:?}",
+            seq.abs
+        );
+        assert!(
+            seq.abs.iter().any(|&(_, _, recvd, ..)| recvd > 0),
+            "abstract traffic must flow (seed {seed:#x})"
+        );
+        assert_eq!(seq.violations, 0, "full subset must stay clean (seed {seed:#x})");
+        for shards in [2u32, 4] {
+            let par = run_mixed(seed, shards);
+            assert!(par.shards_used > 1, "expected a parallel run for {shards} shards");
+            assert_eq!(seq.replies, par.replies, "app results, {shards} shards, seed {seed:#x}");
+            assert_eq!(seq.abs, par.abs, "abstract counters, {shards} shards, seed {seed:#x}");
+            assert_eq!(seq.events, par.events, "event count, {shards} shards, seed {seed:#x}");
+            assert_eq!(seq.now_ns, par.now_ns, "final clock, {shards} shards, seed {seed:#x}");
+            assert_eq!(seq.ledger, par.ledger, "audit ledger, {shards} shards, seed {seed:#x}");
+            assert_eq!(
+                seq.violations, par.violations,
+                "violations, {shards} shards, seed {seed:#x}"
+            );
+            assert_eq!(seq.spans, par.spans, "span log, {shards} shards, seed {seed:#x}");
+            assert_eq!(seq.trace, par.trace, "trace ring, {shards} shards, seed {seed:#x}");
+        }
+    }
+}
+
 /// Tentpole: a fat tree whose leaf↔spine trunks are 4x slower than the
 /// host links. The per-shard-pair lookahead matrix is genuinely
 /// asymmetric — every cross-shard path pays `hop + trunk`, so epochs are
