@@ -1,0 +1,30 @@
+//! Build a 16k-host abstract fat tree with auditing and telemetry on and
+//! report wall time + peak RSS.
+use std::time::Instant;
+use vnet_core::prelude::*;
+use vnet_net::TopologySpec;
+
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let t = Instant::now();
+    let c = Cluster::builder()
+        .topology(TopologySpec::FatTree { leaves: 512, hosts_per_leaf: 32, spines: 8 })
+        .audit(true)
+        .telemetry(true)
+        .default_fidelity(Fidelity::Abstract)
+        .fabric_fidelity(Fidelity::Abstract)
+        .build();
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("hosts={} build_ms={:.0} vm_hwm_kb={}", c.hosts(), ms, vm_hwm_kb());
+}

@@ -3,15 +3,16 @@
 
 use crate::builder::ClusterBuilder;
 use crate::config::ClusterConfig;
-use crate::model::{AbsEvent, AbsStats, AbstractTraffic, Fidelity};
+use crate::model::{AbsEvent, AbsStats, AbstractTraffic, Fidelity, OpenLoopSpec};
 use crate::names::NameService;
 use crate::observe::ClusterTelemetry;
 use crate::sys::ThreadBody;
-use crate::world::{Event, World};
+use crate::world::{Event, HostSlot, World};
 use std::cell::Cell;
 use vnet_net::{FaultOp, HostId, Packet, Partition, Phase1};
 use vnet_nic::{EpId, Frame, GlobalEp, Nic, NicOut};
 use vnet_os::{OsOut, Scheduler, SegmentDriver, Tid};
+use vnet_sim::stats::LogHistogram;
 use vnet_sim::{
     run_conservative, AuditHandle, Engine, PairLookahead, ParShard, SendCell, SimDuration,
     SimTime, INGRESS_KEY_BIT,
@@ -94,6 +95,12 @@ pub struct Cluster {
     /// Last scheduled fault-campaign transition (`SimTime::ZERO` when no
     /// campaign is configured); see [`Cluster::check_recovery`].
     fault_horizon: SimTime,
+    /// Largest `P` such that hosts `[0, P)` are all abstract, computed on
+    /// first use. Caching it keeps [`Cluster::drive_open_loop`]'s
+    /// target-space fidelity check O(hosts) total instead of O(hosts²)
+    /// when a fleet drives a population on every host. Fidelity is fixed
+    /// at build time, so the cache never invalidates.
+    abs_prefix: Cell<Option<u32>>,
 }
 
 impl Cluster {
@@ -123,6 +130,7 @@ impl Cluster {
             names: NameService::new(),
             debug_audit: Cell::new(true),
             fault_horizon: SimTime::ZERO,
+            abs_prefix: Cell::new(None),
         };
         c.schedule_campaign(ops);
         c
@@ -348,6 +356,78 @@ impl Cluster {
             .expect("fidelity checked above")
             .set_traffic(traffic);
         self.sched_ev(SimDuration::ZERO, Event::Abs { host: host.0, ev: AbsEvent::Tick });
+    }
+
+    /// Install an open-loop client population on an abstract host and
+    /// start its arrival streams (see [`OpenLoopSpec`]): requests arrive
+    /// by Poisson process regardless of how far behind the host CPU is,
+    /// target hosts by rotated Zipf rank, and carry bounded-Pareto
+    /// payloads. Panics unless `host` and every host in the target space
+    /// `[0, spec.targets)` are [`Fidelity::Abstract`] — like
+    /// [`Cluster::drive_abstract`], open-loop traffic is forged wire
+    /// frames only another abstract NIC may receive.
+    pub fn drive_open_loop(&mut self, host: HostId, spec: OpenLoopSpec) {
+        assert_eq!(
+            self.world.fidelity_of(host.idx()),
+            Fidelity::Abstract,
+            "drive_open_loop: {host} is full-fidelity; spawn threads instead"
+        );
+        assert!(
+            spec.targets as usize <= self.world.hosts(),
+            "drive_open_loop: target space [0, {}) exceeds the {}-host cluster",
+            spec.targets,
+            self.world.hosts()
+        );
+        let abs_prefix = self.abs_prefix.get().unwrap_or_else(|| {
+            let p = (0..self.world.hosts())
+                .position(|h| self.world.fidelity_of(h) != Fidelity::Abstract)
+                .unwrap_or(self.world.hosts()) as u32;
+            self.abs_prefix.set(Some(p));
+            p
+        });
+        assert!(
+            spec.targets <= abs_prefix,
+            "drive_open_loop: target host {abs_prefix} is full-fidelity; open-loop \
+             requests may only target abstract hosts"
+        );
+        let delays = self
+            .world
+            .abstract_host_mut(host.idx())
+            .expect("fidelity checked above")
+            .start_open_loop(spec);
+        for (stream, d) in delays.into_iter().enumerate() {
+            self.sched_ev(d, Event::Abs {
+                host: host.0,
+                ev: AbsEvent::Arrive { stream: stream as u32 },
+            });
+        }
+    }
+
+    /// Fold every abstract host's served-request latency histogram into
+    /// one cluster-wide [`LogHistogram`] (arrival at the source → `o_r`
+    /// cleared at the server). Host-order accumulation of a commutative
+    /// merge: byte-identical for any shard count or epoch driver.
+    pub fn open_loop_latency(&self) -> LogHistogram {
+        let mut all = LogHistogram::default();
+        for h in 0..self.world.hosts() {
+            if let HostSlot::Abstract(a) = self.world.slot(h) {
+                if let Some(l) = a.request_latency() {
+                    all.absorb(l);
+                }
+            }
+        }
+        all
+    }
+
+    /// Open-loop requests not yet emitted, summed across hosts (zero
+    /// once every driven population has drained).
+    pub fn open_loop_remaining(&self) -> u64 {
+        (0..self.world.hosts())
+            .map(|h| match self.world.slot(h) {
+                HostSlot::Abstract(a) => a.open_loop_remaining(),
+                HostSlot::Full(_) => 0,
+            })
+            .sum()
     }
 
     // ------------------------------------------------------------- setup
@@ -815,6 +895,38 @@ mod tests {
         assert!(!c.nic(HostId(0)).is_resident(a.ep));
         c.make_resident(a);
         assert!(c.nic(HostId(0)).is_resident(a.ep));
+    }
+
+    #[test]
+    fn open_loop_drains_and_records_latency() {
+        let mut c = Cluster::builder()
+            .hosts(8)
+            .default_fidelity(Fidelity::Abstract)
+            .fabric_fidelity(Fidelity::Abstract)
+            .seed(11)
+            .build();
+        let spec = OpenLoopSpec {
+            streams: 2,
+            mean_gap: SimDuration::from_micros(50),
+            requests: 40,
+            zipf_s: 1.0,
+            targets: 8,
+            size_min: 64,
+            size_max: 4096,
+            size_alpha: 1.3,
+        };
+        for h in 0..4 {
+            c.drive_open_loop(HostId(h), spec.clone());
+        }
+        assert_eq!(c.open_loop_remaining(), 160);
+        c.run_for(SimDuration::from_millis(50));
+        assert_eq!(c.open_loop_remaining(), 0, "all arrivals fired");
+        let lat = c.open_loop_latency();
+        assert_eq!(lat.count(), 160, "every request was served and timed");
+        // o_s + wire + o_r floors the latency well above a microsecond.
+        assert!(lat.quantile_bound(0.5) > 1_000, "p50 bound {}", lat.quantile_bound(0.5));
+        let sent: u64 = (0..8).map(|h| c.abs_stats(HostId(h)).unwrap().sent).sum();
+        assert_eq!(sent, 160);
     }
 
     #[test]

@@ -85,7 +85,8 @@ pub use builder::ClusterBuilder;
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, CostModel, Mode};
 pub use model::{
-    AbsStats, AbstractTraffic, FabricModel, FabricSlot, Fidelity, FidelityMap, HostModel, NicModel,
+    bounded_pareto, zipf_rank, AbsStats, AbstractTraffic, FabricModel, FabricSlot, Fidelity,
+    FidelityMap, HostModel, NicModel, OpenLoopSpec, OPEN_LOOP_HANDLER,
 };
 pub use names::NameService;
 pub use observe::ClusterTelemetry;
@@ -98,7 +99,7 @@ pub mod prelude {
     pub use crate::builder::ClusterBuilder;
     pub use crate::cluster::Cluster;
     pub use crate::config::{ClusterConfig, CostModel, Mode};
-    pub use crate::model::{AbsStats, AbstractTraffic, Fidelity, FidelityMap};
+    pub use crate::model::{AbsStats, AbstractTraffic, Fidelity, FidelityMap, OpenLoopSpec};
     pub use crate::observe::ClusterTelemetry;
     pub use crate::sys::{SendError, Step, Sys, ThreadBody};
     pub use crate::user::EpMode;

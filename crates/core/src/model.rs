@@ -42,9 +42,9 @@
 
 use crate::world::{Event, HostEnv};
 use std::collections::BTreeMap;
-use std::sync::Arc;
 use vnet_net::{DelayFabric, Fabric, FaultPlan, HostId, NetConfig, Packet, Phase1, Topology};
-use vnet_nic::{EpId, Frame, FrameKind, GlobalEp, Nic, NicOut, ProtectionKey, UserMsg};
+use vnet_nic::{EpId, Frame, FrameKind, FramePool, GlobalEp, Nic, NicOut, ProtectionKey, UserMsg};
+use vnet_sim::stats::LogHistogram;
 use vnet_sim::telemetry::{MetricSet, MetricValue, MetricVisitor, MetricsSnapshot};
 use vnet_sim::{Ctx, SimDuration, SimRng, SimTime};
 
@@ -475,14 +475,33 @@ impl MetricSet for AbsStats {
 pub struct AbstractNic {
     host: HostId,
     seq: u64,
+    /// Recycles delivered message boxes into the next send, so a
+    /// steady-state abstract host allocates O(in-flight) boxes, not
+    /// O(messages). Per-host state: moves wholesale across shard
+    /// splits, invisible to determinism.
+    pool: FramePool,
     /// Traffic counters.
     pub stats: AbsStats,
 }
 
+/// `UserMsg::handler` value marking an open-loop request whose
+/// `args[0]` carries the arrival timestamp (ns) at the source.
+pub const OPEN_LOOP_HANDLER: u16 = 1;
+
+/// Free message boxes an abstract NIC retains for reuse. Bounds pool
+/// memory at ~96 B × 64 per host while covering any realistic
+/// in-flight window on the abstract path.
+const FRAME_POOL_CAP: usize = 64;
+
 impl AbstractNic {
     /// A fresh abstract NIC on `host`.
     pub fn new(host: HostId) -> Self {
-        AbstractNic { host, seq: 0, stats: AbsStats::default() }
+        AbstractNic {
+            host,
+            seq: 0,
+            pool: FramePool::with_capacity(FRAME_POOL_CAP),
+            stats: AbsStats::default(),
+        }
     }
 
     /// Forge a wire frame carrying `bytes` of payload to `dst`, counting
@@ -491,11 +510,9 @@ impl AbstractNic {
     /// endpoint 0 with the open key — only another abstract NIC may
     /// receive it.
     pub fn make_packet(&mut self, now: SimTime, dst: HostId, bytes: u32) -> Packet<Frame> {
-        self.seq += 1;
-        self.stats.sent += 1;
-        self.stats.sent_bytes += bytes as u64;
+        let uid = self.seq + 1;
         let msg = UserMsg {
-            uid: self.seq,
+            uid,
             is_request: false,
             handler: 0,
             args: [0; 4],
@@ -504,9 +521,42 @@ impl AbstractNic {
             reply_key: ProtectionKey::OPEN,
             corr: 0,
         };
+        self.forge(now, dst, msg)
+    }
+
+    /// Forge an open-loop request frame: like [`Self::make_packet`] but
+    /// tagged [`OPEN_LOOP_HANDLER`] with the request's arrival instant
+    /// (`stamp_ns`, at the *source*) in `args[0]`, so the receiving
+    /// abstract host can record end-to-end request latency including
+    /// source CPU queueing.
+    pub fn make_request(
+        &mut self,
+        now: SimTime,
+        dst: HostId,
+        bytes: u32,
+        stamp_ns: u64,
+    ) -> Packet<Frame> {
+        let uid = self.seq + 1;
+        let msg = UserMsg {
+            uid,
+            is_request: true,
+            handler: OPEN_LOOP_HANDLER,
+            args: [stamp_ns, 0, 0, 0],
+            payload_bytes: bytes,
+            src_ep: GlobalEp::new(self.host, EpId(0)),
+            reply_key: ProtectionKey::OPEN,
+            corr: 0,
+        };
+        self.forge(now, dst, msg)
+    }
+
+    fn forge(&mut self, now: SimTime, dst: HostId, msg: UserMsg) -> Packet<Frame> {
+        self.seq += 1;
+        self.stats.sent += 1;
+        self.stats.sent_bytes += msg.payload_bytes as u64;
         let wire = msg.wire_bytes();
         let frame = Frame {
-            kind: FrameKind::Data(Arc::new(msg)),
+            kind: FrameKind::Data(self.pool.alloc(msg)),
             dst_ep: EpId(0),
             key: ProtectionKey::OPEN,
             chan: (self.seq & 3) as u8,
@@ -527,15 +577,94 @@ impl NicModel for AbstractNic {
         corrupt: bool,
         _outs: &mut Vec<NicOut>,
     ) {
-        if corrupt {
+        if !corrupt {
+            self.stats.recvd += 1;
+            if let FrameKind::Data(m) = &frame.kind {
+                self.stats.recv_bytes += m.payload_bytes as u64;
+            }
+        } else {
             self.stats.corrupt_drops += 1;
-            return;
         }
-        self.stats.recvd += 1;
-        if let FrameKind::Data(m) = &frame.kind {
-            self.stats.recv_bytes += m.payload_bytes as u64;
+        // Either way the box is consumed here; offer it for reuse.
+        if let FrameKind::Data(m) = frame.kind {
+            self.pool.recycle(m);
         }
     }
+}
+
+// ===================================================================
+// Open-loop client-population sampling
+// ===================================================================
+
+/// Zipf(s) rank over `{1..=n}` by inverse CDF of the continuous
+/// bounded-Pareto approximation: `P(K ≤ k) ≈ (k^{1-s} − 1)/(n^{1-s} − 1)`
+/// (and `ln k / ln n` at `s = 1`). Exact enough for popularity skew at
+/// fleet scale without per-rank tables, O(1) per draw, and monotone in
+/// `u` so fixed seeds pin fixed ranks.
+pub fn zipf_rank(u: f64, n: u64, s: f64) -> u64 {
+    let n_f = n as f64;
+    let u = u.clamp(0.0, 1.0 - 1e-12);
+    let k = if (s - 1.0).abs() < 1e-9 {
+        n_f.powf(u)
+    } else {
+        let t = 1.0 - n_f.powf(1.0 - s);
+        (1.0 - u * t).powf(1.0 / (1.0 - s))
+    };
+    (k.floor() as u64).clamp(1, n)
+}
+
+/// Bounded Pareto(α) sample in `[min, max]` by inverse CDF:
+/// `x = min / (1 − u(1 − (min/max)^α))^{1/α}`. Heavy-tailed request
+/// sizes with a hard cap, per the fleet workload model.
+pub fn bounded_pareto(u: f64, min: f64, max: f64, alpha: f64) -> f64 {
+    let u = u.clamp(0.0, 1.0 - 1e-12);
+    if min >= max {
+        return min;
+    }
+    let r = (min / max).powf(alpha);
+    min / (1.0 - u * (1.0 - r)).powf(1.0 / alpha)
+}
+
+/// An open-loop client population multiplexed onto one serving host
+/// (see [`crate::Cluster::drive_open_loop`]).
+///
+/// Millions of clients are not simulated as objects: by Poisson
+/// superposition their aggregate offered load is a small number of
+/// exponential arrival `streams`, each carrying only an RNG and a
+/// next-arrival event on the wheel. Arrivals are *open-loop* — the next
+/// arrival is scheduled from wall-clock, never gated on the host CPU —
+/// so overload shows up as queueing latency, not reduced offered load.
+#[derive(Clone, Debug)]
+pub struct OpenLoopSpec {
+    /// Independent Poisson arrival streams on this host (≥ 1). More
+    /// streams smooth the superposed process; each costs one wheel
+    /// event, not one client.
+    pub streams: u32,
+    /// Mean inter-arrival gap of the *aggregate* host load (each stream
+    /// runs at `mean_gap × streams`).
+    pub mean_gap: SimDuration,
+    /// Total requests this host emits before going quiet.
+    pub requests: u64,
+    /// Zipf skew for target popularity (1.0 ≈ classic Zipf).
+    pub zipf_s: f64,
+    /// Size of the target id space `[0, targets)`; ranks rotate around
+    /// the source so no host targets itself.
+    pub targets: u32,
+    /// Smallest request payload, bytes.
+    pub size_min: u32,
+    /// Largest request payload, bytes (hard cap of the Pareto tail).
+    pub size_max: u32,
+    /// Pareto tail index for request sizes (smaller ⇒ heavier tail).
+    pub size_alpha: f64,
+}
+
+/// Live state of a driven open-loop population: the spec, one derived
+/// RNG per stream, and the global remaining-request budget.
+#[derive(Debug)]
+struct OpenLoop {
+    spec: OpenLoopSpec,
+    streams: Vec<SimRng>,
+    remaining: u64,
 }
 
 // ===================================================================
@@ -568,6 +697,23 @@ pub enum AbsEvent {
         /// Payload bytes.
         bytes: u32,
     },
+    /// An open-loop client request arrives at its serving host (one
+    /// Poisson stream fires). Draws target/size, charges `o_s`, and
+    /// self-reschedules — never gated on the CPU.
+    Arrive {
+        /// Which arrival stream fired.
+        stream: u32,
+    },
+    /// A decided open-loop request reaches the wire (after `o_s`),
+    /// carrying its arrival instant for latency accounting.
+    Req {
+        /// Destination host.
+        dst: HostId,
+        /// Payload bytes.
+        bytes: u32,
+        /// Arrival instant at the source (start of the latency clock).
+        stamp: SimTime,
+    },
 }
 
 /// A synthetic traffic pattern driven on an abstract host (see
@@ -599,13 +745,28 @@ pub struct AbstractHost {
     /// saturated abstract host is overhead-limited like a real LogP node.
     cpu_free_at: SimTime,
     traffic: Option<AbstractTraffic>,
+    /// Boxed: most abstract hosts in a fleet sink traffic and never
+    /// source an open-loop population, so the common case pays one
+    /// pointer, not the full spec + stream vector.
+    open_loop: Option<Box<OpenLoop>>,
+    /// Request latencies observed *as a server* (recorded when an
+    /// [`OPEN_LOOP_HANDLER`] request clears this host's `o_r`). Boxed
+    /// and lazy: 536 B per histogram matters × 16k hosts.
+    req_lat: Option<Box<LogHistogram>>,
 }
 
 impl AbstractHost {
     /// A fresh abstract host for global host id `host`, drawing jitter
     /// and peer choices from `rng` (the host's derived stream).
     pub(crate) fn new(host: HostId, rng: SimRng) -> Self {
-        AbstractHost { nic: AbstractNic::new(host), rng, cpu_free_at: SimTime::ZERO, traffic: None }
+        AbstractHost {
+            nic: AbstractNic::new(host),
+            rng,
+            cpu_free_at: SimTime::ZERO,
+            traffic: None,
+            open_loop: None,
+            req_lat: None,
+        }
     }
 
     /// Install (replacing any previous) driven traffic. The first
@@ -614,9 +775,42 @@ impl AbstractHost {
         self.traffic = Some(t);
     }
 
+    /// Install (replacing any previous) an open-loop client population.
+    /// Returns the initial exponential delay of each stream; the caller
+    /// schedules stream `i`'s first [`AbsEvent::Arrive`] at `delays[i]`.
+    pub(crate) fn start_open_loop(&mut self, spec: OpenLoopSpec) -> Vec<SimDuration> {
+        assert!(spec.targets >= 2, "open-loop traffic needs at least two hosts");
+        assert!(spec.streams >= 1, "open-loop traffic needs at least one stream");
+        let per_stream_gap = spec.mean_gap.as_nanos().max(1) as f64 * spec.streams as f64;
+        let mut streams = Vec::with_capacity(spec.streams as usize);
+        let mut delays = Vec::with_capacity(spec.streams as usize);
+        for i in 0..spec.streams {
+            // Derived, not shared: stream RNGs must not depend on how
+            // many draws the host's base stream has made.
+            let mut r = self.rng.derive(0x09E7_0000 + i as u64);
+            let d = r.expovariate(per_stream_gap).max(1.0) as u64;
+            delays.push(SimDuration::from_nanos(d));
+            streams.push(r);
+        }
+        let remaining = spec.requests;
+        self.open_loop = Some(Box::new(OpenLoop { spec, streams, remaining }));
+        delays
+    }
+
     /// Traffic counters.
     pub fn stats(&self) -> &AbsStats {
         &self.nic.stats
+    }
+
+    /// Latencies of open-loop requests served *by* this host, if any
+    /// arrived (arrival instant at the source → `o_r` cleared here).
+    pub fn request_latency(&self) -> Option<&LogHistogram> {
+        self.req_lat.as_deref()
+    }
+
+    /// Open-loop requests this host has yet to emit.
+    pub fn open_loop_remaining(&self) -> u64 {
+        self.open_loop.as_ref().map_or(0, |ol| ol.remaining)
     }
 }
 
@@ -658,14 +852,74 @@ impl HostModel for AbstractHost {
                 let pkt = self.nic.make_packet(ctx.now(), dst, bytes);
                 env.inject(ctx.now(), pkt, ctx);
             }
+            Event::Abs { ev: AbsEvent::Arrive { stream }, .. } => {
+                let Some(ol) = self.open_loop.as_deref_mut() else { return };
+                if ol.remaining == 0 {
+                    return;
+                }
+                ol.remaining -= 1;
+                let now = ctx.now();
+                let spec = &ol.spec;
+                let rng = &mut ol.streams[stream as usize];
+                // Zipf-popular target, ranks rotated around the source
+                // so rank 1 is the next host and nothing targets itself.
+                let rank = zipf_rank(rng.unit(), (spec.targets - 1) as u64, spec.zipf_s);
+                let dst = HostId(((gh as u64 + rank) % spec.targets as u64) as u32);
+                let bytes = bounded_pareto(
+                    rng.unit(),
+                    spec.size_min as f64,
+                    spec.size_max as f64,
+                    spec.size_alpha,
+                )
+                .round() as u32;
+                // The request queues on the serial CPU for o_s like any
+                // send; its latency clock starts *now*, at arrival, so
+                // source-side queueing is part of the measured latency.
+                let start = now.max(self.cpu_free_at);
+                let on_wire = start + env.cfg.cost.host_send;
+                self.cpu_free_at = on_wire;
+                ctx.schedule(on_wire - now, Event::Abs {
+                    host: gh,
+                    ev: AbsEvent::Req { dst, bytes, stamp: now },
+                });
+                if ol.remaining > 0 {
+                    // Open loop: the next arrival comes from wall-clock
+                    // regardless of how far behind the CPU is.
+                    let per_stream_gap =
+                        spec.mean_gap.as_nanos().max(1) as f64 * spec.streams as f64;
+                    let gap = rng.expovariate(per_stream_gap).max(1.0) as u64;
+                    ctx.schedule(SimDuration::from_nanos(gap), Event::Abs {
+                        host: gh,
+                        ev: AbsEvent::Arrive { stream },
+                    });
+                }
+            }
+            Event::Abs { ev: AbsEvent::Req { dst, bytes, stamp }, .. } => {
+                let pkt = self.nic.make_request(ctx.now(), dst, bytes, stamp.as_nanos());
+                env.inject(ctx.now(), pkt, ctx);
+            }
             Event::Deliver { src, frame, corrupt, .. } => {
                 let now = ctx.now();
+                // Pull the latency stamp before the frame is consumed.
+                let stamp = match &frame.kind {
+                    FrameKind::Data(m)
+                        if !corrupt && m.is_request && m.handler == OPEN_LOOP_HANDLER =>
+                    {
+                        Some(m.args[0])
+                    }
+                    _ => None,
+                };
                 let mut outs = Vec::new();
                 NicModel::deliver(&mut self.nic, now, src, frame, corrupt, &mut outs);
                 debug_assert!(outs.is_empty(), "abstract NIC emitted effects");
                 // Receive overhead o_r occupies the serial CPU, delaying
                 // subsequent sends.
                 self.cpu_free_at = now.max(self.cpu_free_at) + env.cfg.cost.host_recv;
+                if let Some(stamp) = stamp {
+                    // Served when o_r clears: arrival → CPU done here.
+                    let lat = self.cpu_free_at.as_nanos().saturating_sub(stamp);
+                    self.req_lat.get_or_insert_with(Default::default).record(lat);
+                }
             }
             other => panic!(
                 "full-fidelity event {other:?} routed to abstract host {gh}; \
@@ -746,5 +1000,94 @@ mod tests {
         rx.deliver(SimTime::ZERO, pkt.src, pkt.payload, true, &mut outs);
         assert_eq!(rx.stats.corrupt_drops, 1);
         assert_eq!(rx.stats.recvd, 1, "corrupt frames are not received");
+    }
+
+    #[test]
+    fn zipf_rank_golden_values() {
+        // Fixed (u, n, s) → fixed ranks: pins the inverse CDF so a seed
+        // reproduces the same target sequence forever.
+        assert_eq!(zipf_rank(0.0, 1000, 1.0), 1);
+        assert_eq!(zipf_rank(0.25, 1000, 1.0), 5);
+        assert_eq!(zipf_rank(0.5, 1000, 1.0), 31);
+        assert_eq!(zipf_rank(0.75, 1000, 1.0), 177);
+        assert_eq!(zipf_rank(0.999999, 1000, 1.0), 999);
+        assert_eq!(zipf_rank(0.5, 1000, 1.5), 3);
+        assert_eq!(zipf_rank(0.5, 1000, 0.8), 95);
+        // Degenerate and clamped inputs stay in range.
+        assert_eq!(zipf_rank(1.5, 1000, 1.0), 999);
+        assert_eq!(zipf_rank(-0.5, 1000, 1.0), 1);
+        assert_eq!(zipf_rank(0.7, 1, 1.2), 1);
+    }
+
+    #[test]
+    fn zipf_rank_mass_concentration() {
+        // Under the continuous s=1 approximation, P(K ≤ k) = ln k / ln n.
+        // Check empirical head mass against that within ±2%.
+        let n = 100_000u64;
+        let mut rng = SimRng::seed_from_u64(42);
+        let draws = 200_000;
+        let mut head = 0u64;
+        for _ in 0..draws {
+            if zipf_rank(rng.unit(), n, 1.0) <= 10 {
+                head += 1;
+            }
+        }
+        let expect = (10f64).ln() / (n as f64).ln();
+        let got = head as f64 / draws as f64;
+        assert!(
+            (got - expect).abs() < 0.02,
+            "P(K<=10) = {got:.4}, expected ≈ {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_moments_and_tail() {
+        let (lo, hi, alpha) = (64.0f64, 65536.0f64, 1.3f64);
+        // Analytic mean of the bounded Pareto.
+        let expect = (lo.powf(alpha) / (1.0 - (lo / hi).powf(alpha))) * (alpha / (alpha - 1.0))
+            * (lo.powf(1.0 - alpha) - hi.powf(1.0 - alpha));
+        let mut rng = SimRng::seed_from_u64(7);
+        let draws = 200_000;
+        let mut sum = 0.0;
+        let mut over_4k = 0u64;
+        for _ in 0..draws {
+            let x = bounded_pareto(rng.unit(), lo, hi, alpha);
+            assert!((lo..=hi).contains(&x), "sample {x} out of [{lo}, {hi}]");
+            sum += x;
+            if x > 4096.0 {
+                over_4k += 1;
+            }
+        }
+        let mean = sum / draws as f64;
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "mean {mean:.1}, expected {expect:.1}"
+        );
+        // Heavy tail: P(X > 4096) ≈ (lo/4096)^α / (1 − (lo/hi)^α).
+        let tail = (lo / 4096.0).powf(alpha) / (1.0 - (lo / hi).powf(alpha));
+        let got = over_4k as f64 / draws as f64;
+        assert!(
+            (got - tail).abs() < 0.002,
+            "P(X>4096) = {got:.4}, expected ≈ {tail:.4}"
+        );
+        // Degenerate bounds collapse to the floor.
+        assert_eq!(bounded_pareto(0.9, 128.0, 128.0, 2.0), 128.0);
+    }
+
+    #[test]
+    fn frame_pool_recycles_on_abstract_path() {
+        let mut tx = AbstractNic::new(HostId(0));
+        let mut rx = AbstractNic::new(HostId(1));
+        let mut outs = Vec::new();
+        for i in 0..100 {
+            let pkt = tx.make_packet(SimTime::ZERO, HostId(1), 64 + i);
+            rx.deliver(SimTime::ZERO, pkt.src, pkt.payload, false, &mut outs);
+        }
+        assert_eq!(rx.stats.recvd, 100);
+        assert!(rx.pool.held() >= 1, "delivered boxes return to the receiver pool");
+        // The receiver's next sends reuse those boxes.
+        let before = rx.pool.recycled();
+        let _ = rx.make_packet(SimTime::ZERO, HostId(0), 32);
+        assert_eq!(rx.pool.recycled(), before + 1);
     }
 }

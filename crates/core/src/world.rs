@@ -490,14 +490,14 @@ impl HostModel for FullHost {
 
 /// One host slot of the composed world: a registered [`HostModel`],
 /// dispatched statically (the same pattern as [`FabricSlot`]).
-// The size skew is deliberate: slots live one-per-host in `World::hosts`,
-// and inline storage keeps per-event dispatch free of a pointer chase —
-// boxing `FullHost` would tax the common all-full configuration to slim
-// a vector that is small either way.
-#[allow(clippy::large_enum_variant)]
+// `FullHost` is boxed because the enum's size is its largest variant:
+// inline it is ~2.5 KB, and a fleet-scale world is almost all
+// `AbstractHost` (~200 B) — 16k abstract slots would carry ~38 MB of
+// dead padding. Full hosts pay one pointer chase per event, noise next
+// to the work their handlers actually do.
 pub enum HostSlot {
     /// The complete machinery.
-    Full(FullHost),
+    Full(Box<FullHost>),
     /// The LogP source/sink.
     Abstract(AbstractHost),
 }
@@ -614,8 +614,13 @@ impl World {
         {
             let mut a = auditor.borrow_mut();
             a.set_trace(trace.clone());
+            // Abstract hosts never report endpoint/frame events, so they
+            // need no audit slot — at fleet scale (16k mostly-abstract
+            // hosts) registering everyone would buy nothing but heap.
             for i in 0..n {
-                a.register_host(i as u32, nic_cfg.frames);
+                if cfg.fidelity.of(i as u32) == Fidelity::Full {
+                    a.register_host(i as u32, nic_cfg.frames);
+                }
             }
         }
         let telemetry = if cfg.telemetry { Some(Telemetry::handle()) } else { None };
@@ -644,7 +649,7 @@ impl World {
                         nic.attach_telemetry(tel.clone());
                         os.attach_telemetry(i as u32, tel.clone());
                     }
-                    hosts.push(HostSlot::Full(FullHost {
+                    hosts.push(HostSlot::Full(Box::new(FullHost {
                         nic,
                         os,
                         sched: Scheduler::new(cfg.sched.clone()),
@@ -656,7 +661,7 @@ impl World {
                             busy_until: SimTime::ZERO,
                         },
                         rng,
-                    }));
+                    })));
                 }
             }
         }

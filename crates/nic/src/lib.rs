@@ -39,6 +39,7 @@ pub mod endpoint;
 pub mod ids;
 pub mod msg;
 pub mod nic;
+pub mod pool;
 pub mod sched;
 pub mod stats;
 pub mod tel;
@@ -54,4 +55,5 @@ pub use msg::{
     QueueSel, SendRequest, UserMsg,
 };
 pub use nic::{Nic, NicEvent, NicOut};
+pub use pool::FramePool;
 pub use stats::NicStats;

@@ -411,8 +411,8 @@ impl Nic {
     /// firmware when both endpoints share a host (processes on one node
     /// communicating through a virtual network never touch the wire).
     fn emit(&mut self, pkt: Packet<Frame>, out: &mut Vec<NicOut>) {
-        if let Some(t) = &self.tel {
-            t.frames_tx.inc();
+        if let Some(t) = &mut self.tel {
+            t.counters().frames_tx.inc();
         }
         if pkt.dst == self.host {
             self.inbox.push_back(FwWork::Rx { src: self.host, frame: pkt.payload });
@@ -543,8 +543,8 @@ impl Nic {
         corrupt: bool,
         out: &mut Vec<NicOut>,
     ) {
-        if let Some(t) = &self.tel {
-            t.frames_rx.inc();
+        if let Some(t) = &mut self.tel {
+            t.counters().frames_rx.inc();
         }
         if corrupt {
             self.stats.crc_drops.inc();

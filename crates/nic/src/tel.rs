@@ -30,16 +30,37 @@ pub const TRACK_DMA: &str = "nic.dma";
 /// Perfetto track for instantaneous firmware markers.
 pub const TRACK_FW: &str = "nic.fw";
 
-/// Telemetry state owned by one NIC (see module docs).
-pub(crate) struct NicTelemetry {
-    tel: TelemetryHandle,
-    host: u32,
+/// Pre-resolved per-NIC counter handles, materialized on first touch.
+pub(crate) struct NicCounters {
     /// Frames injected into the fabric (data, acks, everything).
     pub(crate) frames_tx: CounterHandle,
     /// Frames handed up from the fabric (before CRC check).
     pub(crate) frames_rx: CounterHandle,
     /// Bytes moved by the SBUS DMA engine.
     pub(crate) dma_bytes: CounterHandle,
+}
+
+impl NicCounters {
+    fn resolve(host: u32, tel: &TelemetryHandle) -> Self {
+        let mut t = tel.borrow_mut();
+        NicCounters {
+            frames_tx: t.counter(&format!("host{host}.nic.frames_tx")),
+            frames_rx: t.counter(&format!("host{host}.nic.frames_rx")),
+            dma_bytes: t.counter(&format!("host{host}.nic.dma_bytes")),
+        }
+    }
+}
+
+/// Telemetry state owned by one NIC (see module docs).
+pub(crate) struct NicTelemetry {
+    tel: TelemetryHandle,
+    host: u32,
+    /// Counter handles, registered lazily: a fleet-scale cluster attaches
+    /// telemetry to thousands of hosts, most of which never move a frame,
+    /// and eager registration would allocate three `host{N}.*` name
+    /// strings per host at build time. `None` until the first counter
+    /// bump.
+    counters: Option<NicCounters>,
     /// Open retransmission-episode span per channel; begun at the first
     /// retransmit of a binding, ended on completion or unbind.
     retx_spans: HashMap<ChannelKey, SpanId>,
@@ -50,36 +71,32 @@ pub(crate) struct NicTelemetry {
 
 impl NicTelemetry {
     pub(crate) fn new(host: u32, tel: TelemetryHandle) -> Self {
-        let (frames_tx, frames_rx, dma_bytes) = {
-            let mut t = tel.borrow_mut();
-            (
-                t.counter(&format!("host{host}.nic.frames_tx")),
-                t.counter(&format!("host{host}.nic.frames_rx")),
-                t.counter(&format!("host{host}.nic.dma_bytes")),
-            )
-        };
         NicTelemetry {
             tel,
             host,
-            frames_tx,
-            frames_rx,
-            dma_bytes,
+            counters: None,
             retx_spans: HashMap::new(),
             park_spans: HashMap::new(),
         }
     }
 
+    /// The counter handles, registering them on first touch.
+    pub(crate) fn counters(&mut self) -> &NicCounters {
+        if self.counters.is_none() {
+            self.counters = Some(NicCounters::resolve(self.host, &self.tel));
+        }
+        self.counters.as_ref().expect("just resolved")
+    }
+
     /// Point this wiring at a different registry (a shard's at split, the
-    /// main one at absorb), re-resolving the counter handles by name and
-    /// keeping the open-span maps so episodes spanning a shard boundary
-    /// still close with their original ids.
+    /// main one at absorb), re-resolving any touched counter handles by
+    /// name (so `adopt_values` carries their counts across the boundary)
+    /// and keeping the open-span maps so episodes spanning a shard
+    /// boundary still close with their original ids. Untouched counters
+    /// stay lazy — an idle host pays nothing at every split.
     pub(crate) fn rebind(&mut self, tel: TelemetryHandle) {
-        let host = self.host;
-        {
-            let mut t = tel.borrow_mut();
-            self.frames_tx = t.counter(&format!("host{host}.nic.frames_tx"));
-            self.frames_rx = t.counter(&format!("host{host}.nic.frames_rx"));
-            self.dma_bytes = t.counter(&format!("host{host}.nic.dma_bytes"));
+        if self.counters.is_some() {
+            self.counters = Some(NicCounters::resolve(self.host, &tel));
         }
         self.tel = tel;
     }
@@ -88,7 +105,7 @@ impl NicTelemetry {
     /// per-message span hook, so the detail is the allocation-free
     /// [`SpanDetail::Bytes`], not a formatted string.
     pub(crate) fn dma_span(&mut self, at: SimTime, done: SimTime, name: &'static str, bytes: u32) {
-        self.dma_bytes.add(bytes as u64);
+        self.counters().dma_bytes.add(bytes as u64);
         let mut t = self.tel.borrow_mut();
         let id = t.span_begin(at, self.host, TRACK_DMA, name, SpanDetail::Bytes(bytes));
         t.span_end(done, id);

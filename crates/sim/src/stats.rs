@@ -227,6 +227,29 @@ impl LogHistogram {
         self.count
     }
 
+    /// Fold another histogram into this one. Bucket counts and sums are
+    /// plain additions, so absorption is commutative and associative —
+    /// merging per-shard histograms yields the same bytes in any order,
+    /// which the parallel differential tests rely on.
+    pub fn absorb(&mut self, other: &LogHistogram) {
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Raw bucket counts (bucket `i` holds values in `[2^(i-1), 2^i)`,
+    /// bucket 0 holds zero).
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of recorded values.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -463,6 +486,26 @@ mod tests {
         assert!((h.mean() - 10_090.0).abs() < 1.0);
         assert!(h.quantile_bound(0.5) < 256);
         assert!(h.quantile_bound(0.99) > 65_000);
+    }
+
+    #[test]
+    fn log_histogram_absorb_is_order_independent() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        for v in [1u64, 5, 90, 4096, 70_000] {
+            a.record(v);
+        }
+        for v in [2u64, 300, 8_000_000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab.buckets(), ba.buckets());
+        assert_eq!(ab.count(), 8);
+        assert_eq!(ab.sum(), ba.sum());
+        assert_eq!(ab.quantile_bound(0.5), ba.quantile_bound(0.5));
     }
 
     #[test]

@@ -473,6 +473,15 @@ pub struct Telemetry {
     gauges: Vec<(String, Rc<Cell<f64>>)>,
     samplers: Vec<(String, Rc<RefCell<Sampler>>)>,
     histograms: Vec<(String, Rc<RefCell<LogHistogram>>)>,
+    /// Name → position in the matching table above, so registration and
+    /// shard adopt/absorb are O(1) per name instead of a linear scan
+    /// (registering N host-prefixed metrics used to be O(N²), which
+    /// dominated build time at fleet scale). The Vecs stay canonical:
+    /// snapshots iterate them in registration order.
+    counter_idx: FxHashMap<String, usize>,
+    gauge_idx: FxHashMap<String, usize>,
+    sampler_idx: FxHashMap<String, usize>,
+    histogram_idx: FxHashMap<String, usize>,
     spans: Vec<SpanEvent>,
     span_cap: usize,
     dropped_spans: u64,
@@ -520,40 +529,44 @@ impl Telemetry {
 
     /// Register (or re-resolve) a counter by fully-qualified name.
     pub fn counter(&mut self, name: &str) -> CounterHandle {
-        if let Some((_, c)) = self.counters.iter().find(|(n, _)| n == name) {
-            return CounterHandle(Rc::clone(c));
+        if let Some(&i) = self.counter_idx.get(name) {
+            return CounterHandle(Rc::clone(&self.counters[i].1));
         }
         let c = Rc::new(Cell::new(0u64));
+        self.counter_idx.insert(name.to_string(), self.counters.len());
         self.counters.push((name.to_string(), Rc::clone(&c)));
         CounterHandle(c)
     }
 
     /// Register (or re-resolve) a gauge by fully-qualified name.
     pub fn gauge(&mut self, name: &str) -> GaugeHandle {
-        if let Some((_, g)) = self.gauges.iter().find(|(n, _)| n == name) {
-            return GaugeHandle(Rc::clone(g));
+        if let Some(&i) = self.gauge_idx.get(name) {
+            return GaugeHandle(Rc::clone(&self.gauges[i].1));
         }
         let g = Rc::new(Cell::new(0f64));
+        self.gauge_idx.insert(name.to_string(), self.gauges.len());
         self.gauges.push((name.to_string(), Rc::clone(&g)));
         GaugeHandle(g)
     }
 
     /// Register (or re-resolve) a sampler by fully-qualified name.
     pub fn sampler(&mut self, name: &str) -> SamplerHandle {
-        if let Some((_, s)) = self.samplers.iter().find(|(n, _)| n == name) {
-            return SamplerHandle(Rc::clone(s));
+        if let Some(&i) = self.sampler_idx.get(name) {
+            return SamplerHandle(Rc::clone(&self.samplers[i].1));
         }
         let s = Rc::new(RefCell::new(Sampler::default()));
+        self.sampler_idx.insert(name.to_string(), self.samplers.len());
         self.samplers.push((name.to_string(), Rc::clone(&s)));
         SamplerHandle(s)
     }
 
     /// Register (or re-resolve) a histogram by fully-qualified name.
     pub fn histogram(&mut self, name: &str) -> HistogramHandle {
-        if let Some((_, h)) = self.histograms.iter().find(|(n, _)| n == name) {
-            return HistogramHandle(Rc::clone(h));
+        if let Some(&i) = self.histogram_idx.get(name) {
+            return HistogramHandle(Rc::clone(&self.histograms[i].1));
         }
         let h = Rc::new(RefCell::new(LogHistogram::default()));
+        self.histogram_idx.insert(name.to_string(), self.histograms.len());
         self.histograms.push((name.to_string(), Rc::clone(&h)));
         HistogramHandle(h)
     }
@@ -633,23 +646,23 @@ impl Telemetry {
     /// the merged baseline instead of restarting at zero.
     pub fn adopt_values(&mut self, from: &Telemetry) {
         for (name, c) in &self.counters {
-            if let Some((_, src)) = from.counters.iter().find(|(n, _)| n == name) {
-                c.set(src.get());
+            if let Some(&i) = from.counter_idx.get(name) {
+                c.set(from.counters[i].1.get());
             }
         }
         for (name, g) in &self.gauges {
-            if let Some((_, src)) = from.gauges.iter().find(|(n, _)| n == name) {
-                g.set(src.get());
+            if let Some(&i) = from.gauge_idx.get(name) {
+                g.set(from.gauges[i].1.get());
             }
         }
         for (name, s) in &self.samplers {
-            if let Some((_, src)) = from.samplers.iter().find(|(n, _)| n == name) {
-                *s.borrow_mut() = src.borrow().clone();
+            if let Some(&i) = from.sampler_idx.get(name) {
+                *s.borrow_mut() = from.samplers[i].1.borrow().clone();
             }
         }
         for (name, h) in &self.histograms {
-            if let Some((_, src)) = from.histograms.iter().find(|(n, _)| n == name) {
-                *h.borrow_mut() = src.borrow().clone();
+            if let Some(&i) = from.histogram_idx.get(name) {
+                *h.borrow_mut() = from.histograms[i].1.borrow().clone();
             }
         }
     }

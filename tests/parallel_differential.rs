@@ -546,6 +546,107 @@ fn asymmetric_trunk_fat_tree_matches_sequential() {
     }
 }
 
+/// Everything an open-loop fleet run observably produces: the cluster
+/// clock and event count, every abstract host's coarse counters, and the
+/// full per-request latency histogram (all 64 buckets plus count and
+/// sum), compared bucket-for-bucket across shard counts.
+#[derive(Debug, PartialEq)]
+struct OpenLoopOutcome {
+    shards_used: u32,
+    events: u64,
+    now_ns: u64,
+    abs: Vec<(u64, u64, u64, u64, u64)>,
+    lat_buckets: Vec<u64>,
+    lat_count: u64,
+    lat_sum: u128,
+}
+
+/// A 32-host all-abstract fat tree driven by the open-loop client
+/// population of `OpenLoopSpec`: Poisson arrivals, rotated-Zipf targets,
+/// bounded-Pareto sizes. The run loop advances in fixed 1 ms slices and
+/// checks the drain condition only at slice boundaries, mirroring how
+/// `fleet_bench` decides when to stop — the walk itself must be
+/// shard-count invariant.
+fn run_open_loop(seed: u64, shards: u32) -> OpenLoopOutcome {
+    const HOSTS: u32 = 32;
+    let mut c = Cluster::builder()
+        .topology(TopologySpec::FatTree { leaves: 8, hosts_per_leaf: 4, spines: 2 })
+        .seed(seed)
+        .audit(false)
+        .telemetry(false)
+        .shards(shards)
+        .default_fidelity(Fidelity::Abstract)
+        .build();
+    let spec = OpenLoopSpec {
+        streams: 2,
+        mean_gap: SimDuration::from_micros(8),
+        requests: 50,
+        zipf_s: 1.0,
+        targets: HOSTS,
+        size_min: 64,
+        size_max: 65_536,
+        size_alpha: 1.3,
+    };
+    for h in 0..HOSTS {
+        c.drive_open_loop(HostId(h), spec.clone());
+    }
+    let slice = SimDuration::from_millis(1);
+    while c.open_loop_remaining() > 0 {
+        c.run_for(slice);
+        assert!(c.now().as_secs_f64() < 10.0, "open-loop workload wedged (seed {seed:#x})");
+    }
+    c.run_for(slice);
+    c.run_for(slice);
+
+    let lat = c.open_loop_latency();
+    OpenLoopOutcome {
+        shards_used: c.shards(),
+        events: c.events_processed(),
+        now_ns: c.now().as_nanos(),
+        abs: (0..HOSTS)
+            .map(|h| {
+                let s = c.abs_stats(HostId(h)).expect("abstract host");
+                (s.sent, s.sent_bytes, s.recvd, s.recv_bytes, s.corrupt_drops)
+            })
+            .collect(),
+        lat_buckets: lat.buckets().to_vec(),
+        lat_count: lat.count(),
+        lat_sum: lat.sum(),
+    }
+}
+
+/// Satellite: open-loop workload determinism. A fixed-seed 32-host
+/// open-loop fleet must produce byte-identical metrics — every abstract
+/// counter and every latency-histogram bucket — at 1, 2, and 4 shards,
+/// and (through the CI matrix's `VNET_PAR_DRIVER` axis) under both epoch
+/// drivers.
+#[test]
+fn open_loop_matches_sequential() {
+    for &seed in &[7u64, 0xF1EE7] {
+        let seq = run_open_loop(seed, 1);
+        assert_eq!(seq.shards_used, 1);
+        let total_sent: u64 = seq.abs.iter().map(|&(sent, ..)| sent).sum();
+        assert_eq!(total_sent, 32 * 50, "every request must be emitted (seed {seed:#x})");
+        assert_eq!(
+            seq.lat_count, total_sent,
+            "every request must be served within the drain window (seed {seed:#x})"
+        );
+        assert!(seq.lat_sum > 0, "latencies must be recorded (seed {seed:#x})");
+        for shards in [2u32, 4] {
+            let par = run_open_loop(seed, shards);
+            assert!(par.shards_used > 1, "expected a parallel run for {shards} shards");
+            assert_eq!(seq.abs, par.abs, "abstract counters, {shards} shards, seed {seed:#x}");
+            assert_eq!(
+                seq.lat_buckets, par.lat_buckets,
+                "latency histogram, {shards} shards, seed {seed:#x}"
+            );
+            assert_eq!(seq.lat_sum, par.lat_sum, "latency sum, {shards} shards, seed {seed:#x}");
+            assert_eq!(seq.events, par.events, "event count, {shards} shards, seed {seed:#x}");
+            assert_eq!(seq.now_ns, par.now_ns, "final clock, {shards} shards, seed {seed:#x}");
+        }
+    }
+}
+
 /// The same slow-trunk tree under the full chaos campaign: scheduled
 /// link flaps and switch failures slice the pair-lookahead matrix into
 /// campaign intervals (a LinkUp can lower a pair's latency floor, so
