@@ -238,6 +238,10 @@ impl<A: BspApp> BspRunner<A> {
                                 self.last_send_err = Some((self.step_idx, "NoCredit"));
                                 break;
                             }
+                            Err(SendError::QuotaExceeded) => {
+                                self.last_send_err = Some((self.step_idx, "QuotaExceeded"));
+                                break;
+                            }
                             Err(SendError::QueueFull) => {
                                 self.last_send_err = Some((self.step_idx, "QueueFull"));
                                 self.queue_blocked = true;

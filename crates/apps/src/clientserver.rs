@@ -142,7 +142,9 @@ impl ThreadBody for CsClient {
                 Ok(uid) => {
                     self.inflight.insert(uid, sys.now());
                 }
-                Err(SendError::NoCredit) | Err(SendError::QueueFull) => {
+                Err(SendError::NoCredit)
+                | Err(SendError::QueueFull)
+                | Err(SendError::QuotaExceeded) => {
                     can_send = false;
                     break;
                 }

@@ -109,11 +109,14 @@ fn scenarios() -> Vec<(&'static str, FaultScheduleSpec)> {
     ]
 }
 
+const SEED: u64 = 0xC4A0_57E5;
+
 struct RunOut {
     recovery: Sampler,
     failovers: u64,
     unbinds: u64,
     retransmits: u64,
+    shards: u32,
 }
 
 /// Run one campaign over the request ring; panics unless it completes
@@ -122,7 +125,7 @@ fn run_campaign(name: &str, spec: FaultScheduleSpec) -> RunOut {
     let n: u32 = 8;
     let total = 300u32;
     let mut cfg = ClusterConfig::now(n)
-        .with_seed(0xC4A0_57E5)
+        .with_seed(SEED)
         .with_audit(true)
         .with_telemetry(true)
         .with_faults(spec);
@@ -154,6 +157,7 @@ fn run_campaign(name: &str, spec: FaultScheduleSpec) -> RunOut {
         failovers: 0,
         unbinds: 0,
         retransmits: 0,
+        shards: c.shards(),
     };
     for h in 0..n {
         let s = c.nic(HostId(h)).stats();
@@ -181,11 +185,14 @@ fn main() {
             "failovers",
             "unbinds",
             "retransmits",
+            "seed",
+            "shards",
+            "driver",
         ],
     );
     for (name, spec) in scenarios() {
         let mut r = run_campaign(name, spec);
-        t.row(vec![
+        let mut row = vec![
             name.to_string(),
             r.recovery.count().to_string(),
             format!("{:.1}", r.recovery.quantile(0.5)),
@@ -195,7 +202,9 @@ fn main() {
             r.failovers.to_string(),
             r.unbinds.to_string(),
             r.retransmits.to_string(),
-        ]);
+        ];
+        row.extend(vnet_bench::repro_cells(SEED, r.shards));
+        t.row(row);
     }
     t.emit("campaign_bench");
     println!("Every campaign completed with zero auditor violations and exactly-once delivery;");

@@ -3,14 +3,16 @@
 
 use crate::builder::ClusterBuilder;
 use crate::config::ClusterConfig;
+use crate::control::{ControlPlane, ControlSpec, CtlOp, MigState, QuotaError};
 use crate::model::{AbsEvent, AbsStats, AbstractTraffic, Fidelity, OpenLoopSpec};
 use crate::names::NameService;
 use crate::observe::ClusterTelemetry;
 use crate::sys::ThreadBody;
-use crate::world::{Event, HostSlot, World};
+use crate::user::EpQuota;
+use crate::world::{ctl_key, Event, HostSlot, World};
 use std::cell::Cell;
 use vnet_net::{FaultOp, HostId, Packet, Partition, Phase1};
-use vnet_nic::{EpId, Frame, GlobalEp, Nic, NicOut};
+use vnet_nic::{EpId, Frame, GlobalEp, Nic, NicOut, ProtectionKey};
 use vnet_os::{OsOut, Scheduler, SegmentDriver, Tid};
 use vnet_sim::stats::LogHistogram;
 use vnet_sim::{
@@ -614,7 +616,32 @@ impl Cluster {
     fn post_run(&mut self) {
         self.world.trace.borrow_mut().canonicalize();
         self.world.auditor.borrow_mut().canonicalize_violations();
+        self.sync_ctl_keys();
         self.debug_audit_check();
+    }
+
+    /// Re-derive the main world's protection-key table from the adopted
+    /// control plane. Shard worlds clone the table at split and their
+    /// mid-run mutations (a migration creating the destination incarnation
+    /// and retiring the source one) are dropped at absorb, so without this
+    /// the sequential and sharded tables would disagree at the next run
+    /// slice — and `reply_key` lookups with them. Idempotent on the
+    /// sequential path, where `ctl_local` already mutated the table live.
+    fn sync_ctl_keys(&mut self) {
+        let Some(ctl) = self.world.control.as_deref() else { return };
+        let add: Vec<(GlobalEp, ProtectionKey)> =
+            ctl.placements().map(|(_, m)| (m.gep(), m.key)).collect();
+        let drop: Vec<GlobalEp> = ctl
+            .migrations()
+            .filter(|(_, m)| m.state == MigState::Done)
+            .map(|(_, m)| GlobalEp::new(HostId(m.from), m.from_ep))
+            .collect();
+        for gep in drop {
+            self.world.keys.remove(&gep);
+        }
+        for (gep, k) in add {
+            self.world.keys.insert(gep, k);
+        }
     }
 
     /// Schedule a setup-path event on the engine owning its target host.
@@ -714,6 +741,163 @@ impl Cluster {
             self.world.nic(h).is_resident(ep.ep),
             "make_resident failed for {ep}: remap pipeline stalled"
         );
+    }
+
+    // ----------------------------------------------------- control plane
+
+    /// Install the multi-tenant control plane: the coordinator owns
+    /// endpoint allocation, per-tenant quotas, and live migration from
+    /// here on. Registers every tenant with the auditor (byte-conservation
+    /// checking) and broadcasts the bootstrap reconcile tick to every
+    /// host, so the reconcile loop runs as ordinary keyed wheel events —
+    /// byte-identical sequential vs sharded. Call once, before running.
+    pub fn install_control(&mut self, spec: ControlSpec) {
+        assert!(self.world.control.is_none(), "control plane already installed");
+        let plane = ControlPlane::new(spec, self.world.cfg.seed);
+        {
+            let mut a = self.world.auditor.borrow_mut();
+            for (i, t) in plane.spec.tenants.iter().enumerate() {
+                a.register_tenant(i as u32, &t.name, t.bytes_per_epoch, plane.spec.epoch);
+            }
+        }
+        let first = plane.spec.first_tick;
+        let hosts = self.world.hosts() as u32;
+        self.world.control = Some(Box::new(plane));
+        for h in 0..hosts {
+            self.sched_keyed_at(
+                first,
+                ctl_key(0, h),
+                Event::Ctl { host: h, kseq: 0, op: CtlOp::Tick { seq: 0 } },
+            );
+        }
+    }
+
+    /// The coordinator's replicated state (placements, migration records,
+    /// convergence lag, counters). `None` before [`Self::install_control`].
+    pub fn control(&self) -> Option<&ControlPlane> {
+        self.world.control.as_deref()
+    }
+
+    /// Coordinator-owned service endpoint for `tenant` on `host`: counts
+    /// against the tenant's endpoint quota, gets a coordinator-assigned id
+    /// and key, and is *managed* — the reconcile loop may migrate it to
+    /// another host (spawning a fresh service thread from the tenant's
+    /// factory at the new residence). Returns `(vid, ep)`.
+    pub fn ctl_create_service(
+        &mut self,
+        tenant: u32,
+        host: HostId,
+    ) -> Result<(u32, GlobalEp), QuotaError> {
+        let now = self.engine.now();
+        let ctl = self.world.control.as_mut().expect("install_control first");
+        let (vid, ep, key) = ctl.alloc_endpoint(tenant, host.0, true)?;
+        let factory = ctl.spec.tenants[tenant as usize].factory.clone();
+        let h = host.idx();
+        let mut outs = Vec::new();
+        self.world.os_mut(h).create_endpoint_with_id(now, ep, key, &mut outs);
+        self.world.user_entry(h, ep);
+        let gep = GlobalEp::new(host, ep);
+        self.world.keys.insert(gep, key);
+        self.world.auditor.borrow_mut().bind_tenant(host.0, ep.0, tenant);
+        self.apply_os_ext(h, outs);
+        let tid = self.world.spawn_thread_raw(h, factory(gep));
+        self.world.note_ctl_thread(h, ep, tid);
+        if let Some((d, ev)) = self.world.prep_cpu_kick(h, now) {
+            self.sched_ev(d, ev);
+        }
+        Ok((vid, gep))
+    }
+
+    /// Coordinator-owned client endpoint for `tenant` on `host`: counts
+    /// against the endpoint quota and carries the tenant's per-endpoint
+    /// byte budget — sends past it fail with
+    /// [`crate::sys::SendError::QuotaExceeded`] until the next epoch.
+    /// Clients are never migrated (pinned), which keeps tenant byte
+    /// accounting exact across migrations. Returns `(vid, ep)`.
+    pub fn ctl_create_client(
+        &mut self,
+        tenant: u32,
+        host: HostId,
+    ) -> Result<(u32, GlobalEp), QuotaError> {
+        let now = self.engine.now();
+        let ctl = self.world.control.as_mut().expect("install_control first");
+        let (vid, ep, key) = ctl.alloc_endpoint(tenant, host.0, false)?;
+        let budget = ctl.per_ep_budget(tenant);
+        let epoch_nanos = ctl.spec.epoch.as_nanos().max(1);
+        let h = host.idx();
+        let mut outs = Vec::new();
+        self.world.os_mut(h).create_endpoint_with_id(now, ep, key, &mut outs);
+        self.world.user_entry(h, ep).quota = Some(EpQuota {
+            tenant,
+            bytes_per_epoch: budget,
+            epoch_nanos,
+            used: 0,
+            epoch_idx: 0,
+            denied: 0,
+        });
+        let gep = GlobalEp::new(host, ep);
+        self.world.keys.insert(gep, key);
+        self.world.auditor.borrow_mut().bind_tenant(host.0, ep.0, tenant);
+        self.apply_os_ext(h, outs);
+        Ok((vid, gep))
+    }
+
+    /// Broker a client→service connection through the coordinator: checks
+    /// the target tenant's bound-channel quota, records the connection for
+    /// migration-time retargeting, and installs the translation on the
+    /// client endpoint.
+    pub fn ctl_connect(
+        &mut self,
+        client_vid: u32,
+        idx: usize,
+        target_vid: u32,
+    ) -> Result<(), QuotaError> {
+        let ctl = self.world.control.as_mut().expect("install_control first");
+        let (ch, cep) = ctl
+            .managed(client_vid)
+            .map(|m| (m.host, m.ep))
+            .ok_or(QuotaError::UnknownVid(client_vid))?;
+        ctl.bind_connection(client_vid, idx, target_vid)?;
+        let t = ctl.managed(target_vid).expect("bind_connection validated the target");
+        let (target, key) = (t.gep(), t.key);
+        self.world.user_entry(ch as usize, cep).set_translation(idx, target, key);
+        Ok(())
+    }
+
+    /// Ask the coordinator to live-migrate managed endpoint `vid` —
+    /// optionally to a specific destination, otherwise to a host of the
+    /// coordinator's choosing. Picked up at the next reconcile tick; the
+    /// four-phase protocol (drain → create → retarget → finish) then runs
+    /// under whatever traffic is in flight.
+    pub fn ctl_request_migration(&mut self, vid: u32, dst: Option<HostId>) {
+        self.world
+            .control
+            .as_mut()
+            .expect("install_control first")
+            .request_migration(vid, dst.map(|h| h.0));
+    }
+
+    /// Check the bounded time-to-convergence invariant: the coordinator
+    /// must never have been diverged (in-flight migrations, or services
+    /// placed on down hosts) for longer than `bound`, and must not be
+    /// diverged older than `bound` right now. Violations land in the
+    /// auditor and surface through [`Cluster::audit`]. A no-op before
+    /// [`Self::install_control`].
+    pub fn check_reconverged(&self, bound: SimDuration) {
+        let Some(ctl) = self.world.control.as_deref() else { return };
+        self.world.auditor.borrow_mut().check_reconverged(
+            self.now(),
+            ctl.diverged_since,
+            ctl.worst_lag,
+            bound,
+        );
+    }
+
+    /// Force the least-recently-active paged-in endpoint on `host` out to
+    /// disk (§4 pageout). Returns the victim, or `None` when nothing is
+    /// eligible. Test hook for residency churn under traffic.
+    pub fn force_pageout_lru(&mut self, host: HostId) -> Option<EpId> {
+        self.world.os_mut(host.idx()).pageout_lru()
     }
 }
 

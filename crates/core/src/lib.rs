@@ -74,6 +74,7 @@
 pub mod builder;
 pub mod cluster;
 pub mod config;
+pub mod control;
 pub mod model;
 pub mod names;
 pub mod observe;
@@ -84,6 +85,10 @@ pub mod world;
 pub use builder::ClusterBuilder;
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, CostModel, Mode};
+pub use control::{
+    ControlPlane, ControlSpec, CtlOp, EpFactory, ManagedEp, MigPhase, MigRec, MigState,
+    QuotaError, TenantSpec, CTL_EP_BASE,
+};
 pub use model::{
     bounded_pareto, zipf_rank, AbsStats, AbstractTraffic, FabricModel, FabricSlot, Fidelity,
     FidelityMap, HostModel, NicModel, OpenLoopSpec, OPEN_LOOP_HANDLER,
@@ -99,6 +104,7 @@ pub mod prelude {
     pub use crate::builder::ClusterBuilder;
     pub use crate::cluster::Cluster;
     pub use crate::config::{ClusterConfig, CostModel, Mode};
+    pub use crate::control::{ControlSpec, QuotaError, TenantSpec};
     pub use crate::model::{AbsStats, AbstractTraffic, Fidelity, FidelityMap, OpenLoopSpec};
     pub use crate::observe::ClusterTelemetry;
     pub use crate::sys::{SendError, Step, Sys, ThreadBody};

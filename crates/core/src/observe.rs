@@ -65,6 +65,10 @@ impl<'a> ClusterTelemetry<'a> {
             w.slot(h).record_metrics(h, &mut s);
         }
         s.record_set("net", &w.fabric);
+        if let Some(ctl) = &w.control {
+            s.record_set("ctl", &**ctl);
+            s.record("ctl.quota_denials", MetricValue::Counter(w.quota_denials()));
+        }
         s.record("engine.events_processed", MetricValue::Counter(self.c.events_processed()));
         s.record(
             "engine.sim_time_us",

@@ -60,7 +60,14 @@ pub enum SendError {
     /// (§5.2); fragment larger transfers at the library level the way the
     /// paper's bulk store/get and our `bsp::collectives::chunked` do.
     TooLarge,
+    /// The endpoint's tenant byte budget for the current accounting epoch
+    /// is exhausted (control-plane quota); retry next epoch.
+    QuotaExceeded,
 }
+
+/// Fixed per-message byte charge against the tenant quota, on top of the
+/// payload (header + descriptor); keeps zero-payload chatter metered.
+pub const QUOTA_MSG_OVERHEAD: u64 = 64;
 
 /// Application thread logic.
 ///
@@ -171,6 +178,18 @@ impl<'a> Sys<'a> {
         if ustate.outstanding(idx) >= self.credits {
             return Err(SendError::NoCredit);
         }
+        // Tenant byte budget (control-plane quota): charged per admitted
+        // request, epochs reset lazily so admission is a pure function of
+        // (send time, prior sends) — identical sequential vs sharded.
+        let quota_charge = QUOTA_MSG_OVERHEAD + payload_bytes as u64;
+        let mut quota_tenant = None;
+        if let Some(q) = ustate.quota.as_mut() {
+            let epoch_idx = self.now.as_nanos() / q.epoch_nanos.max(1);
+            if !q.admit(epoch_idx, quota_charge) {
+                return Err(SendError::QuotaExceeded);
+            }
+            quota_tenant = Some(q.tenant);
+        }
         let src_ep = GlobalEp::new(self.host, ep);
         let reply_key = self.keys.get(&src_ep).copied().unwrap_or_default();
         let msg = UserMsg {
@@ -183,10 +202,24 @@ impl<'a> Sys<'a> {
             reply_key,
             corr: 0,
         };
-        let uid = self.post(ep, tr.dst, tr.key, msg)?;
+        let uid = match self.post(ep, tr.dst, tr.key, msg) {
+            Ok(uid) => uid,
+            Err(e) => {
+                // The send never left: refund the quota charge.
+                if let Some(q) =
+                    self.user.get_mut(&ep).and_then(|u| u.quota.as_mut())
+                {
+                    q.used = q.used.saturating_sub(quota_charge);
+                }
+                return Err(e);
+            }
+        };
         self.user.get_mut(&ep).unwrap().note_sent(uid, idx);
         let (now, h, e) = (self.now, self.host.0, ep.0);
         self.audit(|a| a.on_credit_acquire(now, h, e, idx, uid));
+        if quota_tenant.is_some() {
+            self.audit(|a| a.on_tenant_bytes(now, h, e, quota_charge));
+        }
         Ok(uid)
     }
 

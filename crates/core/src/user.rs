@@ -34,12 +34,52 @@ pub enum EpMode {
     Shared,
 }
 
+/// Per-endpoint tenant byte budget (control-plane quota): request payload
+/// admitted per accounting epoch. Epochs reset lazily at send time — no
+/// timer events, so sharded and sequential runs see identical admission
+/// decisions.
+#[derive(Clone, Debug)]
+pub struct EpQuota {
+    /// Tenant id (auditor tenant-conservation key).
+    pub tenant: u32,
+    /// Bytes this endpoint may admit per epoch.
+    pub bytes_per_epoch: u64,
+    /// Accounting epoch length in nanoseconds.
+    pub epoch_nanos: u64,
+    /// Bytes admitted in the current epoch.
+    pub used: u64,
+    /// Index of the current epoch (`now / epoch_nanos`).
+    pub epoch_idx: u64,
+    /// Sends denied by the quota (noisy-neighbor signal).
+    pub denied: u64,
+}
+
+impl EpQuota {
+    /// Charge `bytes` at time-epoch `idx`; `false` means over budget (the
+    /// send is denied and counted).
+    pub fn admit(&mut self, idx: u64, bytes: u64) -> bool {
+        if idx != self.epoch_idx {
+            self.epoch_idx = idx;
+            self.used = 0;
+        }
+        if self.used + bytes > self.bytes_per_epoch {
+            self.denied += 1;
+            false
+        } else {
+            self.used += bytes;
+            true
+        }
+    }
+}
+
 /// User-level state attached to one local endpoint.
 #[derive(Debug, Default)]
 pub struct UserEpState {
     table: Vec<Option<Translation>>,
     /// Concurrency marking (§3.3).
     pub mode: EpMode,
+    /// Tenant byte budget; `None` means unmetered (services, system eps).
+    pub quota: Option<EpQuota>,
     /// Outstanding (unreplied) requests per translation index.
     outstanding: HashMap<usize, u32>,
     /// uid → translation index, for credit recovery when the reply (or the

@@ -9,6 +9,7 @@
 //! [`crate::config::ClusterConfig::fidelity`]. See [`crate::model`].
 
 use crate::config::{ClusterConfig, Mode};
+use crate::control::{ControlPlane, CtlOp, MigPhase, MigState};
 use crate::model::{
     AbsEvent, AbsStats, AbstractHost, FabricSlot, Fidelity, HostModel, NicModel,
 };
@@ -115,6 +116,45 @@ pub enum Event {
         /// The state transition to apply.
         op: FaultOp,
     },
+    /// A control-plane broadcast (reconcile tick or migration phase),
+    /// replicated like [`Event::Fault`]: one copy per `(event, host)`.
+    /// The copy addressed to a world's base host runs the replicated
+    /// coordinator decision; the copy addressed to an acting host performs
+    /// that host's local side effects (pageout, endpoint creation,
+    /// translation retargeting). See [`crate::control`] for the model.
+    Ctl {
+        /// Host index (every host receives every control event).
+        host: u32,
+        /// Key sequence of this event in the control band (total order of
+        /// same-instant control events; the per-host key appends `host`).
+        kseq: u64,
+        /// The operation.
+        op: CtlOp,
+    },
+    /// Lame-duck teardown poll for a migrated-away source endpoint. The
+    /// `Finish` phase lifts the migration hold instead of destroying the
+    /// old incarnation outright; this host-local event (it never crosses a
+    /// shard boundary) re-checks until the residual queues and in-flight
+    /// sends have drained, then frees the endpoint — or forces the free
+    /// after a bounded number of polls, resolving any still-queued sends
+    /// in the audit ledger.
+    CtlRetire {
+        /// Host the retiring endpoint lives on.
+        host: u32,
+        /// The retiring endpoint.
+        ep: EpId,
+        /// Polls taken so far (caps the drain window).
+        polls: u32,
+    },
+}
+
+/// Same-instant ordering key for a control event copy addressed to `host`:
+/// the control band sorts above canonical ingress (bit 61 set on top of
+/// bit 63) and below the fault band (bit 62), and within the band orders
+/// by `(kseq, host)` — so each world's base host (its lowest) decides
+/// before any host acts.
+pub(crate) fn ctl_key(kseq: u64, host: u32) -> u64 {
+    (1 << 63) | (1 << 61) | (kseq << 20) | u64::from(host)
 }
 
 impl Event {
@@ -130,10 +170,21 @@ impl Event {
             | Event::Cpu { host, .. }
             | Event::WakeThread { host, .. }
             | Event::Abs { host, .. }
-            | Event::Fault { host, .. } => *host,
+            | Event::Fault { host, .. }
+            | Event::Ctl { host, .. }
+            | Event::CtlRetire { host, .. } => *host,
         }
     }
 }
+
+/// Cadence of the lame-duck retire poll: frequent enough that a drained
+/// endpoint is torn down promptly, coarse enough to stay off the hot path.
+const CTL_RETIRE_POLL: SimDuration = SimDuration::from_micros(50);
+
+/// Drain bound: after this many polls (10 ms) the old incarnation is freed
+/// even if work remains — a partitioned peer must not pin it forever. The
+/// forced free resolves the leftovers in the audit ledger.
+const CTL_RETIRE_MAX_POLLS: u32 = 200;
 
 struct ThreadRec {
     body: Option<Box<dyn ThreadBody>>,
@@ -207,6 +258,9 @@ pub struct FullHost {
     threads: HashMap<Tid, ThreadRec>,
     cpu: CpuState,
     rng: SimRng,
+    /// Control-plane-owned service threads, by the endpoint they serve
+    /// (killed when the endpoint migrates away).
+    ctl_threads: HashMap<EpId, Tid>,
 }
 
 impl FullHost {
@@ -568,6 +622,14 @@ pub struct World {
     /// when [`ClusterConfig::telemetry`] is set; with it absent no
     /// component holds hooks and the hot path pays nothing.
     pub telemetry: Option<TelemetryHandle>,
+    /// Replicated cluster control plane (coordinator + reconcile loop);
+    /// `None` until [`crate::cluster::Cluster::install_control`]. Every
+    /// shard world carries an identical copy that evolves identically —
+    /// see [`crate::control`] for the replication model.
+    pub control: Option<Box<ControlPlane>>,
+    /// The NICs' read-only view of the scheduled fault campaign; also the
+    /// control plane's host-liveness verdict. Shared by every shard.
+    pub(crate) oracle: Option<Arc<RouteOracle>>,
     hosts: Vec<HostSlot>,
     key_rng: SimRng,
     /// First global host id owned by this world: `0` for the full world,
@@ -661,6 +723,7 @@ impl World {
                             busy_until: SimTime::ZERO,
                         },
                         rng,
+                        ctl_threads: HashMap::new(),
                     })));
                 }
             }
@@ -674,6 +737,8 @@ impl World {
             auditor,
             telemetry,
             cfg,
+            control: None,
+            oracle,
             base: 0,
             outbox: Vec::new(),
         }
@@ -766,6 +831,22 @@ impl World {
         }
     }
 
+    /// Total sends denied by tenant byte quotas across every endpoint on
+    /// every full-fidelity host (the noisy-neighbor signal; `ctl.*`
+    /// telemetry surfaces it as `ctl.quota_denials`).
+    pub fn quota_denials(&self) -> u64 {
+        self.hosts
+            .iter()
+            .filter_map(|s| match s {
+                HostSlot::Full(f) => Some(f),
+                HostSlot::Abstract(_) => None,
+            })
+            .flat_map(|f| f.user.values())
+            .filter_map(|u| u.quota.as_ref())
+            .map(|q| q.denied)
+            .sum()
+    }
+
     /// Coarse counters of an abstract host (None for full-fidelity hosts,
     /// which report full `host{N}.nic.*` / `host{N}.os.*` stats instead).
     pub fn abs_stats(&self, h: usize) -> Option<&AbsStats> {
@@ -798,6 +879,144 @@ impl World {
     #[inline]
     fn owns(&self, gh: u32) -> bool {
         gh >= self.base && ((gh - self.base) as usize) < self.hosts.len()
+    }
+
+    // ------------------------------------------------- control-plane glue
+
+    /// Apply segment-driver effects raised by a control-plane action inside
+    /// an event handler (same split-borrow shape as [`World::dispatch`]).
+    fn ctl_apply_os(&mut self, h: usize, outs: Vec<OsOut>, ctx: &mut Ctx<'_, Event>) {
+        let gh = self.gh(h);
+        let World { cfg, fabric, hosts, keys, trace, auditor, outbox, base, .. } = self;
+        let len = hosts.len() as u32;
+        let mut env = HostEnv { cfg, fabric, keys, trace, auditor, outbox, base: *base, len };
+        let HostSlot::Full(f) = &mut hosts[h] else { return };
+        f.apply_os(gh, outs, &mut env, ctx);
+    }
+
+    /// Host-local side effects of a control operation, run on the event
+    /// copy addressed to `host` *after* the world's replicated decision
+    /// step. Each arm guards on the acting host, so a broadcast op touches
+    /// exactly the hosts it names.
+    fn ctl_local(&mut self, now: SimTime, host: u32, op: &CtlOp, ctx: &mut Ctx<'_, Event>) {
+        let CtlOp::Mig { id, phase } = op else { return };
+        // Gather everything needed from the replicated state up front (the
+        // borrow ends before host mutation starts).
+        let Some((rec, factory, conns)) = self.control.as_deref().and_then(|ctl| {
+            let rec = ctl.migration(*id)?.clone();
+            let factory = ctl
+                .managed(rec.vid)
+                .and_then(|m| ctl.spec.tenants.get(m.tenant as usize))
+                .map(|t| t.factory.clone());
+            let conns: Vec<(u32, EpId, usize)> = ctl
+                .connections()
+                .iter()
+                .filter(|c| c.target_vid == rec.vid)
+                .filter_map(|c| ctl.managed(c.client_vid).map(|m| (m.host, m.ep, c.idx)))
+                .collect();
+            Some((rec, factory, conns))
+        }) else {
+            return;
+        };
+        match phase {
+            MigPhase::Drain if host == rec.from => {
+                let h = self.hx(host);
+                let mut outs = Vec::new();
+                self.hosts[h].full_mut(h).os.begin_migrate_out(now, rec.from_ep, &mut outs);
+                self.ctl_apply_os(h, outs, ctx);
+            }
+            MigPhase::CreateDst if host == rec.to && rec.state == MigState::Created => {
+                let h = self.hx(host);
+                let gep = GlobalEp::new(HostId(host), rec.to_ep);
+                let mut outs = Vec::new();
+                {
+                    let f = self.hosts[h].full_mut(h);
+                    f.os.create_endpoint_with_id(now, rec.to_ep, rec.key, &mut outs);
+                    f.user.entry(rec.to_ep).or_default();
+                }
+                self.keys.insert(gep, rec.key);
+                self.ctl_apply_os(h, outs, ctx);
+                // Warm the new incarnation: a proxy fault starts the remap
+                // pipeline so it is resident before clients retarget.
+                let mut outs = Vec::new();
+                self.hosts[h].full_mut(h).os.proxy_fault(now, rec.to_ep, &mut outs);
+                self.ctl_apply_os(h, outs, ctx);
+                if let Some(factory) = factory {
+                    let body = factory(gep);
+                    let tid = self.spawn_thread_raw(h, body);
+                    let f = self.hosts[h].full_mut(h);
+                    f.ctl_threads.insert(rec.to_ep, tid);
+                    f.kick_cpu(host, ctx);
+                }
+            }
+            MigPhase::Retarget if rec.state == MigState::Retargeted => {
+                let target = GlobalEp::new(HostId(rec.to), rec.to_ep);
+                for (ch, cep, idx) in conns {
+                    if ch == host {
+                        let h = self.hx(host);
+                        self.user_entry(h, cep).set_translation(idx, target, rec.key);
+                    }
+                }
+            }
+            MigPhase::Finish if host == rec.from && rec.state == MigState::Done => {
+                // Lift the migration hold and retire the old incarnation as
+                // a lame duck: work it accepted before the drain began —
+                // queued replies, delivered-but-unpolled requests — is
+                // served out before the endpoint is destroyed, so no
+                // message silently loses its fate (and no client wedges on
+                // a credit whose reply died with the source image).
+                let h = self.hx(host);
+                let mut outs = Vec::new();
+                self.hosts[h].full_mut(h).os.end_migrate_hold(now, rec.from_ep, &mut outs);
+                self.ctl_apply_os(h, outs, ctx);
+                self.ctl_retire(now, host, rec.from_ep, 0, ctx);
+            }
+            _ => {}
+        }
+    }
+
+    /// One lame-duck retire poll (the `Finish` phase's teardown tail): free
+    /// the migrated-away endpoint once the OS image and the NIC both report
+    /// it dry, nudging the drain and re-polling otherwise. Host-local, so
+    /// the cadence is identical under any shard count. After
+    /// [`CTL_RETIRE_MAX_POLLS`] the free is forced (a dead peer or a
+    /// partitioned fabric must not pin the source host forever) and any
+    /// still-queued sends resolve as aborted in the audit ledger.
+    fn ctl_retire(&mut self, now: SimTime, host: u32, ep: EpId, polls: u32, ctx: &mut Ctx<'_, Event>) {
+        let h = self.hx(host);
+        let f = self.hosts[h].full_mut(h);
+        if !f.os.exists(ep) {
+            return; // already torn down
+        }
+        let quiet = f.os.drained(ep) && f.nic.is_quiet(ep);
+        if !quiet && polls < CTL_RETIRE_MAX_POLLS {
+            // Keep the residual work flowing: a held image with queued
+            // sends re-enters the remap pipeline so they reach the wire.
+            let mut outs = Vec::new();
+            f.os.nudge_drain(now, ep, &mut outs);
+            self.ctl_apply_os(h, outs, ctx);
+            ctx.schedule(CTL_RETIRE_POLL, Event::CtlRetire { host, ep, polls: polls + 1 });
+            return;
+        }
+        self.trace.borrow_mut().record_with(now, host, "ctl.retire", || {
+            if quiet {
+                format!("ep {} drained after {polls} polls; freeing", ep.0)
+            } else {
+                format!("ep {} drain bound expired after {polls} polls; forcing free", ep.0)
+            }
+        });
+        if let Some(tid) = self.hosts[h].full_mut(h).ctl_threads.remove(&ep) {
+            self.kill_thread(h, tid);
+            self.hosts[h].full_mut(h).kick_cpu(host, ctx);
+        }
+        let mut outs = Vec::new();
+        self.hosts[h].full_mut(h).os.complete_migrate_out(now, ep, &mut outs);
+        self.ctl_apply_os(h, outs, ctx);
+        self.user_remove(h, ep);
+        self.keys.remove(&GlobalEp::new(HostId(host), ep));
+        // Late frames addressed to the old incarnation now return to their
+        // senders as undeliverable — the designed path.
+        self.auditor.borrow_mut().on_endpoint_destroyed(host, ep.0);
     }
 
     /// Split-borrow helper: the slot at local index `h` plus the
@@ -838,6 +1057,12 @@ impl World {
         let tid = f.sched.spawn();
         f.threads.insert(tid, ThreadRec { body: Some(body), pending_compute: SimDuration::ZERO });
         tid
+    }
+
+    /// Record `tid` as the control-plane service thread for `ep` on `host`
+    /// (killed when the endpoint migrates away).
+    pub(crate) fn note_ctl_thread(&mut self, host: usize, ep: EpId, tid: Tid) {
+        self.hosts[host].full_mut(host).ctl_threads.insert(ep, tid);
     }
 
     /// Immutable access to a thread body, downcast to its concrete type.
@@ -948,6 +1173,8 @@ impl World {
             trace,
             auditor,
             telemetry,
+            control: self.control.clone(),
+            oracle: self.oracle.clone(),
             key_rng: self.key_rng.clone(),
             base: lo,
             outbox: Vec::new(),
@@ -970,11 +1197,18 @@ impl World {
                 trace,
                 auditor,
                 telemetry,
+                control,
+                oracle: _,
                 key_rng: _,
                 base,
                 outbox,
             } = shard;
             debug_assert!(outbox.is_empty(), "cross-shard mail left unpublished");
+            // Every shard's control copy evolved identically; adopt the
+            // first one as the merged coordinator state.
+            if s == 0 && control.is_some() {
+                self.control = control;
+            }
             let (lo, hi) = part.range(s as u32);
             debug_assert_eq!(base, lo);
             debug_assert_eq!(self.hosts.len(), lo as usize, "shards must absorb in order");
@@ -1052,6 +1286,48 @@ impl SimWorld for World {
                         tel.borrow_mut().instant(ctx.now(), 0, "net", "fault", format!("{op:?}"));
                     }
                 }
+            }
+            Event::Ctl { host, kseq, op } => {
+                debug_assert!(self.owns(host), "control op routed to the wrong shard");
+                let now = ctx.now();
+                if host == self.base {
+                    // The world's designated decider (its lowest host sorts
+                    // first in the control key band): run the replicated
+                    // coordinator step before any host-local action.
+                    let oracle = self.oracle.clone();
+                    let ctl = self
+                        .control
+                        .as_mut()
+                        .expect("control event scheduled without a control plane");
+                    ctl.process(now, kseq, &op, oracle.as_deref());
+                }
+                // Every host copy schedules its own broadcast of the
+                // follow-ups the decision produced, so each shard's wheel
+                // holds exactly the events its hosts will handle.
+                let entries: Vec<(SimTime, u64, CtlOp)> = self
+                    .control
+                    .as_deref()
+                    .expect("control event scheduled without a control plane")
+                    .entries_for(kseq)
+                    .to_vec();
+                for (at, k2, op2) in entries {
+                    ctx.schedule_keyed_at(
+                        at,
+                        ctl_key(k2, host),
+                        Event::Ctl { host, kseq: k2, op: op2 },
+                    );
+                }
+                self.ctl_local(now, host, &op, ctx);
+                if host == 0 {
+                    self.trace.borrow_mut().record_with(now, 0, "ctl.op", || format!("{op:?}"));
+                    if let Some(tel) = &self.telemetry {
+                        tel.borrow_mut().instant(now, 0, "net", "ctl", format!("{op:?}"));
+                    }
+                }
+            }
+            Event::CtlRetire { host, ep, polls } => {
+                debug_assert!(self.owns(host), "retire poll routed to the wrong shard");
+                self.ctl_retire(ctx.now(), host, ep, polls, ctx);
             }
             // Every remaining event is addressed to one host; dispatch
             // through its registered model.

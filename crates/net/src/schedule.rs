@@ -223,6 +223,14 @@ impl RouteOracle {
         self.last_transition
     }
 
+    /// Whether host `h` is scheduled "down" at `at` — its transmit link is
+    /// inside a down window, so nothing it sends can leave. This is the
+    /// control plane's host-failure verdict: purely schedule-derived, hence
+    /// identical on every replicated copy of the coordinator state.
+    pub fn host_down(&self, h: HostId, at: SimTime) -> bool {
+        self.is_down(self.topo.host_up_link(h), at)
+    }
+
     /// Whether `l` is inside a scheduled down window at `at`.
     pub fn is_down(&self, l: LinkId, at: SimTime) -> bool {
         let Some(ws) = self.windows.get(&l) else { return false };

@@ -275,6 +275,15 @@ impl Topology {
             TopologySpec::Ring { hosts } => LinkId((dst.0 + hosts - 1) % hosts),
         }
     }
+
+    /// The first (injection) link out of `src` — the host's transmit link.
+    /// Every route from `src` starts here, so a scheduled down window on it
+    /// isolates the host; the control plane reads a host's up/down verdict
+    /// off this link through the [`crate::RouteOracle`].
+    pub fn host_up_link(&self, src: HostId) -> LinkId {
+        // Every topology numbers host transmit links first, in host order.
+        LinkId(src.0)
+    }
 }
 
 #[cfg(test)]

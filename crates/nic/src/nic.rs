@@ -510,6 +510,23 @@ impl Nic {
         Some((image.recv_req.len(), image.recv_rep.len()))
     }
 
+    /// Whether the NIC holds no unfinished work for `ep`: no unacked
+    /// in-flight sends, no undeliverable returns waiting to flush, and —
+    /// when the endpoint occupies a frame — empty frame queues. The control
+    /// plane's migration teardown polls this to decide when a lame-duck
+    /// source incarnation has fully drained and can be destroyed.
+    pub fn is_quiet(&self, ep: EpId) -> bool {
+        if self.in_flight_per_ep.contains_key(&ep) || self.pending_returns.contains_key(&ep) {
+            return false;
+        }
+        match self.ep_frame.get(&ep) {
+            Some(&fi) => self.frames[fi]
+                .image()
+                .is_none_or(|i| !i.has_send_work() && !i.has_received()),
+            None => true,
+        }
+    }
+
     /// Host PIO update of a resident endpoint's event mask. Returns false
     /// if the endpoint is not resident (caller updates the host image).
     pub fn set_event_mask_direct(&mut self, ep: EpId, notify: bool) -> bool {

@@ -159,6 +159,11 @@ struct EpRecord {
     last_activity: SimTime,
     load_seq: u64,
     remap_requested_at: Option<SimTime>,
+    /// Endpoint is being migrated off this host: evicted from the NI and
+    /// held host-resident (remaps suppressed, so arrivals nack and senders
+    /// fail over) until the control plane lifts the hold with
+    /// [`SegmentDriver::end_migrate_hold`] for the lame-duck drain.
+    migrating: bool,
 }
 
 /// The per-node endpoint segment driver.
@@ -301,6 +306,7 @@ impl SegmentDriver {
                 last_activity: now,
                 load_seq: 0,
                 remap_requested_at: None,
+                migrating: false,
             },
         );
         let clock = self.tick(0);
@@ -308,6 +314,143 @@ impl SegmentDriver {
         let h = self.host_idx;
         self.audit(|a| a.os_created(now, h, ep.0));
         ep
+    }
+
+    /// Allocate an endpoint under a caller-chosen id (control-plane band:
+    /// the coordinator assigns ids from its own replicated counter so a
+    /// migrated endpoint keeps a cluster-unique identity). Panics if the id
+    /// is already in use; does not advance the driver's own id counter.
+    pub fn create_endpoint_with_id(
+        &mut self,
+        now: SimTime,
+        ep: EpId,
+        key: ProtectionKey,
+        out: &mut Vec<OsOut>,
+    ) {
+        self.now_hint = self.now_hint.max(now);
+        assert!(!self.eps.contains_key(&ep), "endpoint id {ep} already exists on host");
+        self.eps.insert(
+            ep,
+            EpRecord {
+                state: EpState::HostRo,
+                image: Some(Box::new(EndpointImage::new(key))),
+                last_activity: now,
+                load_seq: 0,
+                remap_requested_at: None,
+                migrating: false,
+            },
+        );
+        let clock = self.tick(0);
+        out.push(OsOut::Nic(DriverOp::Register { ep, clock }));
+        let h = self.host_idx;
+        self.audit(|a| a.os_created(now, h, ep.0));
+    }
+
+    /// Begin migrating an endpoint off this host: evict it from the NI and
+    /// hold it **host-resident** (`HostRw`) — remap requests are suppressed
+    /// while the flag is set, so new arrivals nack `NotResident` and senders
+    /// fail over to the new residence, but the owning thread keeps polling
+    /// the host image and queueing replies into it. Work accepted before the
+    /// drain began is served out, not destroyed. Idempotent; safe in every
+    /// residency state (in-transition endpoints are parked on host by their
+    /// completion handlers).
+    pub fn begin_migrate_out(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        self.now_hint = self.now_hint.max(now);
+        let Some(rec) = self.eps.get_mut(&ep) else { return };
+        if rec.migrating {
+            return;
+        }
+        rec.migrating = true;
+        rec.remap_requested_at = None;
+        if let Some(t) = &mut self.tel {
+            t.load_end(now, ep);
+            t.instant(now, "migrate_out", format!("ep={}", ep.0));
+        }
+        match rec.state {
+            EpState::HostRo | EpState::HostRw => {
+                // Stay on host, writable: the service drains in place.
+                rec.state = EpState::HostRw;
+                self.trace_with(now, "os.migrate", || format!("{ep} held on host (migrating)"));
+            }
+            EpState::NicRw => {
+                rec.state = EpState::Unloading;
+                let clock = self.tick(0);
+                out.push(OsOut::Nic(DriverOp::Unload { ep, clock }));
+                self.audit_phase(now, ep, EpPhase::Unloading);
+                self.trace_with(now, "os.unload", || format!("{ep} unloading (migrating)"));
+                if let Some(t) = &mut self.tel {
+                    t.unload_begin(now, ep, "migrating".to_string());
+                }
+            }
+            // Loading/Unloading/PagingIn: the completion handler sees the
+            // flag and parks the endpoint on host. Disk/Freeing: nothing.
+            _ => {}
+        }
+    }
+
+    /// Lift the migration hold (the protocol's `Finish` phase reached this
+    /// host): the remap pipeline works again, and if the held image still
+    /// carries queued sends or unpolled receives the endpoint re-enters the
+    /// remap queue so its residual work flows — the lame-duck drain. The
+    /// caller tears the endpoint down only once
+    /// [`SegmentDriver::drained`] (and the NIC) report it dry.
+    pub fn end_migrate_hold(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        self.now_hint = self.now_hint.max(now);
+        let Some(rec) = self.eps.get_mut(&ep) else { return };
+        if !rec.migrating {
+            return;
+        }
+        rec.migrating = false;
+        self.trace_with(now, "os.migrate", || format!("{ep} hold lifted (lame-duck drain)"));
+        self.nudge_drain(now, ep, out);
+    }
+
+    /// Re-enter the remap queue if a host-held image still carries work.
+    /// Idempotent (the daemon queue deduplicates); the migration teardown
+    /// calls this on every retire poll so a drain stalled by an unlucky
+    /// eviction race cannot wedge.
+    pub fn nudge_drain(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        let needs = self.eps.get(&ep).is_some_and(|rec| {
+            matches!(rec.state, EpState::HostRo | EpState::HostRw | EpState::Disk)
+                && rec.image.as_ref().is_some_and(|i| i.has_send_work() || i.has_received())
+        });
+        if needs {
+            self.enqueue_remap(now, ep, out);
+        }
+    }
+
+    /// Whether a migrated-away endpoint has drained on the OS side: no
+    /// in-transition residency state, and the host-held image (if any)
+    /// carries neither queued sends nor unpolled receives. A resident
+    /// endpoint's frame queues are the NIC's to answer; a missing endpoint
+    /// is vacuously drained.
+    pub fn drained(&self, ep: EpId) -> bool {
+        match self.eps.get(&ep) {
+            None => true,
+            Some(rec) => match rec.state {
+                EpState::Loading
+                | EpState::Unloading
+                | EpState::PagingIn
+                | EpState::Freeing => false,
+                _ => rec
+                    .image
+                    .as_ref()
+                    .is_none_or(|i| !i.has_send_work() && !i.has_received()),
+            },
+        }
+    }
+
+    /// Finish a migration: the endpoint now lives elsewhere, so its local
+    /// incarnation is destroyed (robust in every residency state, like
+    /// [`SegmentDriver::free_endpoint`]). Any sends still queued in the
+    /// held image are resolved as aborted in the audit ledger — the normal
+    /// teardown waits for the lame-duck drain first, so this only discards
+    /// traffic when the drain bound expired.
+    pub fn complete_migrate_out(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        if let Some(rec) = self.eps.get_mut(&ep) {
+            rec.migrating = false;
+        }
+        self.free_endpoint(now, ep, out);
     }
 
     /// Destroy an endpoint (process termination frees its segments, §4.2).
@@ -333,13 +476,26 @@ impl SegmentDriver {
                 rec.state = EpState::Freeing;
             }
             _ => {
-                self.eps.remove(&ep);
+                let rec = self.eps.remove(&ep).expect("checked above");
+                self.abort_queued_sends(now, rec.image.as_deref());
                 let clock = self.tick(0);
                 out.push(OsOut::Nic(DriverOp::Unregister { ep, clock }));
                 let h = self.host_idx;
                 self.audit(|a| a.os_destroyed(now, h, ep.0));
                 self.trace_with(now, "os.free", || format!("{ep} freed while parked"));
             }
+        }
+    }
+
+    /// Resolve the fate of sends still queued in a discarded image:
+    /// teardown aborts them so the exactly-once ledger closes (mirroring
+    /// the NIC's drop of a parked retry whose endpoint vanished).
+    fn abort_queued_sends(&mut self, now: SimTime, image: Option<&EndpointImage>) {
+        let Some(image) = image else { return };
+        let uids: Vec<u64> = image.send_q.iter().map(|p| p.uid).collect();
+        let h = self.host_idx;
+        for uid in uids {
+            self.audit(|a| a.on_send_aborted(now, h, uid));
         }
     }
 
@@ -425,6 +581,11 @@ impl SegmentDriver {
     }
 
     fn enqueue_remap(&mut self, now: SimTime, ep: EpId, out: &mut Vec<OsOut>) {
+        // A migrating endpoint is held off the NI: remaps would reload it on
+        // the source and break the handoff to its new residence.
+        if self.eps.get(&ep).is_some_and(|r| r.migrating) {
+            return;
+        }
         if !self.daemon_queued.insert(ep) {
             return;
         }
@@ -455,6 +616,10 @@ impl SegmentDriver {
                 self.daemon_busy = false;
                 return;
             };
+            if self.eps.get(&ep).is_some_and(|r| r.migrating) {
+                self.daemon_queued.remove(&ep);
+                continue;
+            }
             match self.eps.get(&ep).map(|r| &r.state) {
                 Some(EpState::HostRo) | Some(EpState::HostRw) => break ep,
                 Some(EpState::Disk) => {
@@ -518,20 +683,42 @@ impl SegmentDriver {
         self.now_hint = self.now_hint.max(now);
         self.stats.page_ins.inc();
         let mut swapped_in = false;
+        let mut held = false;
         if let Some(rec) = self.eps.get_mut(&ep) {
             if rec.state == EpState::PagingIn {
                 rec.state = EpState::HostRw;
-                swapped_in = true;
-                // Wake any thread that blocked for the swap-in; it still
-                // waits for residency if it asked for that.
+                if rec.migrating {
+                    // Migration started mid-swap-in: hold it on host so the
+                    // owning thread can drain it, but stay out of the remap
+                    // pipeline (the new residence takes over the NI frame).
+                    held = true;
+                } else {
+                    swapped_in = true;
+                    // Wake any thread that blocked for the swap-in; it still
+                    // waits for residency if it asked for that.
+                }
             }
         }
-        if swapped_in {
+        if swapped_in || held {
             self.audit_phase(now, ep, EpPhase::Host);
+        }
+        if swapped_in {
             self.trace_with(now, "os.pagein", || format!("{ep} swap-in done"));
+        }
+        if held {
+            self.trace_with(now, "os.pagein", || format!("{ep} swapped in, held (migrating)"));
         }
         if let Some(t) = &mut self.tel {
             t.pagein_end(now, ep);
+        }
+        if held {
+            // Do not re-enter the remap pipeline; just let the daemon drain.
+            if !self.daemon_q.is_empty() {
+                out.push(OsOut::After(self.cfg.daemon_op_cost, OsEvent::DaemonStep));
+            } else {
+                self.daemon_busy = false;
+            }
+            return;
         }
         // Back of the pipeline: daemon continues with this endpoint first.
         self.daemon_q.push_front(ep);
@@ -586,6 +773,14 @@ impl SegmentDriver {
                             out.push(OsOut::Nic(DriverOp::Unload { ep, clock }));
                             loaded_phase = Some(EpPhase::Unloading);
                         }
+                        _ if rec.migrating => {
+                            // Migration started mid-load: evict again; the
+                            // Unloaded handler parks it on disk.
+                            rec.state = EpState::Unloading;
+                            let clock = self.tick(0);
+                            out.push(OsOut::Nic(DriverOp::Unload { ep, clock }));
+                            loaded_phase = Some(EpPhase::Unloading);
+                        }
                         _ => {
                             rec.state = EpState::NicRw;
                             rec.last_activity = now;
@@ -615,11 +810,22 @@ impl SegmentDriver {
                 }
                 self.nic_occupied = self.nic_occupied.saturating_sub(1);
                 let mut freed = false;
+                let mut freed_image = None;
                 let mut nonempty = false;
                 let mut parked = false;
+                let mut migrated = false;
                 if let Some(rec) = self.eps.get_mut(&ep) {
                     if rec.state == EpState::Freeing {
                         freed = true;
+                        freed_image = Some(image);
+                    } else if rec.migrating {
+                        // Migration handoff: hold the image on host writable
+                        // (the owning thread drains it in place) and do NOT
+                        // re-enter the remap queue even with queued sends —
+                        // the new residence takes over the NI frame.
+                        rec.state = EpState::HostRw;
+                        rec.image = Some(image);
+                        migrated = true;
                     } else {
                         nonempty = image.has_send_work();
                         rec.state = EpState::HostRo;
@@ -627,10 +833,17 @@ impl SegmentDriver {
                         parked = true;
                     }
                 }
-                if parked {
+                if parked || migrated {
                     self.audit_phase(now, ep, EpPhase::Host);
+                }
+                if parked {
                     self.trace_with(now, "os.unload", || {
                         format!("{ep} parked on host (queued sends: {nonempty})")
+                    });
+                }
+                if migrated {
+                    self.trace_with(now, "os.unload", || {
+                        format!("{ep} unloaded, held on host (migrating)")
                     });
                 }
                 if nonempty {
@@ -643,6 +856,7 @@ impl SegmentDriver {
                     self.enqueue_remap(now, ep, out);
                 }
                 if freed {
+                    self.abort_queued_sends(now, freed_image.as_deref());
                     self.eps.remove(&ep);
                     let clock = self.tick(0);
                     out.push(OsOut::Nic(DriverOp::Unregister { ep, clock }));
@@ -940,6 +1154,111 @@ mod tests {
         assert_eq!(d.state(a), Some(&EpState::Disk));
         // Nothing else is HostRo now.
         assert_eq!(d.pageout_lru(), None);
+    }
+
+    #[test]
+    fn migrate_out_holds_endpoint_on_host_until_completed() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        // Resident endpoint: migration quiesces through the NIC first.
+        d.touch_write(t(1), ep, &mut out);
+        out.clear();
+        d.on_daemon_step(t(2), &mut out);
+        d.on_nic_msg(t(300), DriverMsg::Loaded { ep, clock: 1 }, &mut out);
+        out.clear();
+        d.begin_migrate_out(t(400), ep, &mut out);
+        assert_eq!(d.state(ep), Some(&EpState::Unloading));
+        assert!(matches!(out[0], OsOut::Nic(DriverOp::Unload { .. })));
+        out.clear();
+        d.on_nic_msg(
+            t(700),
+            DriverMsg::Unloaded {
+                ep,
+                image: Box::new(EndpointImage::new(ProtectionKey(1))),
+                clock: 2,
+            },
+            &mut out,
+        );
+        assert_eq!(
+            d.state(ep),
+            Some(&EpState::HostRw),
+            "unload holds the image on host so the owner can drain it"
+        );
+        // Remap requests (arrivals) are suppressed while migrating, but the
+        // owning thread can still write the host image (queueing replies).
+        d.proxy_fault(t(800), ep, &mut out);
+        assert_eq!(d.touch_write(t(801), ep, &mut out), WriteOutcome::Proceed);
+        assert_eq!(d.remap_queue_depth(), 0, "migrating endpoint never re-enters the remap queue");
+        assert_eq!(d.state(ep), Some(&EpState::HostRw));
+        // Completion destroys the local incarnation.
+        out.clear();
+        d.complete_migrate_out(t(900), ep, &mut out);
+        assert!(!d.exists(ep));
+        assert!(matches!(out[0], OsOut::Nic(DriverOp::Unregister { .. })));
+    }
+
+    #[test]
+    fn migrate_out_of_parked_endpoint_is_immediate() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        out.clear();
+        d.begin_migrate_out(t(1), ep, &mut out);
+        assert_eq!(d.state(ep), Some(&EpState::HostRw));
+        assert!(out.is_empty(), "parked endpoint needs no NIC round-trip");
+        // Idempotent.
+        d.begin_migrate_out(t(2), ep, &mut out);
+        assert_eq!(d.state(ep), Some(&EpState::HostRw));
+        // Dry image: the OS side reports it drained right away.
+        assert!(d.drained(ep));
+        // Lifting the hold on a dry endpoint schedules no remap.
+        d.end_migrate_hold(t(3), ep, &mut out);
+        assert_eq!(d.remap_queue_depth(), 0);
+    }
+
+    #[test]
+    fn lame_duck_drain_reloads_endpoint_with_residual_work() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let ep = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        out.clear();
+        d.begin_migrate_out(t(1), ep, &mut out);
+        // A request was accepted before the drain began: it sits unpolled
+        // in the held image, so the endpoint is not drained.
+        let msg = vnet_nic::UserMsg {
+            uid: 7,
+            is_request: true,
+            handler: 0,
+            args: [0; 4],
+            payload_bytes: 0,
+            src_ep: vnet_nic::GlobalEp::new(vnet_net::HostId(1), EpId(0)),
+            reply_key: ProtectionKey(1),
+            corr: 0,
+        };
+        d.host_image_mut(ep).unwrap().recv_req.push_back(vnet_nic::DeliveredMsg {
+            msg: std::sync::Arc::new(msg),
+            undeliverable: false,
+            deposited_at: t(1),
+        });
+        assert!(!d.drained(ep));
+        // Lifting the hold re-enters the remap queue so the residual work
+        // flows; the drain nudge is idempotent.
+        d.end_migrate_hold(t(2), ep, &mut out);
+        assert_eq!(d.remap_queue_depth(), 1);
+        d.nudge_drain(t(3), ep, &mut out);
+        assert_eq!(d.remap_queue_depth(), 1);
+    }
+
+    #[test]
+    fn caller_assigned_ids_live_beside_sequential_ones() {
+        let mut d = driver(8);
+        let mut out = vec![];
+        let a = d.create_endpoint(t(0), ProtectionKey(1), &mut out);
+        d.create_endpoint_with_id(t(1), EpId(0x8000_0000), ProtectionKey(2), &mut out);
+        let b = d.create_endpoint(t(2), ProtectionKey(3), &mut out);
+        assert_eq!((a, b), (EpId(0), EpId(1)), "driver counter unaffected");
+        assert_eq!(d.state(EpId(0x8000_0000)), Some(&EpState::HostRo));
     }
 
     #[test]

@@ -60,13 +60,23 @@ pub struct Violation {
     pub at: SimTime,
     /// Host index where it was observed (`u32::MAX` when cluster-wide).
     pub host: u32,
+    /// Offending tenant, when the breach is attributable to one (quota
+    /// violations; `None` for tenant-less invariants).
+    pub tenant: Option<String>,
     /// Human-readable specifics.
     pub detail: String,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] t={} h{}: {}", self.invariant, self.at, self.host, self.detail)
+        match &self.tenant {
+            Some(t) => write!(
+                f,
+                "[{}] t={} h{} tenant={}: {}",
+                self.invariant, self.at, self.host, t, self.detail
+            ),
+            None => write!(f, "[{}] t={} h{}: {}", self.invariant, self.at, self.host, self.detail),
+        }
     }
 }
 
@@ -127,6 +137,16 @@ struct CreditAudit {
     per_idx: FxHashMap<usize, u32>,
 }
 
+/// One tenant's declared byte allowance, mirrored from the control plane.
+#[derive(Clone, Debug)]
+struct TenantAudit {
+    name: String,
+    /// Cluster-wide admitted-byte allowance per epoch (0 = unlimited).
+    bytes_per_epoch: u64,
+    /// Epoch length in nanoseconds.
+    epoch_nanos: u64,
+}
+
 /// Aggregate hook counters (useful for sanity checks and reports).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AuditCounters {
@@ -169,6 +189,12 @@ pub struct Auditor {
     channels: FxHashMap<(u32, u32, u8), ChanAudit>,
     hosts: FxHashMap<u32, HostAudit>,
     credits: FxHashMap<(u32, u32), CreditAudit>,
+    /// Declared tenants (id → allowance), mirrored from the control plane.
+    tenants: FxHashMap<u32, TenantAudit>,
+    /// `(host, ep)` → owning tenant id.
+    ep_tenant: FxHashMap<(u32, u32), u32>,
+    /// Admitted request bytes per `(tenant, epoch index)`.
+    tenant_bytes: FxHashMap<(u32, u64), u64>,
     counters: AuditCounters,
     trace: Option<TraceHandle>,
 }
@@ -191,6 +217,9 @@ impl Auditor {
             channels: fx_map_with_capacity(256),
             hosts: fx_map_with_capacity(64),
             credits: fx_map_with_capacity(256),
+            tenants: FxHashMap::default(),
+            ep_tenant: FxHashMap::default(),
+            tenant_bytes: FxHashMap::default(),
             counters: AuditCounters::default(),
             trace: None,
         }
@@ -216,6 +245,17 @@ impl Auditor {
     }
 
     fn violate(&mut self, invariant: &'static str, at: SimTime, host: u32, detail: String) {
+        self.violate_tenant(invariant, at, host, None, detail);
+    }
+
+    fn violate_tenant(
+        &mut self,
+        invariant: &'static str,
+        at: SimTime,
+        host: u32,
+        tenant: Option<String>,
+        detail: String,
+    ) {
         self.total_violations += 1;
         if let Some(t) = &self.trace {
             t.borrow_mut().record_with(at, host, "audit.violation", || {
@@ -223,7 +263,7 @@ impl Auditor {
             });
         }
         if self.violations.len() < MAX_KEPT_VIOLATIONS {
-            self.violations.push(Violation { invariant, at, host, detail });
+            self.violations.push(Violation { invariant, at, host, tenant, detail });
         }
     }
 
@@ -423,6 +463,113 @@ impl Auditor {
         }
     }
 
+    /// Control-plane time-to-reconvergence check. The control plane owns
+    /// the convergence definition (no migration in flight, no managed
+    /// endpoint placed on a failed host); this check turns its replicated
+    /// observations into violations: a completed reconvergence that took
+    /// longer than `bound` (`worst` is `(diverged-at, lag)`), or a
+    /// divergence still open `bound` after it began. Call after the run.
+    pub fn check_reconverged(
+        &mut self,
+        now: SimTime,
+        diverged_since: Option<SimTime>,
+        worst: Option<(SimTime, SimDuration)>,
+        bound: SimDuration,
+    ) {
+        if let Some((at, lag)) = worst {
+            if lag > bound {
+                self.violate(
+                    "audit.reconverged",
+                    at,
+                    u32::MAX,
+                    format!("placement reconvergence took {lag} (bound {bound})"),
+                );
+            }
+        }
+        if let Some(since) = diverged_since {
+            if now >= since + bound {
+                self.violate(
+                    "audit.reconverged",
+                    now,
+                    u32::MAX,
+                    format!("placement still diverged {bound} after divergence at {since}"),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------ tenant quotas
+
+    /// Declare a tenant and its cluster-wide admitted-byte allowance per
+    /// epoch (`bytes_per_epoch == 0` means unlimited). Mirrored from the
+    /// control plane so [`Auditor::check_tenant_quota`] can verify
+    /// conservation independently of the enforcement path.
+    pub fn register_tenant(
+        &mut self,
+        id: u32,
+        name: &str,
+        bytes_per_epoch: u64,
+        epoch: SimDuration,
+    ) {
+        self.tenants.insert(
+            id,
+            TenantAudit {
+                name: name.to_string(),
+                bytes_per_epoch,
+                epoch_nanos: epoch.as_nanos().max(1),
+            },
+        );
+    }
+
+    /// Bind `(host, ep)` to a tenant. Every admitted request byte on the
+    /// endpoint is charged to that tenant's epoch account.
+    pub fn bind_tenant(&mut self, host: u32, ep: u32, tenant: u32) {
+        self.ep_tenant.insert((host, ep), tenant);
+    }
+
+    /// A request of `bytes` was admitted past quota enforcement on
+    /// `(host, ep)`. Unbound endpoints are ignored (quota-free traffic).
+    pub fn on_tenant_bytes(&mut self, at: SimTime, host: u32, ep: u32, bytes: u64) {
+        let Some(&t) = self.ep_tenant.get(&(host, ep)) else { return };
+        let Some(ta) = self.tenants.get(&t) else { return };
+        let epoch = at.as_nanos() / ta.epoch_nanos;
+        *self.tenant_bytes.entry((t, epoch)).or_insert(0) += bytes;
+    }
+
+    /// Per-tenant byte-quota conservation: for every `(tenant, epoch)`
+    /// account, admitted bytes must not exceed the declared allowance.
+    /// Call after the run on the merged auditor (per-shard accounts are
+    /// partial sums; only the merged total is meaningful).
+    pub fn check_tenant_quota(&mut self) {
+        let mut over: Vec<(u32, u64, u64)> = self
+            .tenant_bytes
+            .iter()
+            .filter_map(|(&(t, e), &b)| {
+                let ta = self.tenants.get(&t)?;
+                (ta.bytes_per_epoch > 0 && b > ta.bytes_per_epoch).then_some((t, e, b))
+            })
+            .collect();
+        over.sort_unstable();
+        for (t, e, b) in over {
+            let ta = &self.tenants[&t];
+            let at = SimTime::from_nanos((e + 1).saturating_mul(ta.epoch_nanos));
+            let name = ta.name.clone();
+            let allowance = ta.bytes_per_epoch;
+            self.violate_tenant(
+                "audit.tenant-bytes",
+                at,
+                u32::MAX,
+                Some(name),
+                format!("epoch {e}: {b} bytes admitted against a {allowance}-byte allowance"),
+            );
+        }
+    }
+
+    /// Admitted bytes charged to `tenant` in `epoch` so far.
+    pub fn tenant_epoch_bytes(&self, tenant: u32, epoch: u64) -> u64 {
+        self.tenant_bytes.get(&(tenant, epoch)).copied().unwrap_or(0)
+    }
+
     // ------------------------------------------------------------- credits
 
     /// Request `uid` from `(host, ep)` consumed a credit toward
@@ -604,6 +751,11 @@ impl Auditor {
         shard.channels.extend(self.channels.extract_if(|k, _| in_range(k.0)));
         shard.credits.extend(self.credits.extract_if(|k, _| in_range(k.0)));
         shard.hosts.extend(self.hosts.extract_if(|k, _| in_range(*k)));
+        // Tenant declarations are read-mostly reference data: cloned to the
+        // shard (bind_tenant on a migration target must resolve locally).
+        // Per-epoch byte accounts start empty and sum at merge.
+        shard.tenants = self.tenants.clone();
+        shard.ep_tenant.extend(self.ep_tenant.extract_if(|k, _| in_range(k.0)));
         shard
     }
 
@@ -620,6 +772,10 @@ impl Auditor {
             self.channels.extend(sh.channels.drain());
             self.credits.extend(sh.credits.drain());
             self.hosts.extend(sh.hosts.drain());
+            self.ep_tenant.extend(sh.ep_tenant.drain());
+            for ((t, e), b) in sh.tenant_bytes.drain() {
+                *self.tenant_bytes.entry((t, e)).or_insert(0) += b;
+            }
             let c = sh.counters;
             self.counters.posted += c.posted;
             self.counters.delivered += c.delivered;
@@ -654,6 +810,7 @@ impl Auditor {
                                     invariant: "audit.exactly-once",
                                     at: SimTime::ZERO,
                                     host: u32::MAX,
+                                    tenant: None,
                                     detail: format!(
                                         "uid {uid} resolved twice across shards: {prev:?} then {fate:?}"
                                     ),
@@ -967,6 +1124,60 @@ mod tests {
         sh.on_failover(t(1), 1, 2);
         a.absorb_shards(vec![sh]);
         assert_eq!(a.counters().failovers, 2);
+    }
+
+    #[test]
+    fn tenant_quota_conservation_names_the_tenant() {
+        let mut a = Auditor::new(32);
+        a.register_tenant(0, "acme", 1000, SimDuration::from_micros(100));
+        a.bind_tenant(0, 5, 0);
+        a.on_tenant_bytes(t(10), 0, 5, 600);
+        a.on_tenant_bytes(t(20), 0, 5, 300);
+        a.check_tenant_quota();
+        assert!(!a.has_violations(), "{:?}", a.violations());
+        a.on_tenant_bytes(t(30), 0, 5, 200); // 1100 > 1000 in epoch 0
+        a.on_tenant_bytes(t(150), 0, 5, 900); // fresh epoch: fine
+        a.check_tenant_quota();
+        assert_eq!(named(&a), vec!["audit.tenant-bytes"]);
+        let v = &a.violations()[0];
+        assert_eq!(v.tenant.as_deref(), Some("acme"));
+        assert!(v.to_string().contains("tenant=acme"), "{v}");
+    }
+
+    #[test]
+    fn tenant_bytes_sum_across_shards_before_the_quota_check() {
+        let mut a = Auditor::new(32);
+        a.register_tenant(0, "acme", 1000, SimDuration::from_micros(100));
+        a.bind_tenant(0, 5, 0);
+        a.bind_tenant(1, 6, 0);
+        a.on_tenant_bytes(t(10), 0, 5, 700);
+        let mut sh = a.split_shard(1, 2);
+        // The shard resolves its own host's binding and accounts locally.
+        sh.on_tenant_bytes(t(20), 1, 6, 700);
+        sh.check_tenant_quota();
+        assert!(!sh.has_violations(), "partial sums must not trip the check");
+        a.absorb_shards(vec![sh]);
+        a.check_tenant_quota();
+        assert_eq!(named(&a), vec!["audit.tenant-bytes"], "merged total is 1400 > 1000");
+    }
+
+    #[test]
+    fn reconverged_check_bounds_convergence_lag() {
+        let mut a = Auditor::new(32);
+        // A completed reconvergence within the bound, nothing open: clean.
+        a.check_reconverged(t(100), None, Some((t(10), SimDuration::from_micros(5))), SimDuration::from_micros(20));
+        assert!(!a.has_violations(), "{:?}", a.violations());
+        // A reconvergence that took longer than the bound.
+        a.check_reconverged(t(100), None, Some((t(10), SimDuration::from_micros(30))), SimDuration::from_micros(20));
+        assert_eq!(named(&a), vec!["audit.reconverged"]);
+        // A divergence still open past the bound.
+        let mut b = Auditor::new(32);
+        b.check_reconverged(t(100), Some(t(50)), None, SimDuration::from_micros(20));
+        assert_eq!(named(&b), vec!["audit.reconverged"]);
+        // ...but not while the grace window is still running.
+        let mut c = Auditor::new(32);
+        c.check_reconverged(t(60), Some(t(50)), None, SimDuration::from_micros(20));
+        assert!(!c.has_violations());
     }
 
     #[test]

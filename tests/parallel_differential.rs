@@ -383,6 +383,41 @@ fn long_down_window_unbind_resync_identical() {
     );
 }
 
+/// Satellite: **all** §5.1 multipath routes down at once. On the small
+/// fat tree, leaf 0's only two uplinks (`LinkId(16)` spine 0,
+/// `LinkId(17)` spine 1) are both dead from the start for 30 ms, so
+/// every route between leaf 0's hosts (0, 1) and the rest of the tree
+/// is down — failover has no live alternative and must not fire. The
+/// affected channels have to ride the full retransmit→backoff→unbind
+/// cycle, re-bind after the window, and resynchronize the receiver,
+/// with zero auditor violations and the whole episode byte-identical
+/// at 1 vs 2/4 shards.
+#[test]
+fn all_routes_down_leaf_isolated_recovers_identical() {
+    let sc = Scenario {
+        topology: TopologySpec::FatTree { leaves: 4, hosts_per_leaf: 2, spines: 2 },
+        trunk_latency: None,
+        seed: 0xA11_D0E5,
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+        faults: FaultScheduleSpec::none()
+            .flap(LinkId(16), at_us(0), at_us(30_000))
+            .flap(LinkId(17), at_us(0), at_us(30_000)),
+        requests: 6,
+        run_ms: 70,
+    };
+    let seq = check_scenario(&sc, &[2, 4]);
+    let (unbinds, resyncs, _failovers) = seq.recovery;
+    assert!(unbinds > 0, "a 30 ms window with every route down must exhaust the retry bound");
+    assert!(resyncs > 0, "post-window redelivery must resynchronize the receiver");
+    assert_eq!(seq.violations, 0, "isolation and recovery must stay audit-clean");
+    assert!(
+        seq.replies.iter().all(|&(r, _)| r == 6),
+        "all clients must finish once the leaf rejoins: {:?}",
+        seq.replies
+    );
+}
+
 /// Everything a mixed-fidelity run observably produces: the full subset's
 /// outputs (replies, ledger, violations, spans, trace) plus every abstract
 /// host's coarse counters.
